@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 2: memcached tail-latency variability across instance types on EC2 and GCE.
+ *
+ * Usage: bench_fig02_variability_memcached [loadScale] [seed]
+ *   loadScale scales the scenario load curves (default 1.0 = paper scale);
+ *   seed selects the deterministic random seed (default 42).
+ */
+
+#include <cstdlib>
+
+#include "exp/figures.hpp"
+
+int
+main(int argc, char** argv)
+{
+    hcloud::exp::ExperimentOptions opt;
+    if (argc > 1)
+        opt.loadScale = std::atof(argv[1]);
+    if (argc > 2)
+        opt.seed = std::strtoull(argv[2], nullptr, 10);
+    hcloud::exp::fig02VariabilityMemcached(opt);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 9: adaptive soft limit over time and queueing-time estimator validation.
+ *
+ * Usage: bench_fig09_dynamic_policy [loadScale] [seed]
+ *   loadScale scales the scenario load curves (default 1.0 = paper scale);
+ *   seed selects the deterministic random seed (default 42).
+ */
+
+#include <cstdlib>
+
+#include "exp/figures.hpp"
+
+int
+main(int argc, char** argv)
+{
+    hcloud::exp::ExperimentOptions opt;
+    if (argc > 1)
+        opt.loadScale = std::atof(argv[1]);
+    if (argc > 2)
+        opt.seed = std::strtoull(argv[2], nullptr, 10);
+    hcloud::exp::Runner runner(opt);
+    hcloud::exp::fig09DynamicPolicy(runner);
+    return 0;
+}

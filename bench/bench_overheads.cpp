@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Section 5.2: provisioning overheads, measured as real microbenchmarks.
+ *
+ * The paper reports: profiling 5-10 s of job runtime (simulated time,
+ * charged once per application signature), classification ~20 ms, and
+ * provisioning/mapping decisions under 20 ms — three orders of magnitude
+ * below instance spin-up. These benchmarks measure our implementation's
+ * actual wall-clock costs for the same operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cloud/provider.hpp"
+#include "core/mapping_policy.hpp"
+#include "core/placement.hpp"
+#include "core/queue_estimator.hpp"
+#include "profiling/quasar.hpp"
+#include "sim/simulator.hpp"
+#include "workload/archetypes.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace hcloud;
+
+/** Classification of a fresh job (cache miss): the paper's ~20 ms. */
+void
+BM_QuasarClassification(benchmark::State& state)
+{
+    profiling::QuasarConfig config;
+    profiling::Quasar quasar(config);
+    quasar.warmUp();
+    sim::Rng rng(7);
+    std::uint64_t salt = 0;
+    for (auto _ : state) {
+        workload::JobSpec spec;
+        spec.kind = workload::AppKind::Memcached;
+        spec.sensitivity =
+            workload::generateSensitivity(spec.kind, rng);
+        spec.coresIdeal = 4.0 + static_cast<double>(salt % 13);
+        spec.memoryPerCore = 1.0 + 0.13 * static_cast<double>(salt % 37);
+        ++salt;
+        benchmark::DoNotOptimize(quasar.estimate(spec));
+    }
+}
+BENCHMARK(BM_QuasarClassification)->Unit(benchmark::kMillisecond);
+
+/** Classifier bootstrap (library build + factorization training). */
+void
+BM_ClassifierBootstrap(benchmark::State& state)
+{
+    for (auto _ : state) {
+        profiling::QuasarConfig config;
+        profiling::Quasar quasar(config);
+        quasar.warmUp();
+        benchmark::DoNotOptimize(quasar.cacheSize());
+    }
+}
+BENCHMARK(BM_ClassifierBootstrap)->Unit(benchmark::kMillisecond);
+
+/** One mapping decision under the dynamic policy: must be << 20 ms. */
+void
+BM_DynamicMappingDecision(benchmark::State& state)
+{
+    sim::Rng rng(11);
+    core::MappingInputs in;
+    in.rng = &rng;
+    double util = 0.0;
+    for (auto _ : state) {
+        util = util > 1.0 ? 0.0 : util + 0.001;
+        in.reservedUtilization = util;
+        in.jobQuality = 0.5 + 0.4 * util;
+        in.onDemandQ90 = 0.9 - 0.3 * util;
+        benchmark::DoNotOptimize(
+            core::decideMapping(core::PolicyKind::P8Dynamic, in));
+    }
+}
+BENCHMARK(BM_DynamicMappingDecision);
+
+/** Greedy quality-aware placement over pools of varying size. */
+void
+BM_GreedyPlacement(benchmark::State& state)
+{
+    const auto pool_size = static_cast<std::size_t>(state.range(0));
+    sim::Simulator simulator;
+    cloud::CloudProvider provider(simulator,
+                                  cloud::ProviderProfile::gce(), {},
+                                  sim::Rng(3));
+    const auto& st16 =
+        cloud::InstanceTypeCatalog::defaultCatalog().byName("st16");
+    auto pool = provider.reserveDedicated(
+        st16, static_cast<int>(pool_size));
+    // Pre-load the pool so the search has real occupancy to reason about.
+    sim::Rng rng(5);
+    sim::JobId job = 1;
+    for (auto* inst : pool) {
+        const double cores = rng.uniform(0.0, 12.0);
+        inst->addResident(job++, {cores, 0.4}, 0.0);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::qualityAwareFit(
+            pool, 4.0, 0.6, 0.8, simulator.now()));
+    }
+}
+BENCHMARK(BM_GreedyPlacement)->Arg(16)->Arg(64)->Arg(256);
+
+/** Queue-estimator update + quantile query. */
+void
+BM_QueueEstimator(benchmark::State& state)
+{
+    core::QueueEstimator estimator;
+    const auto& st16 =
+        cloud::InstanceTypeCatalog::defaultCatalog().byName("st16");
+    sim::Time t = 0.0;
+    for (auto _ : state) {
+        t += 1.0;
+        estimator.recordRelease(st16, t);
+        benchmark::DoNotOptimize(estimator.waitQuantile(st16, 0.99, t));
+    }
+}
+BENCHMARK(BM_QueueEstimator);
+
+/** Scenario generation (trace synthesis) at paper scale. */
+void
+BM_ScenarioGeneration(benchmark::State& state)
+{
+    for (auto _ : state) {
+        workload::ScenarioConfig config;
+        config.kind = workload::ScenarioKind::HighVariability;
+        config.seed = 42;
+        benchmark::DoNotOptimize(workload::generateScenario(config));
+    }
+}
+BENCHMARK(BM_ScenarioGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

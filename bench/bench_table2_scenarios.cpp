@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table 2 / Figure 3: workload scenario characteristics and target load curves.
+ *
+ * Usage: bench_table2_scenarios [loadScale] [seed]
+ *   loadScale scales the scenario load curves (default 1.0 = paper scale);
+ *   seed selects the deterministic random seed (default 42).
+ */
+
+#include <cstdlib>
+
+#include "exp/figures.hpp"
+
+int
+main(int argc, char** argv)
+{
+    hcloud::exp::ExperimentOptions opt;
+    if (argc > 1)
+        opt.loadScale = std::atof(argv[1]);
+    if (argc > 2)
+        opt.seed = std::strtoull(argv[2], nullptr, 10);
+    hcloud::exp::table2Scenarios(opt);
+    return 0;
+}

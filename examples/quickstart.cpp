@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: generate a workload scenario, run HCloud's hybrid strategy
+ * against the simulated cloud, and print the headline metrics.
+ *
+ * This is the smallest end-to-end use of the public API:
+ *   1. describe a scenario (or bring your own ArrivalTrace),
+ *   2. configure the engine,
+ *   3. run a provisioning strategy,
+ *   4. inspect performance, cost and utilization.
+ */
+
+#include <cstdio>
+
+#include "cloud/pricing.hpp"
+#include "core/engine.hpp"
+#include "workload/scenario.hpp"
+
+int
+main()
+{
+    using namespace hcloud;
+
+    // 1. A high-variability scenario at half scale (fast to simulate).
+    workload::ScenarioConfig scenario;
+    scenario.kind = workload::ScenarioKind::HighVariability;
+    scenario.loadScale = 0.5;
+    scenario.seed = 42;
+    const workload::ArrivalTrace trace =
+        workload::generateScenario(scenario);
+
+    const workload::TraceStats stats = trace.stats();
+    std::printf("scenario: %s\n", toString(scenario.kind));
+    std::printf("  jobs: %zu (batch %zu, LC %zu)\n", stats.jobCount,
+                stats.batchJobs, stats.lcJobs);
+    std::printf("  cores: min %.0f max %.0f (ratio %.1fx)\n",
+                stats.minCores, stats.maxCores, stats.maxMinCoreRatio);
+
+    // 2. Engine configuration: defaults reproduce the paper's setup.
+    core::EngineConfig config;
+    config.seed = 1;
+
+    // 3. Run the hybrid-mixed strategy (HM).
+    core::Engine engine(config);
+    const core::RunResult r =
+        engine.run(trace, core::StrategyKind::HM, toString(scenario.kind));
+
+    // 4. Report.
+    const cloud::AwsStylePricing pricing;
+    const cloud::CostBreakdown cost = r.cost(pricing);
+    std::printf("\nstrategy: %s\n", r.strategy.c_str());
+    std::printf("  makespan:            %.1f min\n", r.makespan / 60.0);
+    std::printf("  batch perf (norm):   mean %.2f p5 %.2f\n",
+                r.batchPerfNorm.mean(), r.batchPerfNorm.quantile(0.05));
+    std::printf("  LC p99 latency:      mean %.0f us, p95 %.0f us\n",
+                r.lcLatencyUs.mean(),
+                r.lcLatencyUs.empty() ? 0.0 : r.lcLatencyUs.quantile(0.95));
+    std::printf("  reserved util (avg): %.0f%%\n",
+                100.0 * r.reservedUtilizationAvg);
+    std::printf("  cost: $%.2f (reserved $%.2f + on-demand $%.2f)\n",
+                cost.total(), cost.reserved, cost.onDemand);
+    std::printf("  on-demand acquisitions: %zu\n", r.acquisitions);
+    return 0;
+}

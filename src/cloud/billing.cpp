@@ -1,0 +1,115 @@
+#include "cloud/billing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hcloud::cloud {
+
+void
+BillingMeter::setReservedPool(const InstanceType& type, int count)
+{
+    reservedType_ = &type;
+    reservedCount_ = count;
+}
+
+void
+BillingMeter::onDemandAcquired(sim::InstanceId id, const InstanceType& type,
+                               sim::Time t0, double priceFactor)
+{
+    assert(open_.find(id) == open_.end());
+    open_[id] = records_.size();
+    records_.push_back(UsageRecord{&type, t0, sim::kTimeNever,
+                                   priceFactor});
+}
+
+void
+BillingMeter::onDemandReleased(sim::InstanceId id, sim::Time t1)
+{
+    auto it = open_.find(id);
+    assert(it != open_.end() && "release without acquisition");
+    records_[it->second].t1 = t1;
+    open_.erase(it);
+}
+
+void
+BillingMeter::discardOpen(sim::InstanceId id)
+{
+    auto it = open_.find(id);
+    assert(it != open_.end() && "discard of unknown record");
+    const std::size_t index = it->second;
+    open_.erase(it);
+    records_.erase(records_.begin() +
+                   static_cast<std::ptrdiff_t>(index));
+    for (auto& [other, idx] : open_) {
+        if (idx > index)
+            --idx;
+    }
+}
+
+double
+BillingMeter::billedHours(const UsageRecord& r, sim::Time end)
+{
+    const sim::Time t1 = std::min(std::isfinite(r.t1) ? r.t1 : end, end);
+    const sim::Duration used = std::max(t1 - r.t0, 0.0);
+    // Provider billing: 10-minute minimum, then per-minute rounding.
+    const sim::Duration billed = std::max(
+        kMinimumBilled, std::ceil(used / kBillingIncrement) *
+                            kBillingIncrement);
+    return billed / 3600.0;
+}
+
+double
+BillingMeter::onDemandBilledHours(sim::Time end) const
+{
+    double hours = 0.0;
+    for (const auto& r : records_)
+        hours += billedHours(r, end);
+    return hours;
+}
+
+CostBreakdown
+BillingMeter::amortized(const PricingModel& pricing, sim::Time end) const
+{
+    CostBreakdown cost;
+    if (reservedType_ && reservedCount_ > 0) {
+        cost.reserved = pricing.reservedEffectiveHourly(*reservedType_) *
+            reservedCount_ * (end / 3600.0);
+    }
+    // Aggregate list-priced on-demand usage per type so sustained-use
+    // style discounts can apply across instances of the same shape; spot
+    // records (non-unit price factor) are charged individually at their
+    // locked market fraction.
+    std::map<const InstanceType*, double> usage;
+    for (const auto& r : records_) {
+        if (r.priceFactor == 1.0) {
+            usage[r.type] += billedHours(r, end);
+        } else {
+            cost.onDemand += pricing.onDemandHourly(*r.type) *
+                r.priceFactor * billedHours(r, end);
+        }
+    }
+    const double window_hours = end / 3600.0;
+    for (const auto& [type, hours] : usage)
+        cost.onDemand += pricing.onDemandCharge(*type, hours, window_hours);
+    return cost;
+}
+
+CostBreakdown
+BillingMeter::committed(const PricingModel& pricing, sim::Time end,
+                        sim::Duration horizon) const
+{
+    CostBreakdown cost;
+    if (reservedType_ && reservedCount_ > 0) {
+        const double terms =
+            std::ceil(std::max(horizon, 1.0) / pricing.reservedTerm());
+        cost.reserved = pricing.reservedUpfront(*reservedType_) *
+            reservedCount_ * terms;
+    }
+    const CostBreakdown per_run = amortized(pricing, end);
+    const double scale = end > 0.0 ? horizon / end : 0.0;
+    cost.onDemand = per_run.onDemand * scale;
+    return cost;
+}
+
+} // namespace hcloud::cloud

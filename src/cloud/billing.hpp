@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Usage metering and cost computation.
+ *
+ * The meter records the reserved pool (fixed for a run) and every
+ * on-demand acquisition/release. Costs are then evaluated against a
+ * PricingModel in two views:
+ *
+ *  - amortized(): per-run cost with reserved capacity charged at its
+ *    effective hourly rate — the view used by the paper's normalized-cost
+ *    figures (5, 11, 12, 17);
+ *  - committed(): reserved capacity charged as full upfront terms — the
+ *    view behind the absolute-cost-vs-duration study (Figure 13).
+ */
+
+#ifndef HCLOUD_CLOUD_BILLING_HPP
+#define HCLOUD_CLOUD_BILLING_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/pricing.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::cloud {
+
+/** Cost split by resource class, in dollars. */
+struct CostBreakdown
+{
+    double reserved = 0.0;
+    double onDemand = 0.0;
+
+    double total() const { return reserved + onDemand; }
+};
+
+/**
+ * Records resource usage for one simulation run.
+ */
+class BillingMeter
+{
+  public:
+    /** Minimum billed duration per on-demand acquisition. */
+    static constexpr sim::Duration kMinimumBilled = 60.0;
+    /** Billing granularity after the minimum (GCE-style per minute). */
+    static constexpr sim::Duration kBillingIncrement = 60.0;
+
+    /** Register the reserved pool: @p count instances of @p type. */
+    void setReservedPool(const InstanceType& type, int count);
+
+    const InstanceType* reservedType() const { return reservedType_; }
+    int reservedCount() const { return reservedCount_; }
+
+    /**
+     * Record an on-demand instance acquisition at time @p t0.
+     *
+     * @param priceFactor Multiplier on the list rate; spot acquisitions
+     *        pass the market price fraction locked at acquisition.
+     */
+    void onDemandAcquired(sim::InstanceId id, const InstanceType& type,
+                          sim::Time t0, double priceFactor = 1.0);
+
+    /** Record the matching release at time @p t1. */
+    void onDemandReleased(sim::InstanceId id, sim::Time t1);
+
+    /** Drop an open record entirely (no charge), e.g. when re-pricing a
+     *  just-created acquisition as spot. */
+    void discardOpen(sim::InstanceId id);
+
+    /** Number of on-demand acquisitions recorded. */
+    std::size_t onDemandAcquisitions() const { return records_.size(); }
+
+    /** Total billed on-demand instance-hours over the run. */
+    double onDemandBilledHours(sim::Time end) const;
+
+    /**
+     * Per-run cost with amortized reservations.
+     *
+     * @param pricing Price schedule.
+     * @param end Run end time; open on-demand records are billed to it,
+     *        and the reserved pool is charged for [0, end].
+     */
+    CostBreakdown amortized(const PricingModel& pricing,
+                            sim::Time end) const;
+
+    /**
+     * Cost with reservations charged as whole upfront terms covering
+     * @p horizon of operation (>= the run itself). On-demand usage is
+     * linearly extrapolated from the run to the horizon.
+     */
+    CostBreakdown committed(const PricingModel& pricing, sim::Time end,
+                            sim::Duration horizon) const;
+
+  private:
+    struct UsageRecord
+    {
+        const InstanceType* type;
+        sim::Time t0;
+        sim::Time t1 = sim::kTimeNever; // open until released
+        double priceFactor = 1.0;
+    };
+
+    /** Billed duration of one record, applying minimum + increment. */
+    static double billedHours(const UsageRecord& r, sim::Time end);
+
+    const InstanceType* reservedType_ = nullptr;
+    int reservedCount_ = 0;
+    std::vector<UsageRecord> records_;
+    std::map<sim::InstanceId, std::size_t> open_;
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_BILLING_HPP

@@ -1,0 +1,51 @@
+#include "cloud/external_load.hpp"
+
+#include <algorithm>
+
+namespace hcloud::cloud {
+
+namespace {
+
+/** The OU band maps to roughly 2 stationary standard deviations. */
+double
+bandToStddev(double band)
+{
+    return band / 2.0;
+}
+
+} // namespace
+
+ExternalLoadModel::ExternalLoadModel(ExternalLoadConfig config, sim::Rng rng)
+    : config_(config),
+      process_(config.meanUtilization, config.relaxation,
+               bandToStddev(config.band), rng.child("ou")),
+      burstRng_(rng.child("burst")),
+      nextBurstStart_(config.burstInterval > 0.0
+                          ? burstRng_.exponential(config.burstInterval)
+                          : sim::kTimeNever)
+{
+}
+
+void
+ExternalLoadModel::advanceBursts(sim::Time t)
+{
+    while (t >= nextBurstStart_) {
+        burstEnd_ = nextBurstStart_ + config_.burstDuration;
+        nextBurstStart_ = burstEnd_ +
+            burstRng_.exponential(config_.burstInterval);
+    }
+}
+
+double
+ExternalLoadModel::utilization(sim::Time t)
+{
+    double u = process_.advanceTo(t);
+    if (config_.burstInterval > 0.0) {
+        advanceBursts(t);
+        if (t <= burstEnd_)
+            u += config_.burstMagnitude;
+    }
+    return std::clamp(u, 0.0, 1.0);
+}
+
+} // namespace hcloud::cloud

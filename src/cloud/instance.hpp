@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Instance: an acquired VM and its quality model.
+ *
+ * Every instance carries the two variability components of Figures 1-2:
+ *  - a *spatial* base quality drawn once at creation (which physical
+ *    server / neighbourhood you landed on), and
+ *  - a *temporal* Ornstein–Uhlenbeck noise component.
+ *
+ * Delivered capacity for a job is
+ *     cores * effectiveQuality(t, sensitivity)
+ * where effective quality discounts the base quality by the job's
+ * sensitivity-weighted interference pressure (external tenants plus
+ * co-resident jobs of our own).
+ */
+
+#ifndef HCLOUD_CLOUD_INSTANCE_HPP
+#define HCLOUD_CLOUD_INSTANCE_HPP
+
+#include <map>
+#include <optional>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/machine.hpp"
+#include "cloud/provider_profile.hpp"
+#include "sim/ou_process.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::cloud {
+
+/** Lifecycle of an instance. */
+enum class InstanceState
+{
+    SpinningUp, ///< acquire() issued; not yet usable.
+    Running,    ///< usable (may be idle or hosting jobs).
+    Released,   ///< given back to the provider.
+};
+
+/**
+ * A job resident on an instance, as the cloud layer sees it: an id, a core
+ * allocation, and a scalar pressure it exerts on shared resources.
+ */
+struct Resident
+{
+    double cores = 0.0;
+    /** Average pressure this job puts on shared resources, in [0, 1]. */
+    double pressure = 0.0;
+};
+
+/**
+ * An acquired VM.
+ */
+class Instance
+{
+  public:
+    /**
+     * Construct; called by CloudProvider only.
+     *
+     * @param id Unique id.
+     * @param type Shape.
+     * @param profile Provider variability profile.
+     * @param host Backing physical machine (owns external load).
+     * @param reserved True for reserved-pool members.
+     * @param rng Stream for quality draws.
+     * @param now Acquisition time.
+     */
+    Instance(sim::InstanceId id, const InstanceType& type,
+             const ProviderProfile& profile, Machine* host, bool reserved,
+             sim::Rng rng, sim::Time now);
+
+    sim::InstanceId id() const { return id_; }
+    const InstanceType& type() const { return *type_; }
+    bool reserved() const { return reserved_; }
+    Machine* host() const { return host_; }
+
+    InstanceState state() const { return state_; }
+    void setState(InstanceState s) { state_ = s; }
+
+    sim::Time acquiredAt() const { return acquiredAt_; }
+    sim::Time availableAt() const { return availableAt_; }
+    void setAvailableAt(sim::Time t) { availableAt_ = t; }
+    sim::Time releasedAt() const { return releasedAt_; }
+    void setReleasedAt(sim::Time t) { releasedAt_ = t; }
+
+    /** True for instances whose platform kills workloads (EC2 micro). */
+    bool faulty() const { return faulty_; }
+    void markFaulty() { faulty_ = true; }
+
+    /** True for spot instances (interruptible, market-priced). */
+    bool spot() const { return spot_; }
+    void markSpot(double bidHourly)
+    {
+        spot_ = true;
+        spotBid_ = bidHourly;
+    }
+    /** The bid this spot instance was acquired at ($/hour). */
+    double spotBid() const { return spotBid_; }
+
+    /** Spatial base quality in [0, 1], fixed for the instance lifetime. */
+    double spatialQuality() const { return spatialQuality_; }
+
+    /**
+     * Base quality at time @p t: spatial component plus temporal noise,
+     * clamped to [0.02, 1].
+     */
+    double baseQuality(sim::Time t);
+
+    /**
+     * Sensitivity-weighted interference pressure a job would feel here at
+     * time @p t: external-tenant pressure plus pressure from co-resident
+     * jobs other than @p self.
+     */
+    double interferencePressure(sim::Time t,
+                                std::optional<sim::JobId> self);
+
+    /**
+     * Capacity multiplier for a job with the given interference
+     * sensitivity, in [0.02, 1].
+     */
+    double effectiveQuality(sim::Time t, double sensitivity,
+                            std::optional<sim::JobId> self);
+
+    // --- Occupancy -------------------------------------------------------
+
+    double coresTotal() const { return type_->vcpus; }
+    double coresUsed() const { return coresUsed_; }
+    double coresFree() const { return coresTotal() - coresUsed_; }
+    bool idle() const { return residents_.empty(); }
+    std::size_t residentCount() const { return residents_.size(); }
+
+    /** Time the instance last became idle (kTimeNever if occupied). */
+    sim::Time idleSince() const { return idleSince_; }
+
+    /** Place a job. @return false if the cores do not fit. */
+    bool addResident(sim::JobId job, const Resident& r, sim::Time now);
+
+    /** Update a resident's core allocation in place. */
+    void resizeResident(sim::JobId job, double cores);
+
+    /** Remove a job (no-op if absent). */
+    void removeResident(sim::JobId job, sim::Time now);
+
+    const std::map<sim::JobId, Resident>& residents() const
+    {
+        return residents_;
+    }
+
+  private:
+    sim::InstanceId id_;
+    const InstanceType* type_;
+    Machine* host_;
+    bool reserved_;
+    bool faulty_ = false;
+    bool spot_ = false;
+    double spotBid_ = 0.0;
+    InstanceState state_ = InstanceState::SpinningUp;
+
+    sim::Time acquiredAt_;
+    sim::Time availableAt_ = sim::kTimeNever;
+    sim::Time releasedAt_ = sim::kTimeNever;
+    sim::Time idleSince_;
+
+    double spatialQuality_;
+    double exposure_;
+    double networkExposure_;
+    sim::OuProcess temporal_;
+
+    double coresUsed_ = 0.0;
+    std::map<sim::JobId, Resident> residents_;
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_INSTANCE_HPP

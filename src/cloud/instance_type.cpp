@@ -1,0 +1,100 @@
+#include "cloud/instance_type.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcloud::cloud {
+
+const char*
+toString(Family family)
+{
+    switch (family) {
+      case Family::Micro:
+        return "micro";
+      case Family::Standard:
+        return "standard";
+      case Family::HighMem:
+        return "highmem";
+      case Family::HighCpu:
+        return "highcpu";
+    }
+    return "?";
+}
+
+const InstanceTypeCatalog&
+InstanceTypeCatalog::defaultCatalog()
+{
+    // 2016-era GCE-like list: n1-standard at ~$0.05 per vCPU-hour,
+    // highmem ~25% dearer, highcpu ~25% cheaper, micro heavily discounted.
+    static const InstanceTypeCatalog catalog({
+        {"micro", Family::Micro, 1, 0.6, 0.009},
+        {"st1", Family::Standard, 1, 3.75, 0.050},
+        {"st2", Family::Standard, 2, 7.5, 0.100},
+        {"st4", Family::Standard, 4, 15.0, 0.200},
+        {"st8", Family::Standard, 8, 30.0, 0.400},
+        {"st16", Family::Standard, 16, 60.0, 0.800},
+        {"hm2", Family::HighMem, 2, 13.0, 0.126},
+        {"hm4", Family::HighMem, 4, 26.0, 0.252},
+        {"hm8", Family::HighMem, 8, 52.0, 0.504},
+        {"m16", Family::HighMem, 16, 104.0, 1.008},
+        {"hc2", Family::HighCpu, 2, 1.8, 0.076},
+        {"hc4", Family::HighCpu, 4, 3.6, 0.152},
+        {"hc8", Family::HighCpu, 8, 7.2, 0.304},
+        {"hc16", Family::HighCpu, 16, 14.4, 0.608},
+    });
+    return catalog;
+}
+
+InstanceTypeCatalog::InstanceTypeCatalog(std::vector<InstanceType> types)
+    : types_(std::move(types))
+{
+    std::stable_sort(types_.begin(), types_.end(),
+                     [](const InstanceType& a, const InstanceType& b) {
+                         if (a.vcpus != b.vcpus)
+                             return a.vcpus < b.vcpus;
+                         return a.onDemandHourly < b.onDemandHourly;
+                     });
+}
+
+const InstanceType&
+InstanceTypeCatalog::byName(const std::string& name) const
+{
+    for (const auto& t : types_) {
+        if (t.name == name)
+            return t;
+    }
+    throw std::out_of_range("unknown instance type: " + name);
+}
+
+const InstanceType*
+InstanceTypeCatalog::smallestFitting(double cores, double memoryGb,
+                                     std::optional<Family> family) const
+{
+    const InstanceType* best = nullptr;
+    for (const auto& t : types_) {
+        if (family && t.family != *family)
+            continue;
+        if (t.vcpus + 1e-9 < cores || t.memoryGb + 1e-9 < memoryGb)
+            continue;
+        if (!best || t.onDemandHourly < best->onDemandHourly)
+            best = &t;
+    }
+    return best;
+}
+
+const InstanceType&
+InstanceTypeCatalog::largest(Family family) const
+{
+    const InstanceType* best = nullptr;
+    for (const auto& t : types_) {
+        if (t.family != family)
+            continue;
+        if (!best || t.vcpus > best->vcpus)
+            best = &t;
+    }
+    if (!best)
+        throw std::out_of_range("no instance in requested family");
+    return *best;
+}
+
+} // namespace hcloud::cloud

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cloud instance types and the provider catalog.
+ *
+ * The catalog mirrors the ladder used in the paper's Figures 1-2: a 1-vCPU
+ * micro instance, 1/2/4/8-vCPU standard instances, and 16-vCPU instances in
+ * the standard, memory-optimized (highmem) and compute-optimized (highcpu)
+ * families. Hourly prices follow 2016-era GCE list prices so that cost
+ * figures land in the paper's regime.
+ */
+
+#ifndef HCLOUD_CLOUD_INSTANCE_TYPE_HPP
+#define HCLOUD_CLOUD_INSTANCE_TYPE_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hcloud::cloud {
+
+/** Instance family, mirroring standard/memory/compute-optimized offerings. */
+enum class Family
+{
+    Micro,
+    Standard,
+    HighMem,
+    HighCpu,
+};
+
+/** Human-readable family name. */
+const char* toString(Family family);
+
+/**
+ * A purchasable instance shape.
+ */
+struct InstanceType
+{
+    /** Catalog name, e.g. "st8" or "m16". */
+    std::string name;
+    Family family = Family::Standard;
+    /** Virtual CPU count; also the core capacity delivered at quality 1. */
+    int vcpus = 1;
+    /** Memory allocation in GiB. */
+    double memoryGb = 0.0;
+    /** On-demand list price in $ per instance-hour. */
+    double onDemandHourly = 0.0;
+
+    /** True for shapes that occupy a whole physical server. */
+    bool fullServer() const { return vcpus >= 16; }
+};
+
+/**
+ * The set of instance shapes a provider sells.
+ *
+ * Shapes are kept sorted by vCPU count (then by price) so "smallest
+ * satisfying" queries are simple linear scans.
+ */
+class InstanceTypeCatalog
+{
+  public:
+    /** Default catalog used throughout the evaluation (GCE-like). */
+    static const InstanceTypeCatalog& defaultCatalog();
+
+    explicit InstanceTypeCatalog(std::vector<InstanceType> types);
+
+    const std::vector<InstanceType>& types() const { return types_; }
+
+    /** Look up a shape by catalog name; throws std::out_of_range. */
+    const InstanceType& byName(const std::string& name) const;
+
+    /**
+     * Cheapest shape with at least @p cores vCPUs and @p memoryGb memory.
+     *
+     * @param family Restrict to one family when provided.
+     * @return nullptr when nothing fits (demand exceeds the largest shape).
+     */
+    const InstanceType* smallestFitting(
+        double cores, double memoryGb,
+        std::optional<Family> family = std::nullopt) const;
+
+    /** The largest (full-server) shape in the given family. */
+    const InstanceType& largest(Family family = Family::Standard) const;
+
+  private:
+    std::vector<InstanceType> types_;
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_INSTANCE_TYPE_HPP

@@ -1,0 +1,37 @@
+#include "cloud/machine.hpp"
+
+#include <cassert>
+
+namespace hcloud::cloud {
+
+Machine::Machine(sim::MachineId id, bool shared,
+                 ExternalLoadConfig loadConfig, sim::Rng rng)
+    : id_(id), shared_(shared), load_(loadConfig, rng)
+{
+}
+
+bool
+Machine::allocate(int vcpus)
+{
+    if (vcpus > freeVcpus())
+        return false;
+    usedVcpus_ += vcpus;
+    return true;
+}
+
+void
+Machine::free(int vcpus)
+{
+    assert(vcpus <= usedVcpus_);
+    usedVcpus_ -= vcpus;
+}
+
+double
+Machine::externalUtilization(sim::Time t)
+{
+    const double u = load_.utilization(t);
+    // Dedicated hosts see only the network component of neighbour load.
+    return shared_ ? u : u * 0.5;
+}
+
+} // namespace hcloud::cloud

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Physical server model.
+ *
+ * A Machine is a 16-vCPU physical host. Dedicated machines back reserved
+ * and full-server on-demand instances; shared machines are partitioned
+ * into smaller slices (the paper's container-based methodology) and carry
+ * an external-interference load process representing other tenants.
+ */
+
+#ifndef HCLOUD_CLOUD_MACHINE_HPP
+#define HCLOUD_CLOUD_MACHINE_HPP
+
+#include <memory>
+#include <optional>
+
+#include "cloud/external_load.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::cloud {
+
+/** Physical host capacity in vCPUs; GCE's largest 2016 shape. */
+inline constexpr int kMachineVcpus = 16;
+
+/**
+ * A physical server that hosts instance slices.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param id Unique machine id.
+     * @param shared True when other tenants share the box (external load
+     *        applies); false for dedicated hosts.
+     * @param loadConfig External-load parameters.
+     * @param rng Random stream for the load process.
+     */
+    Machine(sim::MachineId id, bool shared, ExternalLoadConfig loadConfig,
+            sim::Rng rng);
+
+    sim::MachineId id() const { return id_; }
+    bool shared() const { return shared_; }
+
+    /** vCPUs not yet assigned to a slice. */
+    int freeVcpus() const { return kMachineVcpus - usedVcpus_; }
+
+    /** Claim @p vcpus for a new slice. @return false if they do not fit. */
+    bool allocate(int vcpus);
+
+    /** Return @p vcpus from a destroyed slice. */
+    void free(int vcpus);
+
+    /**
+     * External utilization by other tenants at time @p t. Dedicated
+     * machines report only residual network load (a fraction of the
+     * configured process).
+     */
+    double externalUtilization(sim::Time t);
+
+  private:
+    sim::MachineId id_;
+    bool shared_;
+    int usedVcpus_ = 0;
+    ExternalLoadModel load_;
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_MACHINE_HPP

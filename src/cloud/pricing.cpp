@@ -1,0 +1,96 @@
+#include "cloud/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcloud::cloud {
+
+double
+PricingModel::onDemandHourly(const InstanceType& type) const
+{
+    return type.onDemandHourly;
+}
+
+double
+PricingModel::reservedEffectiveHourly(const InstanceType& type) const
+{
+    // Models without reservations price "reserved" usage at list.
+    return onDemandHourly(type);
+}
+
+double
+PricingModel::reservedUpfront(const InstanceType& type) const
+{
+    return reservedEffectiveHourly(type) * (reservedTerm() / 3600.0);
+}
+
+sim::Duration
+PricingModel::reservedTerm() const
+{
+    return sim::days(365.0);
+}
+
+double
+PricingModel::onDemandCharge(const InstanceType& type, double usageHours,
+                             double windowHours) const
+{
+    (void)windowHours;
+    return onDemandHourly(type) * usageHours;
+}
+
+AwsStylePricing::AwsStylePricing(double onDemandToReservedRatio)
+    : ratio_(std::max(onDemandToReservedRatio, 1e-6))
+{
+}
+
+std::string
+AwsStylePricing::name() const
+{
+    return "aws-reserved+on-demand";
+}
+
+double
+AwsStylePricing::reservedEffectiveHourly(const InstanceType& type) const
+{
+    return onDemandHourly(type) / ratio_;
+}
+
+double
+AwsStylePricing::reservedUpfront(const InstanceType& type) const
+{
+    return reservedEffectiveHourly(type) * (reservedTerm() / 3600.0);
+}
+
+double
+GceSustainedUsePricing::discountMultiplier(double usageFraction)
+{
+    // Integrate the tier schedule (1.0 / 0.8 / 0.6 / 0.4 per quartile)
+    // over [0, usageFraction] and divide by the usage to get the average
+    // multiplier actually paid.
+    static constexpr double kTier[4] = {1.0, 0.8, 0.6, 0.4};
+    const double f = std::clamp(usageFraction, 0.0, 1.0);
+    if (f <= 0.0)
+        return 1.0;
+    double paid = 0.0;
+    double covered = 0.0;
+    for (int i = 0; i < 4 && covered < f; ++i) {
+        const double span = std::min(0.25, f - covered);
+        paid += span * kTier[i];
+        covered += span;
+    }
+    return paid / f;
+}
+
+double
+GceSustainedUsePricing::onDemandCharge(const InstanceType& type,
+                                       double usageHours,
+                                       double windowHours) const
+{
+    if (usageHours <= 0.0)
+        return 0.0;
+    const double window = std::max(windowHours, usageHours);
+    const double fraction = usageHours / window;
+    return onDemandHourly(type) * usageHours * discountMultiplier(fraction);
+}
+
+} // namespace hcloud::cloud

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cloud pricing models.
+ *
+ * Three concrete models cover Section 5.3 of the paper:
+ *  - AwsStylePricing: long-term reservations (1-year term, paid upfront)
+ *    plus on-demand instances; the default on-demand:reserved per-hour
+ *    ratio is 2.74, the paper's measured average. The ratio is a knob for
+ *    the Figure 12 sweep.
+ *  - GceSustainedUsePricing: on-demand only, with monthly sustained-use
+ *    discounts (100/80/60/40% price across usage quartiles of the month).
+ *  - AzureOnDemandPricing: plain on-demand only.
+ */
+
+#ifndef HCLOUD_CLOUD_PRICING_HPP
+#define HCLOUD_CLOUD_PRICING_HPP
+
+#include <memory>
+#include <string>
+
+#include "cloud/instance_type.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::cloud {
+
+/**
+ * Abstract price schedule.
+ */
+class PricingModel
+{
+  public:
+    virtual ~PricingModel() = default;
+
+    /** Model name for reports. */
+    virtual std::string name() const = 0;
+
+    /** List price of one on-demand instance-hour. */
+    virtual double onDemandHourly(const InstanceType& type) const;
+
+    /** True when long-term reservations are offered. */
+    virtual bool offersReserved() const { return false; }
+
+    /** Amortized (effective) hourly price of a reserved instance. */
+    virtual double reservedEffectiveHourly(const InstanceType& type) const;
+
+    /** Upfront payment for one reservation term of one instance. */
+    virtual double reservedUpfront(const InstanceType& type) const;
+
+    /** Length of one reservation term (default 1 year). */
+    virtual sim::Duration reservedTerm() const;
+
+    /**
+     * Charge for @p usageHours of on-demand usage by instances of
+     * @p type within a window of @p windowHours (used by sustained-use
+     * discounting; default is linear pricing).
+     */
+    virtual double onDemandCharge(const InstanceType& type,
+                                  double usageHours,
+                                  double windowHours) const;
+};
+
+/**
+ * AWS-style reserved + on-demand pricing.
+ */
+class AwsStylePricing : public PricingModel
+{
+  public:
+    /** Paper's measured average on-demand : reserved per-hour ratio. */
+    static constexpr double kDefaultRatio = 2.74;
+
+    explicit AwsStylePricing(double onDemandToReservedRatio = kDefaultRatio);
+
+    std::string name() const override;
+    bool offersReserved() const override { return true; }
+    double reservedEffectiveHourly(const InstanceType& type) const override;
+    double reservedUpfront(const InstanceType& type) const override;
+
+    double ratio() const { return ratio_; }
+
+  private:
+    double ratio_;
+};
+
+/**
+ * GCE-style on-demand pricing with monthly sustained-use discounts.
+ *
+ * Usage within a month is priced per quartile of the month: the first 25%
+ * of the month at list price, the next quartile at 80%, then 60%, then
+ * 40% — a full month of usage costs 70% of list (a 30% discount).
+ */
+class GceSustainedUsePricing : public PricingModel
+{
+  public:
+    std::string name() const override { return "gce-sustained-use"; }
+
+    double onDemandCharge(const InstanceType& type, double usageHours,
+                          double windowHours) const override;
+
+    /** Effective price multiplier for a usage fraction of the month. */
+    static double discountMultiplier(double usageFraction);
+};
+
+/**
+ * Azure-style plain on-demand pricing (no reservations, no discounts).
+ */
+class AzureOnDemandPricing : public PricingModel
+{
+  public:
+    std::string name() const override { return "azure-on-demand"; }
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_PRICING_HPP

@@ -1,0 +1,167 @@
+#include "cloud/provider.hpp"
+
+#include <cassert>
+
+namespace hcloud::cloud {
+
+CloudProvider::CloudProvider(sim::Simulator& simulator,
+                             ProviderProfile profile,
+                             ExternalLoadConfig loadConfig, sim::Rng rng)
+    : simulator_(simulator),
+      profile_(std::move(profile)),
+      loadConfig_(loadConfig),
+      rng_(rng),
+      spinUp_(profile_, rng.child("spin_up"))
+{
+}
+
+Machine*
+CloudProvider::newMachine(bool shared)
+{
+    const sim::MachineId id = nextMachineId_++;
+    machines_.push_back(std::make_unique<Machine>(
+        id, shared, loadConfig_, rng_.child("machine").child(id)));
+    Machine* m = machines_.back().get();
+    if (shared)
+        sharedMachines_.push_back(m);
+    return m;
+}
+
+Machine*
+CloudProvider::placeSlice(int vcpus)
+{
+    for (Machine* m : sharedMachines_) {
+        if (m->freeVcpus() >= vcpus)
+            return m;
+    }
+    return newMachine(/*shared=*/true);
+}
+
+std::vector<Instance*>
+CloudProvider::reserveDedicated(const InstanceType& type, int count)
+{
+    assert(billing_.reservedCount() == 0 && "reserved pool already built");
+    std::vector<Instance*> pool;
+    pool.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        Machine* host = newMachine(/*shared=*/false);
+        host->allocate(type.vcpus);
+        const sim::InstanceId id = nextInstanceId_++;
+        instances_.push_back(std::make_unique<Instance>(
+            id, type, profile_, host, /*reserved=*/true,
+            rng_.child("instance").child(id), simulator_.now()));
+        Instance* inst = instances_.back().get();
+        inst->setState(InstanceState::Running);
+        inst->setAvailableAt(simulator_.now());
+        pool.push_back(inst);
+    }
+    billing_.setReservedPool(type, count);
+    return pool;
+}
+
+Instance*
+CloudProvider::acquire(const InstanceType& type, ReadyCallback onReady)
+{
+    Machine* host;
+    if (type.fullServer()) {
+        host = newMachine(/*shared=*/false);
+    } else {
+        host = placeSlice(type.vcpus);
+    }
+    const bool ok = host->allocate(type.vcpus);
+    assert(ok && "slice placement must fit");
+    (void)ok;
+
+    const sim::InstanceId id = nextInstanceId_++;
+    instances_.push_back(std::make_unique<Instance>(
+        id, type, profile_, host, /*reserved=*/false,
+        rng_.child("instance").child(id), simulator_.now()));
+    Instance* inst = instances_.back().get();
+
+    const sim::Duration delay = spinUp_.sample(type);
+    const sim::Time ready = simulator_.now() + delay;
+    inst->setAvailableAt(ready);
+    billing_.onDemandAcquired(id, type, simulator_.now());
+
+    simulator_.at(ready, [inst, cb = std::move(onReady)]() {
+        if (inst->state() != InstanceState::SpinningUp)
+            return; // released while spinning up
+        inst->setState(InstanceState::Running);
+        if (cb)
+            cb(inst);
+    });
+    return inst;
+}
+
+SpotMarket&
+CloudProvider::spotMarket()
+{
+    if (!spotMarket_) {
+        spotMarket_ = std::make_unique<SpotMarket>(
+            SpotMarketConfig{}, rng_.child("spot-market"));
+    }
+    return *spotMarket_;
+}
+
+void
+CloudProvider::scheduleSpotCheck(Instance* instance,
+                                 InterruptCallback onInterrupt)
+{
+    simulator_.after(kSpotCheckPeriod, [this, instance, onInterrupt]() {
+        if (instance->state() == InstanceState::Released)
+            return; // chain ends with the instance
+        if (spotMarket().wouldInterrupt(instance->type(),
+                                        instance->spotBid(),
+                                        simulator_.now())) {
+            // Market reclaim: the owner evicts residents, then the
+            // instance is destroyed.
+            if (onInterrupt)
+                onInterrupt(instance);
+            if (instance->state() != InstanceState::Released) {
+                assert(instance->idle() &&
+                       "interrupt handler must evict residents");
+                release(instance);
+            }
+            return;
+        }
+        scheduleSpotCheck(instance, onInterrupt);
+    });
+}
+
+Instance*
+CloudProvider::acquireSpot(const InstanceType& type, double bidHourly,
+                           ReadyCallback onReady,
+                           InterruptCallback onInterrupt)
+{
+    // Spot capacity is drawn from the same physical pool as on-demand;
+    // only pricing and the interruption contract differ, so the billing
+    // record must be written before acquire() does. Record the locked
+    // market fraction first, then create the instance with acquire()'s
+    // machinery minus its billing call — easiest is to create and then
+    // patch the record, so instead we compute the fraction up front and
+    // re-record.
+    const double fraction =
+        spotMarket().priceFraction(type, simulator_.now());
+    Instance* inst = acquire(type, std::move(onReady));
+    // Replace the list-price record with the spot-priced one.
+    billing_.discardOpen(inst->id());
+    billing_.onDemandAcquired(inst->id(), type, simulator_.now(),
+                              fraction);
+    inst->markSpot(bidHourly);
+    scheduleSpotCheck(inst, std::move(onInterrupt));
+    return inst;
+}
+
+void
+CloudProvider::release(Instance* instance)
+{
+    assert(instance->state() != InstanceState::Released);
+    assert(instance->idle() && "cannot release an occupied instance");
+    instance->setState(InstanceState::Released);
+    instance->setReleasedAt(simulator_.now());
+    instance->host()->free(instance->type().vcpus);
+    if (!instance->reserved())
+        billing_.onDemandReleased(instance->id(), simulator_.now());
+}
+
+} // namespace hcloud::cloud

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * CloudProvider: the acquire/release API a tenant programs against.
+ *
+ * This is the simulated stand-in for the GCE/EC2 control plane:
+ *  - reserveDedicated() builds the reserved pool — dedicated full-server
+ *    instances, available immediately (no spin-up), limited to residual
+ *    network interference;
+ *  - acquire() requests an on-demand instance: full-server shapes get a
+ *    dedicated machine, smaller shapes are placed as slices of shared
+ *    machines carrying external tenant load; the instance becomes usable
+ *    after a sampled spin-up delay, signalled through a callback;
+ *  - release() returns an instance and stops its on-demand meter.
+ */
+
+#ifndef HCLOUD_CLOUD_PROVIDER_HPP
+#define HCLOUD_CLOUD_PROVIDER_HPP
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/external_load.hpp"
+#include "cloud/instance.hpp"
+#include "cloud/instance_type.hpp"
+#include "cloud/machine.hpp"
+#include "cloud/provider_profile.hpp"
+#include "cloud/spin_up.hpp"
+#include "cloud/spot_market.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace hcloud::cloud {
+
+/** Invoked when an acquired instance finishes spinning up. */
+using ReadyCallback = std::function<void(Instance*)>;
+
+/** Invoked when the market reclaims a spot instance. */
+using InterruptCallback = std::function<void(Instance*)>;
+
+/**
+ * Simulated cloud provider control plane.
+ */
+class CloudProvider
+{
+  public:
+    /**
+     * @param simulator DES kernel (not owned).
+     * @param profile Provider variability profile.
+     * @param loadConfig External-load parameters for shared machines.
+     * @param rng Root random stream for this provider.
+     */
+    CloudProvider(sim::Simulator& simulator, ProviderProfile profile,
+                  ExternalLoadConfig loadConfig, sim::Rng rng);
+
+    const ProviderProfile& profile() const { return profile_; }
+    SpinUpModel& spinUp() { return spinUp_; }
+    BillingMeter& billing() { return billing_; }
+    const BillingMeter& billing() const { return billing_; }
+
+    /**
+     * Build the reserved pool: @p count dedicated instances of @p type,
+     * ready at the current time with no spin-up. Registers the pool with
+     * the billing meter. May be called once per run.
+     */
+    std::vector<Instance*> reserveDedicated(const InstanceType& type,
+                                            int count);
+
+    /**
+     * Request an on-demand instance.
+     *
+     * @param type Shape to acquire.
+     * @param onReady Invoked (from the event loop) once the instance is
+     *        Running. Not invoked if the instance is released first.
+     * @return The instance, in SpinningUp state.
+     */
+    Instance* acquire(const InstanceType& type, ReadyCallback onReady);
+
+    /** Release an instance back to the provider. */
+    void release(Instance* instance);
+
+    /** The spot market (created lazily with default parameters). */
+    SpotMarket& spotMarket();
+
+    /**
+     * Request a spot instance at the given bid ($/hour). Behaves like
+     * acquire(), but the instance is billed at the market price locked
+     * at acquisition and is interrupted — residents evicted via
+     * @p onInterrupt, then released — whenever the market price rises
+     * above the bid (checked every kSpotCheckPeriod).
+     */
+    Instance* acquireSpot(const InstanceType& type, double bidHourly,
+                          ReadyCallback onReady,
+                          InterruptCallback onInterrupt);
+
+    /** How often spot bids are compared against the market. */
+    static constexpr sim::Duration kSpotCheckPeriod = 60.0;
+
+    /** All instances ever created (stable addresses). */
+    const std::deque<std::unique_ptr<Instance>>& instances() const
+    {
+        return instances_;
+    }
+
+    /** All machines ever created. */
+    const std::deque<std::unique_ptr<Machine>>& machines() const
+    {
+        return machines_;
+    }
+
+    /** Replace the external-load config used for future shared machines. */
+    void setExternalLoadConfig(const ExternalLoadConfig& config)
+    {
+        loadConfig_ = config;
+    }
+
+  private:
+    Machine* newMachine(bool shared);
+
+    /** Chain of periodic interruption checks for one spot instance. */
+    void scheduleSpotCheck(Instance* instance,
+                           InterruptCallback onInterrupt);
+
+    /** Shared machine with room for @p vcpus (first fit), or a new one. */
+    Machine* placeSlice(int vcpus);
+
+    sim::Simulator& simulator_;
+    ProviderProfile profile_;
+    ExternalLoadConfig loadConfig_;
+    sim::Rng rng_;
+    SpinUpModel spinUp_;
+    BillingMeter billing_;
+    std::unique_ptr<SpotMarket> spotMarket_;
+
+    std::deque<std::unique_ptr<Machine>> machines_;
+    std::deque<std::unique_ptr<Instance>> instances_;
+    std::vector<Machine*> sharedMachines_;
+
+    sim::InstanceId nextInstanceId_ = 1;
+    sim::MachineId nextMachineId_ = 1;
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_PROVIDER_HPP

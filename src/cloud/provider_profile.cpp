@@ -1,0 +1,88 @@
+#include "cloud/provider_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hcloud::cloud {
+
+SizeCurve::SizeCurve(std::initializer_list<SizePoint> points)
+{
+    assert(points.size() >= 1 && points.size() <= points_.size());
+    for (const auto& p : points)
+        points_[size_++] = p;
+    std::sort(points_.begin(), points_.begin() + size_,
+              [](const SizePoint& a, const SizePoint& b) {
+                  return a.vcpus < b.vcpus;
+              });
+}
+
+double
+SizeCurve::at(double vcpus) const
+{
+    if (size_ == 0)
+        return 0.0;
+    if (vcpus <= points_[0].vcpus)
+        return points_[0].value;
+    for (std::size_t i = 1; i < size_; ++i) {
+        if (vcpus <= points_[i].vcpus) {
+            const auto& lo = points_[i - 1];
+            const auto& hi = points_[i];
+            const double f = (vcpus - lo.vcpus) / (hi.vcpus - lo.vcpus);
+            return lo.value + f * (hi.value - lo.value);
+        }
+    }
+    return points_[size_ - 1].value;
+}
+
+ProviderProfile
+ProviderProfile::gce()
+{
+    ProviderProfile p;
+    p.name = "GCE";
+    // GCE: moderate batch means, comparatively tight tails, notably good
+    // latency behaviour on large shapes (Figure 2).
+    // Calibrated against Figure 1's completion-time ratios (GCE):
+    // micro/st1 ~2.3x the m16 mean, st2 ~1.8x, st8 ~1.2x.
+    p.spatialMean = {{1, 0.60}, {2, 0.68}, {4, 0.80}, {8, 0.90},
+                     {16, 0.92}};
+    p.spatialConcentration = {{1, 10}, {2, 13}, {4, 18}, {8, 34},
+                              {16, 50}};
+    p.temporalStddev = {{1, 0.070}, {2, 0.060}, {4, 0.045}, {8, 0.028},
+                        {16, 0.010}};
+    p.temporalRelaxation = 120.0;
+    p.externalExposure = {{1, 0.97}, {2, 0.90}, {4, 0.70}, {8, 0.40},
+                          {16, 0.0}};
+    p.networkExposure = 0.05;
+    // Paper: typically 12-19 s on GCE, p95 around 2 minutes, smaller
+    // instances slower to start.
+    p.spinUpMedian = {{1, 19.0}, {2, 17.5}, {4, 16.0}, {8, 14.0},
+                      {16, 12.5}};
+    p.spinUpTailRatio = 7.5;
+    p.microKillProbability = 0.0;
+    return p;
+}
+
+ProviderProfile
+ProviderProfile::ec2()
+{
+    ProviderProfile p;
+    p.name = "EC2";
+    // EC2: better average batch performance but heavier bad tails
+    // (lower concentration) and micro-instance terminations.
+    p.spatialMean = {{1, 0.64}, {2, 0.72}, {4, 0.83}, {8, 0.91},
+                     {16, 0.95}};
+    p.spatialConcentration = {{1, 5}, {2, 7}, {4, 11}, {8, 22}, {16, 55}};
+    p.temporalStddev = {{1, 0.095}, {2, 0.080}, {4, 0.060}, {8, 0.038},
+                        {16, 0.016}};
+    p.temporalRelaxation = 150.0;
+    p.externalExposure = {{1, 0.97}, {2, 0.90}, {4, 0.70}, {8, 0.40},
+                          {16, 0.0}};
+    p.networkExposure = 0.08;
+    p.spinUpMedian = {{1, 28.0}, {2, 25.0}, {4, 22.0}, {8, 19.0},
+                      {16, 16.0}};
+    p.spinUpTailRatio = 8.0;
+    p.microKillProbability = 0.10;
+    return p;
+}
+
+} // namespace hcloud::cloud

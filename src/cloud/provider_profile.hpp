@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-provider performance-variability profiles.
+ *
+ * Figures 1-2 of the paper show that instance quality varies both across
+ * instances of the same type (spatial variability) and within one instance
+ * over time (temporal variability), with small instances far noisier than
+ * full-server ones, and with EC2 and GCE exhibiting different shapes
+ * (EC2: better batch mean, fatter bad tail; GCE: better memcached tail).
+ *
+ * A ProviderProfile packages every knob of that model:
+ *  - spatial base quality: Beta-distributed, mean and concentration
+ *    interpolated over the vCPU ladder;
+ *  - temporal quality noise: OU stationary stddev + relaxation time;
+ *  - external-interference exposure as a function of slice size;
+ *  - spin-up time quantiles (median / p95) per size;
+ *  - instance-kill probability (EC2 micro terminations in Fig. 1).
+ */
+
+#ifndef HCLOUD_CLOUD_PROVIDER_PROFILE_HPP
+#define HCLOUD_CLOUD_PROVIDER_PROFILE_HPP
+
+#include <array>
+#include <string>
+
+#include "cloud/instance_type.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::cloud {
+
+/** Table row: parameters at one point of the vCPU ladder. */
+struct SizePoint
+{
+    double vcpus;
+    double value;
+};
+
+/** Piecewise-linear interpolation over the vCPU ladder. */
+class SizeCurve
+{
+  public:
+    /** Constant-zero curve. */
+    SizeCurve() = default;
+
+    SizeCurve(std::initializer_list<SizePoint> points);
+
+    /** Value at the given vCPU count (clamped to the table range). */
+    double at(double vcpus) const;
+
+  private:
+    std::array<SizePoint, 8> points_{};
+    std::size_t size_ = 0;
+};
+
+/**
+ * All variability knobs of one cloud provider.
+ */
+struct ProviderProfile
+{
+    std::string name;
+
+    /** Mean of the spatial base-quality Beta distribution, per size. */
+    SizeCurve spatialMean;
+    /** Beta concentration (a+b): larger = tighter distribution. */
+    SizeCurve spatialConcentration;
+
+    /** Stationary stddev of temporal OU quality noise, per size. */
+    SizeCurve temporalStddev;
+    /** OU relaxation time of temporal quality noise. */
+    sim::Duration temporalRelaxation = 120.0;
+
+    /**
+     * Fraction of a shared server's external pressure a slice of the
+     * given size feels (full servers feel ~0 here).
+     */
+    SizeCurve externalExposure;
+    /** Residual network-interference exposure felt even by full servers. */
+    double networkExposure = 0.05;
+
+    /** Median spin-up time (seconds), per size. */
+    SizeCurve spinUpMedian;
+    /** p95 / median spin-up ratio (lognormal tail heaviness). */
+    double spinUpTailRatio = 7.0;
+
+    /** Probability a micro instance kills its workload (EC2 scheduler). */
+    double microKillProbability = 0.0;
+
+    /** Google Compute Engine profile (the paper's main testbed). */
+    static ProviderProfile gce();
+    /** Amazon EC2 profile (Figures 1-2 comparison). */
+    static ProviderProfile ec2();
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_PROVIDER_PROFILE_HPP

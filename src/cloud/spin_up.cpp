@@ -1,0 +1,40 @@
+#include "cloud/spin_up.hpp"
+
+#include <algorithm>
+
+namespace hcloud::cloud {
+
+SpinUpModel::SpinUpModel(const ProviderProfile& profile, sim::Rng rng)
+    : medianCurve_(profile.spinUpMedian),
+      tailRatio_(profile.spinUpTailRatio),
+      rng_(rng)
+{
+}
+
+sim::Duration
+SpinUpModel::median(const InstanceType& type) const
+{
+    if (fixed_)
+        return *fixed_;
+    return medianCurve_.at(type.vcpus) * scale_;
+}
+
+sim::Duration
+SpinUpModel::sample(const InstanceType& type)
+{
+    if (fixed_)
+        return *fixed_;
+    const double med = median(type);
+    if (med <= 0.0)
+        return 0.0;
+    // Mixture matching the paper's observation: spin-up is typically
+    // 12-19 s, but the 95th percentile reaches ~2 minutes. Most draws
+    // cluster tightly around the median; a minority are stragglers with
+    // an exponential tail.
+    constexpr double kStragglerProb = 0.12;
+    if (!rng_.bernoulli(kStragglerProb))
+        return std::max(1.0, rng_.normal(med, 0.15 * med));
+    return 1.5 * med + rng_.exponential(0.8 * med * tailRatio_);
+}
+
+} // namespace hcloud::cloud

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * VM instantiation (spin-up) latency model.
+ *
+ * Spin-up times are lognormal, calibrated by (median, p95) from the
+ * provider profile. A global scale knob supports the Figure 14a sweep
+ * (performance vs spin-up overhead), and a fixed override supports
+ * zero-overhead ablations.
+ */
+
+#ifndef HCLOUD_CLOUD_SPIN_UP_HPP
+#define HCLOUD_CLOUD_SPIN_UP_HPP
+
+#include <optional>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/provider_profile.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::cloud {
+
+/**
+ * Samples instantiation delays for new on-demand instances.
+ */
+class SpinUpModel
+{
+  public:
+    /**
+     * @param profile Provider profile supplying per-size quantiles.
+     * @param rng Dedicated random stream.
+     */
+    SpinUpModel(const ProviderProfile& profile, sim::Rng rng);
+
+    /** Draw a spin-up duration for the given shape. */
+    sim::Duration sample(const InstanceType& type);
+
+    /** Median spin-up (after scaling) for the given shape. */
+    sim::Duration median(const InstanceType& type) const;
+
+    /** Multiply all spin-up times by @p scale (Figure 14a sweep). */
+    void setScale(double scale) { scale_ = scale; }
+    double scale() const { return scale_; }
+
+    /**
+     * Force every spin-up to exactly @p mean seconds (0 = instantaneous);
+     * clears the scale-based model until reset with std::nullopt.
+     */
+    void setFixedOverride(std::optional<sim::Duration> mean)
+    {
+        fixed_ = mean;
+    }
+
+  private:
+    SizeCurve medianCurve_;
+    double tailRatio_;
+    double scale_ = 1.0;
+    std::optional<sim::Duration> fixed_;
+    sim::Rng rng_;
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_SPIN_UP_HPP

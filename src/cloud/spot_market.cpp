@@ -1,0 +1,59 @@
+#include "cloud/spot_market.hpp"
+
+#include <algorithm>
+
+namespace hcloud::cloud {
+
+SpotMarket::SpotMarket(SpotMarketConfig config, sim::Rng rng)
+    : config_(config), rng_(rng)
+{
+}
+
+SpotMarket::ClassState&
+SpotMarket::stateFor(const InstanceType& type)
+{
+    auto it = classes_.find(type.vcpus);
+    if (it != classes_.end())
+        return it->second;
+    sim::Rng class_rng = rng_.child(static_cast<std::uint64_t>(type.vcpus));
+    ClassState state{
+        sim::OuProcess(config_.meanDiscount, config_.relaxation,
+                       config_.stddev, class_rng.child("price")),
+        class_rng.child("spike"),
+        0.0,
+    };
+    state.nextSpikeStart = config_.spikeInterval > 0.0
+        ? state.spikeRng.exponential(config_.spikeInterval)
+        : sim::kTimeNever;
+    return classes_.emplace(type.vcpus, std::move(state)).first->second;
+}
+
+double
+SpotMarket::priceFraction(const InstanceType& type, sim::Time t)
+{
+    ClassState& s = stateFor(type);
+    double fraction = s.process.advanceTo(t);
+    while (t >= s.nextSpikeStart) {
+        s.spikeEnd = s.nextSpikeStart + config_.spikeDuration;
+        s.nextSpikeStart = s.spikeEnd +
+            s.spikeRng.exponential(config_.spikeInterval);
+    }
+    if (t <= s.spikeEnd)
+        fraction += config_.spikeMagnitude;
+    return std::clamp(fraction, config_.minFraction, config_.maxFraction);
+}
+
+double
+SpotMarket::price(const InstanceType& type, sim::Time t)
+{
+    return priceFraction(type, t) * type.onDemandHourly;
+}
+
+bool
+SpotMarket::wouldInterrupt(const InstanceType& type, double bidHourly,
+                           sim::Time t)
+{
+    return price(type, t) > bidHourly;
+}
+
+} // namespace hcloud::cloud

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Spot-instance market model (Section 5.5 extension).
+ *
+ * The paper defers spot instances to future work: "unallocated resources
+ * that cloud providers make available through a bidding interface...
+ * may be terminated at any point if the market price exceeds the bidding
+ * price". This module implements that market: a mean-reverting price
+ * process per instance-size class (calibrated loosely to EC2 spot
+ * history: prices hover around ~30-40% of on-demand with occasional
+ * spikes above it), plus the bid/interruption mechanics strategies
+ * program against.
+ */
+
+#ifndef HCLOUD_CLOUD_SPOT_MARKET_HPP
+#define HCLOUD_CLOUD_SPOT_MARKET_HPP
+
+#include <map>
+#include <string>
+
+#include "cloud/instance_type.hpp"
+#include "sim/ou_process.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::cloud {
+
+/** Spot-market parameters. */
+struct SpotMarketConfig
+{
+    /** Long-run mean price as a fraction of the on-demand rate. */
+    double meanDiscount = 0.35;
+    /** Stationary stddev of the price fraction. */
+    double stddev = 0.10;
+    /** Price decorrelation time. */
+    sim::Duration relaxation = 1200.0;
+    /** Mean time between demand spikes (0 disables spikes). */
+    sim::Duration spikeInterval = 2400.0;
+    /** Price-fraction jump during a spike (often above on-demand). */
+    double spikeMagnitude = 0.9;
+    /** Spike length. */
+    sim::Duration spikeDuration = 180.0;
+    /** Floor/ceiling on the price fraction. */
+    double minFraction = 0.08;
+    double maxFraction = 1.50;
+};
+
+/**
+ * Per-size-class spot price processes.
+ */
+class SpotMarket
+{
+  public:
+    SpotMarket(SpotMarketConfig config, sim::Rng rng);
+
+    /** Current spot price of @p type in $/hour. */
+    double price(const InstanceType& type, sim::Time t);
+
+    /** Current price as a fraction of the on-demand rate. */
+    double priceFraction(const InstanceType& type, sim::Time t);
+
+    /**
+     * True when an instance bid at @p bidHourly would be interrupted at
+     * time @p t (market price exceeds the bid).
+     */
+    bool wouldInterrupt(const InstanceType& type, double bidHourly,
+                        sim::Time t);
+
+    const SpotMarketConfig& config() const { return config_; }
+
+  private:
+    struct ClassState
+    {
+        sim::OuProcess process;
+        sim::Rng spikeRng;
+        sim::Time nextSpikeStart;
+        sim::Time spikeEnd = -1.0;
+    };
+
+    /** Markets clear per size class (vCPU count), not per exact shape. */
+    ClassState& stateFor(const InstanceType& type);
+
+    SpotMarketConfig config_;
+    sim::Rng rng_;
+    std::map<int, ClassState> classes_;
+};
+
+} // namespace hcloud::cloud
+
+#endif // HCLOUD_CLOUD_SPOT_MARKET_HPP

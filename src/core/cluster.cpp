@@ -1,0 +1,72 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hcloud::core {
+
+void
+ClusterState::setReservedPool(std::vector<cloud::Instance*> pool)
+{
+    assert(reserved_.empty() && "reserved pool already set");
+    reserved_ = std::move(pool);
+}
+
+void
+ClusterState::addOnDemand(cloud::Instance* instance)
+{
+    onDemand_.push_back(instance);
+}
+
+void
+ClusterState::removeOnDemand(cloud::Instance* instance)
+{
+    auto it = std::find(onDemand_.begin(), onDemand_.end(), instance);
+    assert(it != onDemand_.end());
+    onDemand_.erase(it);
+}
+
+double
+ClusterState::reservedCapacity() const
+{
+    double c = 0.0;
+    for (const auto* i : reserved_)
+        c += i->coresTotal();
+    return c;
+}
+
+double
+ClusterState::reservedUsed() const
+{
+    double c = 0.0;
+    for (const auto* i : reserved_)
+        c += i->coresUsed();
+    return c;
+}
+
+double
+ClusterState::reservedUtilization() const
+{
+    const double cap = reservedCapacity();
+    return cap > 0.0 ? reservedUsed() / cap : 0.0;
+}
+
+double
+ClusterState::onDemandCapacity() const
+{
+    double c = 0.0;
+    for (const auto* i : onDemand_)
+        c += i->coresTotal();
+    return c;
+}
+
+double
+ClusterState::onDemandUsed() const
+{
+    double c = 0.0;
+    for (const auto* i : onDemand_)
+        c += i->coresUsed();
+    return c;
+}
+
+} // namespace hcloud::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ClusterState: the strategy-side view of owned resources.
+ */
+
+#ifndef HCLOUD_CORE_CLUSTER_HPP
+#define HCLOUD_CORE_CLUSTER_HPP
+
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::core {
+
+/**
+ * Tracks the reserved pool and the set of live on-demand instances.
+ */
+class ClusterState
+{
+  public:
+    /** Install the reserved pool (once, at strategy start). */
+    void setReservedPool(std::vector<cloud::Instance*> pool);
+
+    const std::vector<cloud::Instance*>& reservedPool() const
+    {
+        return reserved_;
+    }
+
+    /** Live on-demand instances (spinning up or running). */
+    const std::vector<cloud::Instance*>& onDemand() const
+    {
+        return onDemand_;
+    }
+
+    void addOnDemand(cloud::Instance* instance);
+    void removeOnDemand(cloud::Instance* instance);
+
+    /** Total reserved capacity in cores. */
+    double reservedCapacity() const;
+
+    /** Cores in use on reserved instances. */
+    double reservedUsed() const;
+
+    /** Reserved utilization in [0, 1] (0 when there is no pool). */
+    double reservedUtilization() const;
+
+    /** Total capacity of live on-demand instances in cores. */
+    double onDemandCapacity() const;
+
+    /** Cores in use on live on-demand instances. */
+    double onDemandUsed() const;
+
+  private:
+    std::vector<cloud::Instance*> reserved_;
+    std::vector<cloud::Instance*> onDemand_;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_CLUSTER_HPP

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Engine: runs one provisioning strategy against one arrival trace.
+ *
+ * The engine wires together the DES kernel, the simulated cloud provider,
+ * the Quasar profiling service, a strategy, and the metrics collector.
+ * It owns job lifecycle and performance integration: batch progress is
+ * the integral of cores x effective quality; latency-critical services
+ * sample their tail latency each tick; the QoS monitor is fed from the
+ * same loop.
+ */
+
+#ifndef HCLOUD_CORE_ENGINE_HPP
+#define HCLOUD_CORE_ENGINE_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cloud/provider_profile.hpp"
+#include "core/metrics.hpp"
+#include "core/strategy.hpp"
+#include "core/types.hpp"
+#include "workload/trace.hpp"
+
+namespace hcloud::core {
+
+/**
+ * One-shot simulation driver.
+ */
+class Engine
+{
+  public:
+    /**
+     * @param config Run configuration.
+     * @param profile Cloud provider variability profile (default: GCE).
+     */
+    explicit Engine(EngineConfig config,
+                    cloud::ProviderProfile profile =
+                        cloud::ProviderProfile::gce());
+
+    const EngineConfig& config() const { return config_; }
+
+    /**
+     * Execute the trace under the given strategy and return the metrics.
+     *
+     * @param trace Arrival trace (typically from generateScenario()).
+     * @param kind Strategy to drive.
+     * @param scenarioName Label recorded in the result.
+     */
+    RunResult run(const workload::ArrivalTrace& trace, StrategyKind kind,
+                  const std::string& scenarioName = "");
+
+    /** Builds the strategy driving a run (extension point). */
+    using StrategyFactory =
+        std::function<std::unique_ptr<Strategy>(EngineContext&)>;
+
+    /**
+     * Execute the trace under a custom strategy (e.g. the spot-market
+     * extension), constructed by @p factory against the run's context.
+     */
+    RunResult run(const workload::ArrivalTrace& trace,
+                  const StrategyFactory& factory,
+                  const std::string& scenarioName = "");
+
+  private:
+    EngineConfig config_;
+    cloud::ProviderProfile profile_;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_ENGINE_HPP

@@ -1,0 +1,140 @@
+#include "core/hybrid.hpp"
+
+#include <cmath>
+
+namespace hcloud::core {
+
+HybridStrategy::HybridStrategy(EngineContext& ctx, bool mixed)
+    : OnDemandStrategy(ctx, mixed)
+{
+}
+
+void
+HybridStrategy::start(const workload::ArrivalTrace& trace)
+{
+    // Reserved capacity covers the minimum steady-state load
+    // (Section 4.1), avoiding SR's peak-sized overprovisioning.
+    const workload::TraceStats stats = trace.stats();
+    poolSize_ = std::max(
+        1, static_cast<int>(std::ceil(stats.minCores /
+                                      largeType().vcpus)));
+    cluster_.setReservedPool(
+        ctx_.provider.reserveDedicated(largeType(), poolSize_));
+}
+
+const cloud::InstanceType&
+HybridStrategy::odTypeFor(const JobSizing& s)
+{
+    const cloud::InstanceType* best = nullptr;
+    for (const auto& type : ctx_.catalog.types()) {
+        if (type.vcpus + 1e-9 < s.cores ||
+            type.memoryGb + 1e-9 < s.cores * s.memoryPerCore) {
+            continue;
+        }
+        if (!best)
+            best = &type; // smallest satisfying shape as the fallback
+        if (qualityTracker_.qualityAtConfidence(type, 0.90) + 1e-9 >
+            s.quality) {
+            return type;
+        }
+    }
+    return best ? *best : largeType();
+}
+
+MapTarget
+HybridStrategy::mapJob(const workload::Job& job, const JobSizing& s)
+{
+    (void)job;
+    const cloud::InstanceType& od_type =
+        mixed_ ? odTypeFor(s) : largeType();
+
+    MappingInputs in;
+    in.reservedUtilization = cluster_.reservedUtilization();
+    in.jobQuality = s.quality;
+    in.onDemandQ90 = qualityTracker_.qualityAtConfidence(od_type, 0.90);
+    in.softLimit = softLimit_.softLimit();
+    in.hardLimit = ctx_.config.hardLimit;
+    // Backlog-aware wait estimate: the Poisson single-slot wait scales
+    // with the number of jobs already queued ahead of this one.
+    in.estimatedQueueWait = queueEstimator_.waitQuantile(
+                                largeType(), 0.90, ctx_.simulator.now()) *
+        static_cast<double>(1 + reservedQueue_.size());
+    in.largeSpinUpMedian = ctx_.provider.spinUp().median(largeType());
+    in.rng = &rng_;
+    return decideMapping(ctx_.config.mappingPolicy, in);
+}
+
+void
+HybridStrategy::submit(workload::Job& job)
+{
+    const JobSizing s = sizeJob(job);
+    switch (mapJob(job, s)) {
+      case MapTarget::Reserved:
+        if (!tryPlaceReserved(job, s)) {
+            // Fragmentation can leave the pool unable to host the job
+            // even below the hard limit. Under the dynamic policy the
+            // hard-limit escape applies: overflow tolerant jobs, queue
+            // sensitive ones unless the wait beats a fresh large
+            // instance. Static policies simply queue, as in Figure 6.
+            if (ctx_.config.mappingPolicy == PolicyKind::P8Dynamic) {
+                const cloud::InstanceType& od_type =
+                    mixed_ ? pickSmallestType(s) : largeType();
+                const double q90 =
+                    qualityTracker_.qualityAtConfidence(od_type, 0.90);
+                const sim::Duration wait =
+                    queueEstimator_.waitQuantile(largeType(), 0.90,
+                                                 ctx_.simulator.now()) *
+                    static_cast<double>(1 + reservedQueue_.size());
+                if (q90 > s.quality) {
+                    submitOnDemand(job, s, /*forceLarge=*/false);
+                } else if (wait >
+                           ctx_.provider.spinUp().median(largeType())) {
+                    submitOnDemand(job, s, /*forceLarge=*/true);
+                } else {
+                    queueReserved(job);
+                }
+            } else {
+                queueReserved(job);
+            }
+        }
+        break;
+      case MapTarget::OnDemand:
+        submitOnDemand(job, s, /*forceLarge=*/false);
+        break;
+      case MapTarget::OnDemandLarge:
+        submitOnDemand(job, s, /*forceLarge=*/true);
+        break;
+      case MapTarget::QueueReserved:
+        queueReserved(job);
+        break;
+    }
+}
+
+void
+HybridStrategy::tick()
+{
+    Strategy::tick();
+    softLimit_.update(reservedQueue_.size(), ctx_.simulator.now());
+    // Queue-timeout escape (dynamic policy): a job whose actual queueing
+    // time has exceeded the instantiation overhead of a large on-demand
+    // instance takes that instance instead (Section 4.2).
+    if (ctx_.config.mappingPolicy != PolicyKind::P8Dynamic ||
+        reservedQueue_.empty()) {
+        return;
+    }
+    const sim::Time now = ctx_.simulator.now();
+    const sim::Duration limit =
+        1.5 * ctx_.provider.spinUp().median(largeType());
+    std::deque<workload::Job*> keep;
+    for (workload::Job* job : reservedQueue_) {
+        if (now - job->queuedAt > limit) {
+            const JobSizing s = sizeJob(*job);
+            submitOnDemand(*job, s, /*forceLarge=*/true);
+        } else {
+            keep.push_back(job);
+        }
+    }
+    reservedQueue_.swap(keep);
+}
+
+} // namespace hcloud::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * HF / HM: HCloud's hybrid provisioning strategies (Section 4).
+ *
+ * Reserved capacity is provisioned for the minimum steady-state load;
+ * overflow goes to on-demand resources. The configured mapping policy
+ * (P1-P8) decides per job between reserved and on-demand; the default
+ * dynamic policy (P8) uses an adaptive soft utilization limit, a hard
+ * limit, the Q90-vs-QT quality test against the on-demand type the job
+ * would receive, and a queue-wait escape hatch to large on-demand
+ * instances. HF uses full-server on-demand instances only; HM mixes
+ * smaller shapes for cost.
+ */
+
+#ifndef HCLOUD_CORE_HYBRID_HPP
+#define HCLOUD_CORE_HYBRID_HPP
+
+#include "core/on_demand.hpp"
+#include "core/soft_limit.hpp"
+
+namespace hcloud::core {
+
+/**
+ * The hybrid strategies (HF when !mixed, HM when mixed).
+ */
+class HybridStrategy : public OnDemandStrategy
+{
+  public:
+    HybridStrategy(EngineContext& ctx, bool mixed);
+
+    StrategyKind kind() const override
+    {
+        return mixed_ ? StrategyKind::HM : StrategyKind::HF;
+    }
+
+    void start(const workload::ArrivalTrace& trace) override;
+    void submit(workload::Job& job) override;
+    void tick() override;
+
+    /** Number of reserved instances provisioned. */
+    int poolSize() const { return poolSize_; }
+
+    /** Current soft utilization limit. */
+    double softLimit() const { return softLimit_.softLimit(); }
+
+    /** Soft-limit trajectory (Figure 9a). */
+    const sim::StepSeries& softLimitHistory() const
+    {
+        return softLimit_.history();
+    }
+
+  protected:
+    /**
+     * Quality-aware shape selection (Section 5.4): walk up the size
+     * ladder until the type's tracked Q90 meets the job's target quality,
+     * so overflow jobs land on instances that satisfy their QoS even if
+     * that means a larger instance.
+     */
+    const cloud::InstanceType& odTypeFor(const JobSizing& s) override;
+
+    bool packOnDemand() const override { return true; }
+
+  private:
+    /** Decide where the job goes under the configured mapping policy. */
+    MapTarget mapJob(const workload::Job& job, const JobSizing& s);
+
+    SoftLimitController softLimit_;
+    int poolSize_ = 0;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_HYBRID_HPP

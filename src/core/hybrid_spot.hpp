@@ -1,0 +1,70 @@
+/**
+ * @file
+ * HS: spot-augmented hybrid provisioning (Section 5.5 extension).
+ *
+ * The paper's future-work direction: "Incorporating spot instances in
+ * provisioning for non-critical tasks or jobs with very relaxed
+ * performance requirements can further improve cost-efficiency."
+ *
+ * HS extends HM with a third resource tier. Tolerant batch jobs (low
+ * estimated Q) that the dynamic policy would overflow to on-demand are
+ * instead bid onto spot capacity — full-server spot instances at a bid
+ * between the typical spot price and the on-demand rate. When the market
+ * reclaims an instance, its jobs are evicted and resubmitted through the
+ * normal mapping path (their accumulated batch progress is retained, as
+ * with checkpointed Hadoop tasks). Latency-critical and sensitive jobs
+ * never touch spot capacity.
+ */
+
+#ifndef HCLOUD_CORE_HYBRID_SPOT_HPP
+#define HCLOUD_CORE_HYBRID_SPOT_HPP
+
+#include "core/hybrid.hpp"
+
+namespace hcloud::core {
+
+/** HS-specific knobs. */
+struct SpotPolicyConfig
+{
+    /** Jobs with estimated Q above this never go to spot. */
+    double maxQuality = 0.60;
+    /** Bid as a fraction of the on-demand rate. */
+    double bidFraction = 0.60;
+    /** Skip spot while the market trades above this fraction. */
+    double maxEntryFraction = 0.55;
+};
+
+/**
+ * Hybrid + spot strategy.
+ */
+class HybridSpotStrategy : public HybridStrategy
+{
+  public:
+    HybridSpotStrategy(EngineContext& ctx,
+                       SpotPolicyConfig spotConfig = {});
+
+    /** Reported as HM for classification; the name distinguishes it. */
+    std::string name() const override { return "HS"; }
+
+    void submit(workload::Job& job) override;
+
+    /** Spot instances interrupted by the market so far. */
+    std::size_t interruptions() const { return interruptions_; }
+
+  private:
+    /** True when this job may run on interruptible capacity. */
+    bool spotEligible(const workload::Job& job, const JobSizing& s) const;
+
+    /** Place on (or acquire) spot capacity. */
+    void submitSpot(workload::Job& job, const JobSizing& s);
+
+    /** Evict every resident of a reclaimed instance and resubmit. */
+    void onSpotInterrupted(cloud::Instance* instance);
+
+    SpotPolicyConfig spotConfig_;
+    std::size_t interruptions_ = 0;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_HYBRID_SPOT_HPP

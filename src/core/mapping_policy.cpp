@@ -1,0 +1,118 @@
+#include "core/mapping_policy.hpp"
+
+#include <cassert>
+
+namespace hcloud::core {
+
+const char*
+toString(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::P1Random:
+        return "P1-random";
+      case PolicyKind::P2Q80:
+        return "P2-Q>80";
+      case PolicyKind::P3Q50:
+        return "P3-Q>50";
+      case PolicyKind::P4Q20:
+        return "P4-Q>20";
+      case PolicyKind::P5Load50:
+        return "P5-load<50";
+      case PolicyKind::P6Load70:
+        return "P6-load<70";
+      case PolicyKind::P7Load90:
+        return "P7-load<90";
+      case PolicyKind::P8Dynamic:
+        return "P8-dynamic";
+    }
+    return "?";
+}
+
+const char*
+toString(MapTarget target)
+{
+    switch (target) {
+      case MapTarget::Reserved:
+        return "reserved";
+      case MapTarget::OnDemand:
+        return "on-demand";
+      case MapTarget::OnDemandLarge:
+        return "on-demand-large";
+      case MapTarget::QueueReserved:
+        return "queue-reserved";
+    }
+    return "?";
+}
+
+namespace {
+
+MapTarget
+qualityThreshold(const MappingInputs& in, double threshold)
+{
+    return in.jobQuality > threshold ? MapTarget::Reserved
+                                     : MapTarget::OnDemand;
+}
+
+MapTarget
+loadLimit(const MappingInputs& in, double limit)
+{
+    return in.reservedUtilization < limit ? MapTarget::Reserved
+                                          : MapTarget::OnDemand;
+}
+
+/**
+ * HCloud's dynamic policy (Figure 8):
+ *  - below the soft limit, everything goes to reserved;
+ *  - between soft and hard, jobs whose needed quality the on-demand type
+ *    meets with 90% confidence overflow to on-demand, sensitive jobs stay
+ *    reserved;
+ *  - above the hard limit, insensitive jobs overflow and sensitive jobs
+ *    queue locally — unless the estimated queueing time exceeds the
+ *    spin-up of a large on-demand instance, in which case the job takes
+ *    the large on-demand escape hatch.
+ */
+MapTarget
+dynamicPolicy(const MappingInputs& in)
+{
+    const bool od_satisfies = in.onDemandQ90 + 1e-12 > in.jobQuality;
+    if (in.reservedUtilization < in.softLimit)
+        return MapTarget::Reserved;
+    if (in.reservedUtilization < in.hardLimit) {
+        return od_satisfies ? MapTarget::OnDemand : MapTarget::Reserved;
+    }
+    if (od_satisfies)
+        return MapTarget::OnDemand;
+    if (in.estimatedQueueWait > in.largeSpinUpMedian)
+        return MapTarget::OnDemandLarge;
+    return MapTarget::QueueReserved;
+}
+
+} // namespace
+
+MapTarget
+decideMapping(PolicyKind policy, const MappingInputs& in)
+{
+    switch (policy) {
+      case PolicyKind::P1Random:
+        assert(in.rng && "P1 needs a random stream");
+        return in.rng->bernoulli(0.5) ? MapTarget::Reserved
+                                      : MapTarget::OnDemand;
+      case PolicyKind::P2Q80:
+        return qualityThreshold(in, 0.80);
+      case PolicyKind::P3Q50:
+        return qualityThreshold(in, 0.50);
+      case PolicyKind::P4Q20:
+        return qualityThreshold(in, 0.20);
+      case PolicyKind::P5Load50:
+        return loadLimit(in, 0.50);
+      case PolicyKind::P6Load70:
+        return loadLimit(in, 0.70);
+      case PolicyKind::P7Load90:
+        return loadLimit(in, 0.90);
+      case PolicyKind::P8Dynamic:
+        return dynamicPolicy(in);
+    }
+    return MapTarget::Reserved;
+}
+
+} // namespace hcloud::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Application-mapping policies between reserved and on-demand resources.
+ *
+ * Implements the eight policies of Figures 6-7: random (P1), quality-score
+ * thresholds (P2-P4), static reserved-load limits (P5-P7), and HCloud's
+ * dynamic policy (P8, Figure 8) with its soft/hard utilization limits,
+ * the Q90-vs-QT quality test, and the queue-wait escape hatch to a large
+ * on-demand instance.
+ */
+
+#ifndef HCLOUD_CORE_MAPPING_POLICY_HPP
+#define HCLOUD_CORE_MAPPING_POLICY_HPP
+
+#include "core/types.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::core {
+
+/** Where the mapping policy sends a job. */
+enum class MapTarget
+{
+    Reserved,      ///< place on the reserved pool (queue if full)
+    OnDemand,      ///< place on the strategy's usual on-demand shape
+    OnDemandLarge, ///< escape hatch: force a full-server on-demand shape
+    QueueReserved, ///< hold in the local queue for reserved capacity
+};
+
+const char* toString(MapTarget target);
+
+/** Inputs the mapping decision consumes. */
+struct MappingInputs
+{
+    /** Current reserved-pool utilization in [0, 1]. */
+    double reservedUtilization = 0.0;
+    /** Target quality QT the job needs (its estimated Q). */
+    double jobQuality = 0.5;
+    /** Quality the candidate on-demand type delivers at 90% confidence. */
+    double onDemandQ90 = 0.9;
+    /** Dynamic policy: soft utilization limit (adapted by feedback). */
+    double softLimit = 0.65;
+    /** Dynamic policy: hard utilization limit. */
+    double hardLimit = 0.85;
+    /** Estimated p99 wait for reserved capacity of the needed size. */
+    sim::Duration estimatedQueueWait = 0.0;
+    /** Median spin-up of the large (16 vCPU) on-demand shape. */
+    sim::Duration largeSpinUpMedian = 15.0;
+    /** Random stream (P1 only). */
+    sim::Rng* rng = nullptr;
+};
+
+/** Decide where to map a job under the given policy. */
+MapTarget decideMapping(PolicyKind policy, const MappingInputs& in);
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_MAPPING_POLICY_HPP

@@ -1,0 +1,60 @@
+#include "core/on_demand.hpp"
+
+namespace hcloud::core {
+
+OnDemandStrategy::OnDemandStrategy(EngineContext& ctx, bool mixed)
+    : Strategy(ctx), mixed_(mixed)
+{
+}
+
+void
+OnDemandStrategy::start(const workload::ArrivalTrace& trace)
+{
+    (void)trace; // nothing to pre-provision
+}
+
+void
+OnDemandStrategy::submitOnDemand(workload::Job& job, const JobSizing& s,
+                                 bool forceLarge)
+{
+    if (!mixed_ || forceLarge) {
+        // Full servers only: pack onto an existing instance with room,
+        // otherwise acquire a fresh one.
+        cloud::Instance* inst =
+            findOnDemandRoom(s, &largeType(), /*requireIdle=*/false);
+        if (inst) {
+            assignToInstance(job, inst, s, /*reserved=*/false);
+        } else {
+            acquireFor(job, largeType(), s);
+        }
+        return;
+    }
+    // Mixed sizes: the smallest shape that satisfies the job (quality-
+    // upgraded for hybrids). Hybrids pack onto any live on-demand
+    // instance with room first; otherwise reuse a retained idle instance
+    // of a compatible shape, and only then acquire.
+    if (packOnDemand()) {
+        cloud::Instance* packed = findOnDemandRoom(
+            s, nullptr, /*requireIdle=*/false, /*anyShape=*/true);
+        if (packed) {
+            assignToInstance(job, packed, s, /*reserved=*/false);
+            return;
+        }
+    }
+    const cloud::InstanceType& type = odTypeFor(s);
+    cloud::Instance* inst = findOnDemandRoom(s, &type, /*requireIdle=*/true);
+    if (inst) {
+        assignToInstance(job, inst, s, /*reserved=*/false);
+    } else {
+        acquireFor(job, type, s);
+    }
+}
+
+void
+OnDemandStrategy::submit(workload::Job& job)
+{
+    const JobSizing s = sizeJob(job);
+    submitOnDemand(job, s, /*forceLarge=*/false);
+}
+
+} // namespace hcloud::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * OdF / OdM: fully on-demand provisioning (Section 3.2).
+ *
+ * OdF acquires only full-server (16 vCPU) instances, which are less prone
+ * to external interference, and packs jobs onto them. OdM requests the
+ * smallest instance size satisfying each job's demand — cheaper, but the
+ * small slices share machines with external tenants and suffer the
+ * unpredictability of Figures 1-2. Both retain idle instances for a
+ * multiple of the spin-up overhead.
+ */
+
+#ifndef HCLOUD_CORE_ON_DEMAND_HPP
+#define HCLOUD_CORE_ON_DEMAND_HPP
+
+#include "core/strategy.hpp"
+
+namespace hcloud::core {
+
+/**
+ * The fully on-demand strategies (OdF when !mixed, OdM when mixed).
+ */
+class OnDemandStrategy : public Strategy
+{
+  public:
+    OnDemandStrategy(EngineContext& ctx, bool mixed);
+
+    StrategyKind kind() const override
+    {
+        return mixed_ ? StrategyKind::OdM : StrategyKind::OdF;
+    }
+
+    void start(const workload::ArrivalTrace& trace) override;
+    void submit(workload::Job& job) override;
+    bool usesSmallOnDemand() const override { return mixed_; }
+
+  protected:
+    /** Place on (or acquire) on-demand capacity for the job. */
+    void submitOnDemand(workload::Job& job, const JobSizing& s,
+                        bool forceLarge);
+
+    /**
+     * On-demand shape for a job in mixed mode. OdM requests the smallest
+     * satisfying shape; HybridStrategy overrides this with a quality-
+     * aware upgrade.
+     */
+    virtual const cloud::InstanceType& odTypeFor(const JobSizing& s)
+    {
+        return pickSmallestType(s);
+    }
+
+    /**
+     * Whether mixed-size on-demand placement may pack jobs onto live
+     * instances with room. OdM keeps one job per instance (it sizes
+     * each instance to its job); HM packs to amortize upgrades.
+     */
+    virtual bool packOnDemand() const { return false; }
+
+    bool mixed_;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_ON_DEMAND_HPP

@@ -1,0 +1,63 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+
+namespace hcloud::core {
+
+namespace {
+
+bool
+usable(const cloud::Instance* i)
+{
+    return i->state() != cloud::InstanceState::Released && !i->faulty();
+}
+
+} // namespace
+
+double
+requiredQuality(double jobQualityScore)
+{
+    return 0.55 + 0.40 * std::clamp(jobQualityScore, 0.0, 1.0);
+}
+
+cloud::Instance*
+leastLoaded(const std::vector<cloud::Instance*>& pool, double cores)
+{
+    cloud::Instance* best = nullptr;
+    for (cloud::Instance* i : pool) {
+        if (!usable(i) || i->coresFree() + 1e-9 < cores)
+            continue;
+        if (!best || i->coresFree() > best->coresFree())
+            best = i;
+    }
+    return best;
+}
+
+cloud::Instance*
+qualityAwareFit(const std::vector<cloud::Instance*>& pool, double cores,
+                double sensitivity, double requiredQuality, sim::Time now)
+{
+    cloud::Instance* best_fit = nullptr;    // qualifies, tightest
+    cloud::Instance* best_quality = nullptr; // fallback: highest quality
+    double best_fit_free = 0.0;
+    double best_q = -1.0;
+    for (cloud::Instance* i : pool) {
+        if (!usable(i) || i->coresFree() + 1e-9 < cores)
+            continue;
+        const double q =
+            i->effectiveQuality(now, sensitivity, std::nullopt);
+        if (q > best_q) {
+            best_q = q;
+            best_quality = i;
+        }
+        if (q + 1e-9 >= requiredQuality) {
+            if (!best_fit || i->coresFree() < best_fit_free) {
+                best_fit = i;
+                best_fit_free = i->coresFree();
+            }
+        }
+    }
+    return best_fit ? best_fit : best_quality;
+}
+
+} // namespace hcloud::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Job-to-instance placement heuristics.
+ *
+ * Two placement modes, matching Section 3.3:
+ *  - leastLoaded: the naive baseline used when job preferences are
+ *    unknown — pick the instance with the most free cores;
+ *  - qualityAwareFit: Quasar-informed greedy search — among instances
+ *    whose expected delivered quality meets the job's requirement, pick
+ *    the tightest fit (least leftover capacity) to limit fragmentation;
+ *    falls back to the best-quality instance with room when none
+ *    qualifies.
+ */
+
+#ifndef HCLOUD_CORE_PLACEMENT_HPP
+#define HCLOUD_CORE_PLACEMENT_HPP
+
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::core {
+
+/**
+ * Delivered quality a job with quality score Q needs from an instance to
+ * satisfy its QoS: interpolates between tolerant (0.55) and demanding
+ * (0.95).
+ */
+double requiredQuality(double jobQualityScore);
+
+/** Instance with the most free cores that fits @p cores, else nullptr. */
+cloud::Instance* leastLoaded(const std::vector<cloud::Instance*>& pool,
+                             double cores);
+
+/**
+ * Quality-aware tightest fit.
+ *
+ * @param pool Candidate instances.
+ * @param cores Cores the job needs.
+ * @param sensitivity Job's scalar interference sensitivity estimate.
+ * @param requiredQuality Minimum expected effective quality.
+ * @param now Current time (quality is evaluated at @p now).
+ * @return Chosen instance, or nullptr when nothing fits at all.
+ */
+cloud::Instance* qualityAwareFit(const std::vector<cloud::Instance*>& pool,
+                                 double cores, double sensitivity,
+                                 double requiredQuality, sim::Time now);
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_PLACEMENT_HPP

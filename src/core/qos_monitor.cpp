@@ -1,0 +1,35 @@
+#include "core/qos_monitor.hpp"
+
+namespace hcloud::core {
+
+QosMonitor::QosMonitor(int violationThreshold, int maxReschedules)
+    : threshold_(violationThreshold), maxReschedules_(maxReschedules)
+{
+}
+
+QosAction
+QosMonitor::check(sim::JobId job, bool violating, bool canBoost,
+                  int reschedulesSoFar)
+{
+    if (!violating) {
+        streak_.erase(job);
+        return QosAction::None;
+    }
+    int& count = streak_[job];
+    if (++count < threshold_)
+        return QosAction::None;
+    count = 0;
+    if (canBoost)
+        return QosAction::Boost;
+    if (reschedulesSoFar < maxReschedules_)
+        return QosAction::Reschedule;
+    return QosAction::None;
+}
+
+void
+QosMonitor::forget(sim::JobId job)
+{
+    streak_.erase(job);
+}
+
+} // namespace hcloud::core

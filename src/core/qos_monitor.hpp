@@ -1,0 +1,63 @@
+/**
+ * @file
+ * QoS monitor (Section 3.3): detect sustained QoS violations and escalate
+ * from local actions (growing the allocation in place) to rescheduling.
+ */
+
+#ifndef HCLOUD_CORE_QOS_MONITOR_HPP
+#define HCLOUD_CORE_QOS_MONITOR_HPP
+
+#include <map>
+
+#include "sim/types.hpp"
+
+namespace hcloud::core {
+
+/** Action the monitor requests for a violating job. */
+enum class QosAction
+{
+    None,       ///< keep watching
+    Boost,      ///< grow the allocation on the current instance
+    Reschedule, ///< move the job elsewhere (last resort)
+};
+
+/**
+ * Tracks consecutive QoS violations per job and escalates.
+ */
+class QosMonitor
+{
+  public:
+    /**
+     * @param violationThreshold Consecutive violating checks before
+     *        acting.
+     * @param maxReschedules Rescheduling budget per job.
+     */
+    explicit QosMonitor(int violationThreshold = 12,
+                        int maxReschedules = 1);
+
+    /**
+     * Feed one check result for a running job.
+     *
+     * @param job Job id.
+     * @param violating True when the job currently misses its QoS.
+     * @param canBoost True when the hosting instance has spare cores.
+     * @param reschedulesSoFar How many times the job has been moved.
+     */
+    QosAction check(sim::JobId job, bool violating, bool canBoost,
+                    int reschedulesSoFar);
+
+    /** Drop state for a finished job. */
+    void forget(sim::JobId job);
+
+    /** Number of jobs currently tracked as violating. */
+    std::size_t tracked() const { return streak_.size(); }
+
+  private:
+    int threshold_;
+    int maxReschedules_;
+    std::map<sim::JobId, int> streak_;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_QOS_MONITOR_HPP

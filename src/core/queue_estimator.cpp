@@ -1,0 +1,79 @@
+#include "core/queue_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcloud::core {
+
+void
+QueueEstimator::recordRelease(const cloud::InstanceType& type, sim::Time t)
+{
+    TypeState& s = types_[type.name];
+    s.releases.push_back(t);
+    if (s.releases.size() > kMaxEvents)
+        s.releases.pop_front();
+}
+
+void
+QueueEstimator::recordMeasuredWait(const cloud::InstanceType& type,
+                                   sim::Duration wait)
+{
+    types_[type.name].measured.add(wait);
+}
+
+void
+QueueEstimator::prune(TypeState& state, sim::Time now) const
+{
+    while (!state.releases.empty() &&
+           state.releases.front() < now - kWindow) {
+        state.releases.pop_front();
+    }
+}
+
+double
+QueueEstimator::releaseRate(const cloud::InstanceType& type,
+                            sim::Time now) const
+{
+    auto it = types_.find(type.name);
+    if (it == types_.end())
+        return 0.0;
+    prune(it->second, now);
+    const auto& rel = it->second.releases;
+    if (rel.size() < 2)
+        return 0.0;
+    const sim::Duration span =
+        std::max(now - rel.front(), rel.back() - rel.front());
+    if (span <= 0.0)
+        return 0.0;
+    return static_cast<double>(rel.size() - 1) / span;
+}
+
+sim::Duration
+QueueEstimator::waitQuantile(const cloud::InstanceType& type, double p,
+                             sim::Time now) const
+{
+    const double rate = releaseRate(type, now);
+    if (rate <= 0.0)
+        return sim::kTimeNever;
+    return -std::log(1.0 - std::clamp(p, 0.0, 0.999999)) / rate;
+}
+
+double
+QueueEstimator::probAvailableWithin(const cloud::InstanceType& type,
+                                    sim::Duration x, sim::Time now) const
+{
+    const double rate = releaseRate(type, now);
+    if (rate <= 0.0)
+        return 0.0;
+    return 1.0 - std::exp(-rate * std::max(x, 0.0));
+}
+
+const sim::SampleSet&
+QueueEstimator::measuredWaits(const cloud::InstanceType& type) const
+{
+    static const sim::SampleSet kEmpty;
+    auto it = types_.find(type.name);
+    return it == types_.end() ? kEmpty : it->second.measured;
+}
+
+} // namespace hcloud::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Queueing-time estimator (Section 4.2, Figure 9b).
+ *
+ * The dynamic mapping policy needs to know how long a queued job would
+ * wait for capacity of a given instance type. The estimator watches the
+ * rate at which capacity of each type is released over a sliding window
+ * and models availability as a Poisson process, giving
+ *   P[instance of type T available within x] = 1 - exp(-lambda_T x).
+ * Measured waits are also recorded so the estimate can be validated
+ * against the empirical CDF (the dots vs lines of Figure 9b).
+ */
+
+#ifndef HCLOUD_CORE_QUEUE_ESTIMATOR_HPP
+#define HCLOUD_CORE_QUEUE_ESTIMATOR_HPP
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "cloud/instance_type.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::core {
+
+/**
+ * Per-instance-type capacity-release tracker and wait estimator.
+ */
+class QueueEstimator
+{
+  public:
+    /** Releases older than this are dropped from the window. */
+    static constexpr sim::Duration kWindow = 600.0;
+    /** Maximum retained release events per type. */
+    static constexpr std::size_t kMaxEvents = 256;
+
+    /** Record that capacity of @p type became available at @p t. */
+    void recordRelease(const cloud::InstanceType& type, sim::Time t);
+
+    /** Record a measured queueing wait (for validation). */
+    void recordMeasuredWait(const cloud::InstanceType& type,
+                            sim::Duration wait);
+
+    /** Estimated release rate (events/sec) of @p type at time @p now. */
+    double releaseRate(const cloud::InstanceType& type,
+                       sim::Time now) const;
+
+    /**
+     * Wait such that capacity arrives within it with probability @p p.
+     * Returns kTimeNever when no release has been observed.
+     */
+    sim::Duration waitQuantile(const cloud::InstanceType& type, double p,
+                               sim::Time now) const;
+
+    /** P[capacity of @p type available within @p x seconds]. */
+    double probAvailableWithin(const cloud::InstanceType& type,
+                               sim::Duration x, sim::Time now) const;
+
+    /** Measured waits recorded for @p type (empty set if none). */
+    const sim::SampleSet& measuredWaits(
+        const cloud::InstanceType& type) const;
+
+  private:
+    struct TypeState
+    {
+        std::deque<sim::Time> releases;
+        sim::SampleSet measured;
+    };
+
+    void prune(TypeState& state, sim::Time now) const;
+
+    mutable std::map<std::string, TypeState> types_;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_QUEUE_ESTIMATOR_HPP

@@ -1,0 +1,44 @@
+#include "core/retention.hpp"
+
+#include <cmath>
+
+namespace hcloud::core {
+
+RetentionPolicy::RetentionPolicy(double multiple, double qualityThreshold)
+    : multiple_(multiple), qualityThreshold_(qualityThreshold)
+{
+}
+
+sim::Duration
+RetentionPolicy::retention(const cloud::InstanceType& type,
+                           const cloud::SpinUpModel& spinUp) const
+{
+    return multiple_ * spinUp.median(type);
+}
+
+bool
+RetentionPolicy::retainWorthy(cloud::Instance& instance, sim::Time now) const
+{
+    if (instance.faulty())
+        return false;
+    return instance.baseQuality(now) >= qualityThreshold_;
+}
+
+bool
+RetentionPolicy::shouldRelease(cloud::Instance& instance,
+                               const cloud::SpinUpModel& spinUp,
+                               sim::Time now) const
+{
+    if (!instance.idle() ||
+        instance.state() == cloud::InstanceState::Released) {
+        return false;
+    }
+    if (instance.state() == cloud::InstanceState::SpinningUp)
+        return false; // still materializing; let it arrive first
+    if (!retainWorthy(instance, now))
+        return true;
+    const sim::Duration idle_for = now - instance.idleSince();
+    return idle_for >= retention(instance.type(), spinUp);
+}
+
+} // namespace hcloud::core

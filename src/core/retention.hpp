@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Idle-instance retention policy.
+ *
+ * Section 3.2: acquired on-demand instances are retained for a while after
+ * their jobs complete, to amortize spin-up overheads — by default 10x the
+ * spin-up overhead of the instance's size (the Figure 15 sweep varies the
+ * multiple). Only instances that provide predictably high performance are
+ * retained; poorly-behaved ones are released immediately on idle.
+ */
+
+#ifndef HCLOUD_CORE_RETENTION_HPP
+#define HCLOUD_CORE_RETENTION_HPP
+
+#include "cloud/instance.hpp"
+#include "cloud/spin_up.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::core {
+
+/**
+ * Decides how long idle on-demand instances are kept.
+ */
+class RetentionPolicy
+{
+  public:
+    /**
+     * @param multiple Retention time as a multiple of the spin-up median.
+     * @param qualityThreshold Observed base quality below which an idle
+     *        instance is released immediately.
+     */
+    RetentionPolicy(double multiple, double qualityThreshold);
+
+    /** Retention period for the given shape. */
+    sim::Duration retention(const cloud::InstanceType& type,
+                            const cloud::SpinUpModel& spinUp) const;
+
+    /** True when the instance is worth keeping around while idle. */
+    bool retainWorthy(cloud::Instance& instance, sim::Time now) const;
+
+    /** True when an idle instance has exceeded its retention and should
+     *  be released now. */
+    bool shouldRelease(cloud::Instance& instance,
+                       const cloud::SpinUpModel& spinUp,
+                       sim::Time now) const;
+
+    double multiple() const { return multiple_; }
+
+  private:
+    double multiple_;
+    double qualityThreshold_;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_RETENTION_HPP

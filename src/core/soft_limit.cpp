@@ -1,0 +1,47 @@
+#include "core/soft_limit.hpp"
+
+#include <algorithm>
+
+namespace hcloud::core {
+
+namespace {
+
+sim::FeedbackConfig
+makeConfig()
+{
+    sim::FeedbackConfig cfg;
+    cfg.gain = 0.004;      // limit drop per queued job per update
+    cfg.outputMin = SoftLimitController::kMin;
+    cfg.outputMax = SoftLimitController::kMax;
+    cfg.maxStep = 0.015;
+    return cfg;
+}
+
+} // namespace
+
+SoftLimitController::SoftLimitController()
+    : controller_(makeConfig(), kInitial)
+{
+    history_.record(0.0, kInitial);
+}
+
+void
+SoftLimitController::update(std::size_t queueLength, sim::Time now)
+{
+    if (queueLength == 0) {
+        // Recovery: after a sustained calm period, admit more work.
+        if (++calmStreak_ >= 2) {
+            controller_.update(/*setpoint=*/3.0, /*measurement=*/0.0);
+            calmStreak_ = 0;
+        }
+    } else {
+        calmStreak_ = 0;
+        // Queue pressure: setpoint 0 queued jobs; the error is negative,
+        // pushing the limit down proportionally to the backlog.
+        controller_.update(/*setpoint=*/0.0,
+                           /*measurement=*/static_cast<double>(queueLength));
+    }
+    history_.record(now, controller_.output());
+}
+
+} // namespace hcloud::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Adaptive soft utilization limit (Section 4.2, Figure 9a).
+ *
+ * The reserved pool's soft limit is adjusted by a simple feedback loop
+ * with linear transfer functions: when queued jobs accumulate, the
+ * reserved pool becomes more selective (the limit drops); after sustained
+ * periods with an empty queue the limit creeps back up.
+ */
+
+#ifndef HCLOUD_CORE_SOFT_LIMIT_HPP
+#define HCLOUD_CORE_SOFT_LIMIT_HPP
+
+#include "sim/feedback.hpp"
+#include "sim/timeseries.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::core {
+
+/**
+ * Feedback controller for the reserved-pool soft utilization limit.
+ */
+class SoftLimitController
+{
+  public:
+    /** Experimental operating point from the paper (60-65%). */
+    static constexpr double kInitial = 0.65;
+    /** Adaptation range (Figure 9a shows ~36-78%; the ceiling sits a
+     *  little above so steady-state reserved utilization reaches the
+     *  paper's ~80%). */
+    static constexpr double kMin = 0.36;
+    static constexpr double kMax = 0.86;
+
+    SoftLimitController();
+
+    /**
+     * Feed one observation.
+     *
+     * @param queueLength Jobs currently queued for reserved capacity.
+     * @param now Current time (recorded for the Figure 9a series).
+     */
+    void update(std::size_t queueLength, sim::Time now);
+
+    double softLimit() const { return controller_.output(); }
+
+    /** Soft-limit trajectory over the run. */
+    const sim::StepSeries& history() const { return history_; }
+
+  private:
+    sim::LinearFeedbackController controller_;
+    sim::StepSeries history_;
+    /** Consecutive empty-queue updates (drives the slow recovery). */
+    std::size_t calmStreak_ = 0;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_SOFT_LIMIT_HPP

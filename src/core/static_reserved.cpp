@@ -1,0 +1,34 @@
+#include "core/static_reserved.hpp"
+
+#include <cmath>
+
+namespace hcloud::core {
+
+StaticReservedStrategy::StaticReservedStrategy(EngineContext& ctx)
+    : Strategy(ctx)
+{
+}
+
+void
+StaticReservedStrategy::start(const workload::ArrivalTrace& trace)
+{
+    // The paper assumes the min/max aggregate load of a scenario is known
+    // (Section 1); SR sizes for the peak plus overprovisioning.
+    const workload::TraceStats stats = trace.stats();
+    const double peak =
+        stats.maxCores * (1.0 + ctx_.config.reservedOverprovision);
+    poolSize_ = std::max(
+        1, static_cast<int>(std::ceil(peak / largeType().vcpus)));
+    cluster_.setReservedPool(
+        ctx_.provider.reserveDedicated(largeType(), poolSize_));
+}
+
+void
+StaticReservedStrategy::submit(workload::Job& job)
+{
+    const JobSizing s = sizeJob(job);
+    if (!tryPlaceReserved(job, s))
+        queueReserved(job);
+}
+
+} // namespace hcloud::core

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SR: statically-reserved provisioning (Section 3.1).
+ *
+ * Provisions dedicated full-server instances for the scenario's peak
+ * requirement plus a small overprovisioning margin (latency-critical jobs
+ * misbehave on nearly-saturated resources), then schedules every job on
+ * the pool — greedy quality-aware with profiling, least-loaded without —
+ * queueing jobs when the pool is full.
+ */
+
+#ifndef HCLOUD_CORE_STATIC_RESERVED_HPP
+#define HCLOUD_CORE_STATIC_RESERVED_HPP
+
+#include "core/strategy.hpp"
+
+namespace hcloud::core {
+
+/**
+ * The fully-reserved strategy.
+ */
+class StaticReservedStrategy : public Strategy
+{
+  public:
+    explicit StaticReservedStrategy(EngineContext& ctx);
+
+    StrategyKind kind() const override { return StrategyKind::SR; }
+
+    void start(const workload::ArrivalTrace& trace) override;
+    void submit(workload::Job& job) override;
+
+    /** Number of reserved instances provisioned. */
+    int poolSize() const { return poolSize_; }
+
+  private:
+    int poolSize_ = 0;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_STATIC_RESERVED_HPP

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Provisioning strategies (Table 3): shared machinery and the interface
+ * the engine drives.
+ *
+ * A strategy decides (a) how many resources a job receives (via Quasar
+ * estimates or user defaults), (b) whether it runs on reserved or
+ * on-demand capacity, and (c) which instance hosts it. The engine owns
+ * job progress; strategies own placement, acquisition, queueing,
+ * retention and QoS reactions.
+ */
+
+#ifndef HCLOUD_CORE_STRATEGY_HPP
+#define HCLOUD_CORE_STRATEGY_HPP
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "core/cluster.hpp"
+#include "core/mapping_policy.hpp"
+#include "core/metrics.hpp"
+#include "core/placement.hpp"
+#include "core/qos_monitor.hpp"
+#include "core/queue_estimator.hpp"
+#include "core/quality_tracker.hpp"
+#include "core/retention.hpp"
+#include "core/soft_limit.hpp"
+#include "core/types.hpp"
+#include "profiling/quasar.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace hcloud::core {
+
+const char* toString(StrategyKind kind);
+
+/** Everything a strategy needs from its environment. */
+struct EngineContext
+{
+    sim::Simulator& simulator;
+    cloud::CloudProvider& provider;
+    const cloud::InstanceTypeCatalog& catalog;
+    profiling::Quasar& quasar;
+    MetricsCollector& metrics;
+    const EngineConfig& config;
+    /** Invoked when a job transitions to Running. */
+    std::function<void(workload::Job&)> onJobStarted;
+};
+
+/** Resource sizing decided for one job. */
+struct JobSizing
+{
+    double cores = 1.0;
+    double memoryPerCore = 1.5;
+    /** Target quality QT (estimated Q, or a default without profiling). */
+    double quality = 0.5;
+    /** Scalar interference-sensitivity estimate. */
+    double sensitivity = 0.5;
+    /** Scalar pressure estimate. */
+    double pressure = 0.5;
+};
+
+/**
+ * Abstract strategy plus the machinery every concrete strategy shares.
+ */
+class Strategy
+{
+  public:
+    explicit Strategy(EngineContext& ctx);
+    virtual ~Strategy() = default;
+
+    Strategy(const Strategy&) = delete;
+    Strategy& operator=(const Strategy&) = delete;
+
+    virtual StrategyKind kind() const = 0;
+    virtual std::string name() const { return toString(kind()); }
+
+    /**
+     * True when the strategy places work on small shared instances,
+     * which degrades profiling accuracy (Section 3.3).
+     */
+    virtual bool usesSmallOnDemand() const { return false; }
+
+    /** Build the reserved pool (if any) before arrivals begin. */
+    virtual void start(const workload::ArrivalTrace& trace) = 0;
+
+    /** Map and place a newly-arrived (or rescheduled) job. */
+    virtual void submit(workload::Job& job) = 0;
+
+    /** Called by the engine when a job finishes (completed or failed). */
+    void jobCompleted(workload::Job& job);
+
+    /** Periodic housekeeping: retention, queue draining, controllers. */
+    virtual void tick();
+
+    /** Feed one QoS check result; may boost or reschedule the job. */
+    void qosCheck(workload::Job& job, bool violating);
+
+    ClusterState& cluster() { return cluster_; }
+    const ClusterState& cluster() const { return cluster_; }
+    std::size_t reservedQueueLength() const
+    {
+        return reservedQueue_.size();
+    }
+    const QueueEstimator& queueEstimator() const { return queueEstimator_; }
+    const QualityTracker& qualityTracker() const { return qualityTracker_; }
+
+  protected:
+    /** Decide the job's resources: Quasar estimate or user defaults. */
+    JobSizing sizeJob(const workload::Job& job);
+
+    /** The sizing previously decided for a job (sizeJob caches). */
+    const JobSizing& sizingOf(const workload::Job& job) const;
+
+    /** Try placing on the reserved pool. @return true on success. */
+    bool tryPlaceReserved(workload::Job& job, const JobSizing& s);
+
+    /** Enqueue for reserved capacity (FIFO, drained on completions). */
+    void queueReserved(workload::Job& job);
+
+    /** Place every queued job that now fits. */
+    void drainReservedQueue();
+
+    /**
+     * Live on-demand instance able to host the job: free cores, matching
+     * @p type (nullptr = any full-server standard shape), quality
+     * adequate when profiling is on.
+     */
+    cloud::Instance* findOnDemandRoom(const JobSizing& s,
+                                      const cloud::InstanceType* type,
+                                      bool requireIdle,
+                                      bool anyShape = false);
+
+    /** Bind the job to an instance (starts it if already running). */
+    void assignToInstance(workload::Job& job, cloud::Instance* instance,
+                          const JobSizing& s, bool reserved);
+
+    /** Acquire a new on-demand instance and bind the job to it. */
+    void acquireFor(workload::Job& job, const cloud::InstanceType& type,
+                    const JobSizing& s);
+
+    /** Smallest shape fitting the sizing (OdM/HM path). */
+    const cloud::InstanceType& pickSmallestType(const JobSizing& s) const;
+
+    /** Full-server standard shape. */
+    const cloud::InstanceType& largeType() const { return *large_; }
+
+    /** Release an idle on-demand instance back to the provider. */
+    void releaseInstance(cloud::Instance* instance);
+
+    /** Transition the job to Running and notify the engine. */
+    void startJob(workload::Job& job);
+
+    /** Start the pending jobs of an instance that finished spinning up. */
+    void onInstanceReady(cloud::Instance* instance);
+
+    EngineContext& ctx_;
+    ClusterState cluster_;
+    RetentionPolicy retention_;
+    QueueEstimator queueEstimator_;
+    QualityTracker qualityTracker_;
+    QosMonitor qosMonitor_;
+    sim::Rng rng_;
+
+    std::deque<workload::Job*> reservedQueue_;
+    /** Jobs bound to an instance that is still spinning up. */
+    std::map<sim::InstanceId, std::vector<workload::Job*>> pending_;
+    std::map<sim::JobId, JobSizing> sizings_;
+    /** All live jobs this strategy has seen, for eviction handling. */
+    std::map<sim::JobId, workload::Job*> jobIndex_;
+
+  private:
+    void handleRetention();
+
+    const cloud::InstanceType* large_;
+    std::size_t tickCount_ = 0;
+};
+
+/** Construct the strategy implementing @p kind. */
+std::unique_ptr<Strategy> makeStrategy(StrategyKind kind,
+                                       EngineContext& ctx);
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_STRATEGY_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Core-layer shared types: engine configuration and strategy identifiers.
+ */
+
+#ifndef HCLOUD_CORE_TYPES_HPP
+#define HCLOUD_CORE_TYPES_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cloud/external_load.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::core {
+
+/** The five provisioning strategies of Table 3. */
+enum class StrategyKind
+{
+    SR,  ///< statically reserved
+    OdF, ///< on-demand, full servers only
+    OdM, ///< on-demand, mixed instance sizes
+    HF,  ///< hybrid, full-server on-demand
+    HM,  ///< hybrid, mixed on-demand
+};
+
+const char* toString(StrategyKind kind);
+
+/** All strategies, for iteration. */
+inline constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::SR, StrategyKind::OdF, StrategyKind::OdM,
+    StrategyKind::HF, StrategyKind::HM,
+};
+
+/** Application-mapping policies examined in Figures 6-7. */
+enum class PolicyKind
+{
+    P1Random,  ///< fair coin
+    P2Q80,     ///< Q > 80% to reserved
+    P3Q50,     ///< Q > 50% to reserved
+    P4Q20,     ///< Q > 20% to reserved
+    P5Load50,  ///< reserved while load < 50%
+    P6Load70,  ///< reserved while load < 70%
+    P7Load90,  ///< reserved while load < 90%
+    P8Dynamic, ///< HCloud's dynamic policy (Figure 8)
+};
+
+const char* toString(PolicyKind kind);
+
+inline constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::P1Random, PolicyKind::P2Q80,   PolicyKind::P3Q50,
+    PolicyKind::P4Q20,    PolicyKind::P5Load50, PolicyKind::P6Load70,
+    PolicyKind::P7Load90, PolicyKind::P8Dynamic,
+};
+
+/** Per-run engine configuration. */
+struct EngineConfig
+{
+    std::uint64_t seed = 1;
+
+    /** Use Quasar profiling/classification (vs user-supplied sizing). */
+    bool useProfiling = true;
+    /** Profiling observation noise; raised in noisy environments. */
+    double observationNoise = 0.05;
+
+    /** External-tenant load on shared machines (Figure 14b knob). */
+    cloud::ExternalLoadConfig externalLoad{};
+    /** Spin-up scale multiplier (Figure 14a knob). */
+    double spinUpScale = 1.0;
+    /** Fixed spin-up override in seconds (Figure 14a sweep). */
+    std::optional<sim::Duration> spinUpFixed;
+
+    /** Idle-instance retention, in multiples of the spin-up median. */
+    double retentionMultiple = 10.0;
+    /** Idle instances below this observed quality release immediately. */
+    double qualityRetentionThreshold = 0.70;
+
+    /** SR: overprovisioning factor above the scenario peak. */
+    double reservedOverprovision = 0.15;
+
+    /** Hybrid: job-mapping policy. */
+    PolicyKind mappingPolicy = PolicyKind::P8Dynamic;
+    /** Hybrid: hard reserved-utilization limit (Figure 8). */
+    double hardLimit = 0.92;
+
+    /** Engine tick for progress integration and housekeeping. */
+    sim::Duration tick = 2.0;
+    /** Per-instance utilization sampling period (Figures 19-20). */
+    sim::Duration utilizationSample = 30.0;
+    /** Safety cap on simulated runtime. */
+    sim::Duration maxRuntime = sim::hours(12.0);
+
+    /** Enable the QoS monitor (local boost, then reschedule). */
+    bool qosMonitoring = true;
+};
+
+} // namespace hcloud::core
+
+#endif // HCLOUD_CORE_TYPES_HPP

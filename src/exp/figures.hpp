@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure/table drivers: one function per paper figure or table.
+ *
+ * Each driver runs the experiments behind a figure and prints the same
+ * rows/series the paper reports, plus paper-vs-measured comparison lines
+ * where the paper states a number. Bench binaries are thin wrappers over
+ * these functions (one binary per figure).
+ */
+
+#ifndef HCLOUD_EXP_FIGURES_HPP
+#define HCLOUD_EXP_FIGURES_HPP
+
+#include "exp/runner.hpp"
+
+namespace hcloud::exp {
+
+// Section 1 motivation.
+void fig01VariabilityBatch(const ExperimentOptions& opt);
+void fig02VariabilityMemcached(const ExperimentOptions& opt);
+
+// Workload characterization.
+void table1StrategyMatrix();
+void table2Scenarios(const ExperimentOptions& opt);
+
+// Baseline provisioning strategies (Section 3).
+void fig04BaselinePerf(Runner& runner);
+void fig05BaselineCost(Runner& runner);
+
+// Mapping-policy study (Section 4.2).
+void fig06PolicyPerf(Runner& runner);
+void fig07PolicyUtilCost(Runner& runner);
+void fig09DynamicPolicy(Runner& runner);
+
+// Hybrid strategies (Section 4.3).
+void fig10HybridPerf(Runner& runner);
+void fig11HybridCost(Runner& runner);
+
+// Sensitivity analyses (Section 5.1).
+void fig12PriceRatio(Runner& runner);
+void fig13Duration(Runner& runner);
+void fig14SpinUpAndExternalLoad(Runner& runner);
+void fig15Retention(Runner& runner);
+void fig16SensitiveApps(Runner& runner);
+
+// Pricing models and resource efficiency (Sections 5.3-5.4).
+void fig17PricingModels(Runner& runner);
+void fig18Allocation(Runner& runner);
+void fig19And20Utilization(Runner& runner);
+void fig21Breakdown(Runner& runner);
+
+} // namespace hcloud::exp
+
+#endif // HCLOUD_EXP_FIGURES_HPP

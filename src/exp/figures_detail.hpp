@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Helpers shared between the figure-driver translation units.
+ */
+
+#ifndef HCLOUD_EXP_FIGURES_DETAIL_HPP
+#define HCLOUD_EXP_FIGURES_DETAIL_HPP
+
+#include <vector>
+
+#include "cloud/pricing.hpp"
+#include "core/types.hpp"
+#include "exp/runner.hpp"
+
+namespace hcloud::exp::detail {
+
+/** Normalized-cost denominator: the static scenario under SR. */
+double staticSrCost(Runner& runner, const cloud::PricingModel& pricing);
+
+/** p5 of the per-job normalized-performance distribution ("tail perf"). */
+double tailPerf(const core::RunResult& r);
+
+/** Shared body for the Figure 4 / Figure 10 performance panels. */
+void perfPanel(Runner& runner,
+               const std::vector<core::StrategyKind>& strategies);
+
+/** Shared body for the Figure 5 / Figure 11 cost panels. */
+void costPanel(Runner& runner,
+               const std::vector<core::StrategyKind>& strategies);
+
+} // namespace hcloud::exp::detail
+
+#endif // HCLOUD_EXP_FIGURES_DETAIL_HPP

@@ -1,0 +1,80 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hcloud::exp {
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+printHeader(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void
+printTable(const std::vector<std::string>& header,
+           const std::vector<std::vector<std::string>>& rows)
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto& row : rows) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : "";
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        cell.c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(header);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows)
+        print_row(row);
+}
+
+std::vector<std::string>
+boxplotRow(const std::string& label, const sim::BoxplotSummary& b,
+           int precision)
+{
+    return {label,
+            fmt(b.p5, precision),
+            fmt(b.p25, precision),
+            fmt(b.mean, precision),
+            fmt(b.p75, precision),
+            fmt(b.p95, precision)};
+}
+
+void
+printSeries(const std::string& label, const sim::StepSeries& series,
+            double t0, double t1, std::size_t points, double valueScale)
+{
+    std::printf("%s:\n", label.c_str());
+    for (const auto& p : series.resample(t0, t1, points)) {
+        std::printf("  t=%7.1fs  %10.2f\n", p.t, p.v * valueScale);
+    }
+}
+
+void
+printClaim(const std::string& label, const std::string& paper,
+           const std::string& measured)
+{
+    std::printf("%-46s paper %-12s measured %s\n", label.c_str(),
+                paper.c_str(), measured.c_str());
+}
+
+} // namespace hcloud::exp

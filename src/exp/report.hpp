@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text reporting helpers: aligned tables, boxplot rows, series
+ * dumps, and paper-vs-measured comparison lines.
+ */
+
+#ifndef HCLOUD_EXP_REPORT_HPP
+#define HCLOUD_EXP_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/timeseries.hpp"
+
+namespace hcloud::exp {
+
+/** Format a double with the given precision. */
+std::string fmt(double v, int precision = 2);
+
+/** Section banner. */
+void printHeader(const std::string& title);
+
+/** Aligned table: header row plus data rows. */
+void printTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/** One boxplot row (p5 / p25 / mean / p75 / p95), paper-figure style. */
+std::vector<std::string> boxplotRow(const std::string& label,
+                                    const sim::BoxplotSummary& b,
+                                    int precision = 1);
+
+/** Dump a step series resampled on @p points grid points. */
+void printSeries(const std::string& label, const sim::StepSeries& series,
+                 double t0, double t1, std::size_t points,
+                 double valueScale = 1.0);
+
+/**
+ * Paper-vs-measured comparison line, e.g.
+ *   "hybrid vs on-demand speedup    paper ~2.1x   measured 2.3x".
+ */
+void printClaim(const std::string& label, const std::string& paper,
+                const std::string& measured);
+
+} // namespace hcloud::exp
+
+#endif // HCLOUD_EXP_REPORT_HPP

@@ -1,0 +1,54 @@
+#include "exp/runner.hpp"
+
+namespace hcloud::exp {
+
+Runner::Runner(ExperimentOptions options, core::EngineConfig baseConfig)
+    : options_(options), baseConfig_(baseConfig)
+{
+    baseConfig_.seed = options.seed;
+}
+
+const workload::ArrivalTrace&
+Runner::trace(workload::ScenarioKind scenario)
+{
+    auto it = traces_.find(scenario);
+    if (it == traces_.end()) {
+        workload::ScenarioConfig cfg;
+        cfg.kind = scenario;
+        cfg.seed = options_.seed;
+        cfg.loadScale = options_.loadScale;
+        it = traces_.emplace(scenario, workload::generateScenario(cfg))
+                 .first;
+    }
+    return it->second;
+}
+
+const core::RunResult&
+Runner::run(workload::ScenarioKind scenario, core::StrategyKind strategy,
+            bool profiling)
+{
+    const auto key = std::make_tuple(scenario, strategy, profiling);
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+        core::EngineConfig cfg = baseConfig_;
+        cfg.useProfiling = profiling;
+        core::Engine engine(cfg);
+        it = results_
+                 .emplace(key, engine.run(trace(scenario), strategy,
+                                          workload::toString(scenario)))
+                 .first;
+    }
+    return it->second;
+}
+
+core::RunResult
+Runner::runWith(workload::ScenarioKind scenario,
+                core::StrategyKind strategy,
+                const core::EngineConfig& config)
+{
+    core::Engine engine(config);
+    return engine.run(trace(scenario), strategy,
+                      workload::toString(scenario));
+}
+
+} // namespace hcloud::exp

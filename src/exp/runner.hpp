@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Runner: memoized (scenario x strategy x profiling) run matrix.
+ *
+ * Several figures share runs (e.g. the cost figures re-price the runs of
+ * the performance figures), so the runner caches traces and results
+ * within one process.
+ */
+
+#ifndef HCLOUD_EXP_RUNNER_HPP
+#define HCLOUD_EXP_RUNNER_HPP
+
+#include <map>
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "core/types.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcloud::exp {
+
+/** Options shared by experiment drivers. */
+struct ExperimentOptions
+{
+    /** Scales every scenario's load curve (1.0 = paper scale). */
+    double loadScale = 1.0;
+    /** Root seed. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Memoized run matrix over the three scenarios and five strategies.
+ */
+class Runner
+{
+  public:
+    explicit Runner(ExperimentOptions options = {},
+                    core::EngineConfig baseConfig = {});
+
+    const ExperimentOptions& options() const { return options_; }
+    const core::EngineConfig& baseConfig() const { return baseConfig_; }
+
+    /** Generated (and cached) trace of a scenario. */
+    const workload::ArrivalTrace& trace(workload::ScenarioKind scenario);
+
+    /** Run (and cache) one cell of the matrix. */
+    const core::RunResult& run(workload::ScenarioKind scenario,
+                               core::StrategyKind strategy,
+                               bool profiling = true);
+
+    /** Run without caching, with a custom engine config. */
+    core::RunResult runWith(workload::ScenarioKind scenario,
+                            core::StrategyKind strategy,
+                            const core::EngineConfig& config);
+
+  private:
+    ExperimentOptions options_;
+    core::EngineConfig baseConfig_;
+    std::map<workload::ScenarioKind, workload::ArrivalTrace> traces_;
+    std::map<std::tuple<workload::ScenarioKind, core::StrategyKind, bool>,
+             core::RunResult>
+        results_;
+};
+
+} // namespace hcloud::exp
+
+#endif // HCLOUD_EXP_RUNNER_HPP

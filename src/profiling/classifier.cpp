@@ -1,0 +1,62 @@
+#include "profiling/classifier.hpp"
+
+#include <algorithm>
+
+#include "workload/archetypes.hpp"
+
+namespace hcloud::profiling {
+
+WorkloadClassifier::WorkloadClassifier(ClassifierConfig config)
+    : config_(config), mf_(kNumFeatures, config.mf, config.seed)
+{
+}
+
+void
+WorkloadClassifier::bootstrap()
+{
+    if (bootstrapped_)
+        return;
+    bootstrapped_ = true;
+    sim::Rng rng(config_.seed);
+    sim::Rng size_rng = rng.child("sizes");
+    const std::size_t kinds = std::size(workload::kAllAppKinds);
+    for (std::size_t i = 0; i < config_.referenceJobs; ++i) {
+        const workload::AppKind kind = workload::kAllAppKinds[i % kinds];
+        workload::JobSpec spec;
+        spec.kind = kind;
+        spec.sensitivity = workload::generateSensitivity(kind, rng);
+        static const double kCores[] = {1, 2, 4, 8, 16};
+        spec.coresIdeal = kCores[size_rng.uniformInt(0, 4)];
+        spec.memoryPerCore = size_rng.uniform(0.8, 5.5);
+        const FeatureVector f = featuresOf(spec);
+        addLibraryJob(f);
+    }
+    retrain();
+}
+
+void
+WorkloadClassifier::addLibraryJob(const FeatureVector& features)
+{
+    std::vector<std::pair<std::size_t, double>> entries;
+    entries.reserve(features.size());
+    for (std::size_t c = 0; c < features.size(); ++c)
+        entries.emplace_back(c, features[c]);
+    mf_.addRow(entries);
+}
+
+void
+WorkloadClassifier::retrain()
+{
+    mf_.train();
+}
+
+FeatureVector
+WorkloadClassifier::classify(const ProfilingSignal& signal) const
+{
+    FeatureVector f = mf_.completeRow(signal);
+    for (double& x : f)
+        x = std::clamp(x, 0.0, 1.0);
+    return f;
+}
+
+} // namespace hcloud::profiling

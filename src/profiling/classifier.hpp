@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Workload classifier: reference library + matrix-factorization engine.
+ *
+ * The classifier owns a library of previously-characterized jobs (rows of
+ * the jobs x features matrix). New jobs are characterized by folding their
+ * sparse profiling signal into the trained factorization, which transfers
+ * structure from similar library jobs — Quasar's core mechanism.
+ */
+
+#ifndef HCLOUD_PROFILING_CLASSIFIER_HPP
+#define HCLOUD_PROFILING_CLASSIFIER_HPP
+
+#include <cstdint>
+
+#include "profiling/matrix_factorization.hpp"
+#include "profiling/signal.hpp"
+
+namespace hcloud::profiling {
+
+/** Classifier parameters. */
+struct ClassifierConfig
+{
+    /** Size of the bootstrap reference library. */
+    std::size_t referenceJobs = 150;
+    MfConfig mf{};
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Quasar-style workload classifier.
+ */
+class WorkloadClassifier
+{
+  public:
+    explicit WorkloadClassifier(ClassifierConfig config);
+
+    /**
+     * Seed the library with synthetic reference jobs drawn from the
+     * application archetypes, then train the factorization. Idempotent.
+     */
+    void bootstrap();
+
+    /** Add one fully-characterized job to the library (no retraining). */
+    void addLibraryJob(const FeatureVector& features);
+
+    /** Retrain the factorization over the current library. */
+    void retrain();
+
+    /** Library size. */
+    std::size_t libraryRows() const { return mf_.rows(); }
+
+    /** Training RMSE of the current factorization. */
+    double trainRmse() const { return mf_.trainRmse(); }
+
+    /**
+     * Characterize a new job from its profiling signal: returns the
+     * completed dense feature vector (sensitivities clamped to [0, 1]).
+     */
+    FeatureVector classify(const ProfilingSignal& signal) const;
+
+  private:
+    ClassifierConfig config_;
+    MatrixFactorization mf_;
+    bool bootstrapped_ = false;
+};
+
+} // namespace hcloud::profiling
+
+#endif // HCLOUD_PROFILING_CLASSIFIER_HPP

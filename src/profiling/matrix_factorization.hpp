@@ -1,0 +1,102 @@
+/**
+ * @file
+ * SGD matrix factorization for collaborative filtering.
+ *
+ * Quasar's classification engine reconstructs missing entries of a
+ * (jobs x features) matrix via PQ-style low-rank factorization. This is a
+ * from-scratch implementation: biased matrix factorization trained with
+ * stochastic gradient descent, plus a fold-in path that characterizes a
+ * new row from a handful of observed entries with the item factors fixed.
+ */
+
+#ifndef HCLOUD_PROFILING_MATRIX_FACTORIZATION_HPP
+#define HCLOUD_PROFILING_MATRIX_FACTORIZATION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hcloud::profiling {
+
+/** Hyper-parameters of the factorization. */
+struct MfConfig
+{
+    std::size_t rank = 6;
+    std::size_t epochs = 60;
+    double learningRate = 0.04;
+    double regularization = 0.02;
+    /** Fold-in iterations when completing a new row. */
+    std::size_t foldInIterations = 120;
+};
+
+/**
+ * Biased low-rank factorization R ~ mu + b_col + U V^T over the known
+ * entries of a tall sparse matrix.
+ */
+class MatrixFactorization
+{
+  public:
+    /**
+     * @param cols Number of columns (features).
+     * @param config Hyper-parameters.
+     * @param seed Seed for factor initialization and SGD shuffling.
+     */
+    MatrixFactorization(std::size_t cols, MfConfig config,
+                        std::uint64_t seed);
+
+    /** Add a training row given its known entries; returns the row id. */
+    std::size_t addRow(const std::vector<std::pair<std::size_t, double>>&
+                           entries);
+
+    std::size_t rows() const { return rowCount_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Run SGD over all known entries. */
+    void train();
+
+    /** RMSE over the training entries (after train()). */
+    double trainRmse() const;
+
+    /**
+     * Complete a new, unseen row from sparse observations: solves for the
+     * row factor with column factors fixed, then predicts every column.
+     */
+    std::vector<double> completeRow(
+        const std::vector<std::pair<std::size_t, double>>& observed) const;
+
+    /** Predict a single entry of an existing training row. */
+    double predict(std::size_t row, std::size_t col) const;
+
+  private:
+    struct Entry
+    {
+        std::size_t row;
+        std::size_t col;
+        double value;
+    };
+
+    double predictWith(const std::vector<double>& rowFactor,
+                       std::size_t col, double rowBias) const;
+
+    std::size_t cols_;
+    MfConfig config_;
+    mutable sim::Rng rng_;
+
+    std::vector<Entry> entries_;
+    std::size_t rowCount_ = 0;
+
+    double globalMean_ = 0.0;
+    std::vector<double> colBias_;
+    std::vector<double> rowBias_;
+    /** Row-major factors: U[r * rank + k], V[c * rank + k]. */
+    std::vector<double> u_;
+    std::vector<double> v_;
+    bool trained_ = false;
+};
+
+} // namespace hcloud::profiling
+
+#endif // HCLOUD_PROFILING_MATRIX_FACTORIZATION_HPP

@@ -1,0 +1,84 @@
+#include "profiling/quasar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcloud::profiling {
+
+Quasar::Quasar(QuasarConfig config)
+    : config_(config),
+      classifier_(config.classifier),
+      rng_(config.seed)
+{
+}
+
+void
+Quasar::warmUp()
+{
+    if (warm_)
+        return;
+    classifier_.bootstrap();
+    warm_ = true;
+}
+
+Quasar::Signature
+Quasar::signatureOf(const workload::JobSpec& spec)
+{
+    const int core_bucket =
+        static_cast<int>(std::round(std::log2(std::max(spec.coresIdeal,
+                                                       1.0))));
+    const int mem_bucket = static_cast<int>(spec.memoryPerCore);
+    return {spec.kind, core_bucket, mem_bucket};
+}
+
+bool
+Quasar::isCached(const workload::JobSpec& spec) const
+{
+    return cache_.find(signatureOf(spec)) != cache_.end();
+}
+
+sim::Duration
+Quasar::profilingDelay(const workload::JobSpec& spec)
+{
+    if (isCached(spec))
+        return 0.0;
+    return rng_.uniform(config_.profileMin, config_.profileMax);
+}
+
+Estimate
+Quasar::classifyNow(const workload::JobSpec& spec)
+{
+    warmUp();
+    ++classifications_;
+    const ProfilingSignal signal =
+        profileJob(spec, config_.observationNoise, rng_);
+    const FeatureVector f = classifier_.classify(signal);
+
+    Estimate e;
+    for (std::size_t i = 0; i < workload::kNumResources; ++i)
+        e.sensitivity[i] = f[i];
+    e.quality = workload::qualityScore(e.sensitivity);
+    e.sensitivityScalar =
+        workload::interferenceSensitivity(e.sensitivity);
+    e.pressure = workload::pressureScalar(e.sensitivity);
+    // Round the size estimate conservatively upward: undersizing a
+    // latency-critical service saturates it, which is far costlier than
+    // a slightly generous allocation.
+    e.cores = std::clamp(std::ceil(f[kFeatureCores] * kCoresScale - 0.25),
+                         1.0, 16.0);
+    e.memoryPerCore =
+        std::clamp(f[kFeatureMemory] * kMemoryScale, 0.5, 6.0);
+    return e;
+}
+
+const Estimate&
+Quasar::estimate(const workload::JobSpec& spec)
+{
+    const Signature sig = signatureOf(spec);
+    auto it = cache_.find(sig);
+    if (it == cache_.end())
+        it = cache_.emplace(sig, classifyNow(spec)).first;
+    return it->second;
+}
+
+} // namespace hcloud::profiling

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Quasar facade: profiling + classification with a signature cache.
+ *
+ * This is the interface provisioning strategies consume (Section 3.3):
+ * given a new job, return an estimate of its resource preferences — the
+ * full sensitivity vector, the quality score Q it needs, and the amount
+ * of resources (cores, memory) that satisfy its QoS — after a short
+ * profiling delay the first time an application signature is seen
+ * (5-10 s in the paper; cached afterwards). Classification itself costs
+ * ~20 ms of wall-clock, tracked as a decision overhead.
+ */
+
+#ifndef HCLOUD_PROFILING_QUASAR_HPP
+#define HCLOUD_PROFILING_QUASAR_HPP
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "profiling/classifier.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "workload/job.hpp"
+#include "workload/sensitivity.hpp"
+
+namespace hcloud::profiling {
+
+/** Quasar parameters. */
+struct QuasarConfig
+{
+    ClassifierConfig classifier{};
+    /** Profiling observation noise (stddev); grows in noisy contexts. */
+    double observationNoise = 0.05;
+    /** Profiling run length bounds (paper: 5-10 s, first submission). */
+    sim::Duration profileMin = 5.0;
+    sim::Duration profileMax = 10.0;
+    /** Wall-clock classification latency (paper: ~20 ms). */
+    sim::Duration classificationLatency = 0.020;
+    std::uint64_t seed = 11;
+};
+
+/** Resource-preference estimate for one job. */
+struct Estimate
+{
+    workload::ResourceVector sensitivity{};
+    /** Estimated quality score Q the job needs, in [0, 1]. */
+    double quality = 0.0;
+    /** Estimated scalar interference sensitivity. */
+    double sensitivityScalar = 0.0;
+    /** Estimated pressure on co-residents. */
+    double pressure = 0.0;
+    /** Estimated cores that satisfy QoS. */
+    double cores = 1.0;
+    /** Estimated memory per core in GiB. */
+    double memoryPerCore = 1.5;
+};
+
+/**
+ * Profiling/classification service used by the strategies.
+ */
+class Quasar
+{
+  public:
+    explicit Quasar(QuasarConfig config);
+
+    /** Bootstrap the classifier library (done lazily otherwise). */
+    void warmUp();
+
+    /** True if this job's application signature is already cached. */
+    bool isCached(const workload::JobSpec& spec) const;
+
+    /**
+     * Profiling delay the job must pay before estimation: zero for cached
+     * signatures, uniform in [profileMin, profileMax] otherwise.
+     */
+    sim::Duration profilingDelay(const workload::JobSpec& spec);
+
+    /**
+     * Estimate the job's resource preferences. Caches by signature.
+     */
+    const Estimate& estimate(const workload::JobSpec& spec);
+
+    /** Adjust observation noise (noisy environments lower accuracy). */
+    void setObservationNoise(double noise)
+    {
+        config_.observationNoise = noise;
+    }
+
+    std::size_t cacheSize() const { return cache_.size(); }
+    std::size_t classifications() const { return classifications_; }
+    const WorkloadClassifier& classifier() const { return classifier_; }
+
+  private:
+    /** Application signature: kind + size bucket + memory bucket. */
+    using Signature = std::tuple<workload::AppKind, int, int>;
+
+    static Signature signatureOf(const workload::JobSpec& spec);
+
+    Estimate classifyNow(const workload::JobSpec& spec);
+
+    QuasarConfig config_;
+    WorkloadClassifier classifier_;
+    sim::Rng rng_;
+    std::map<Signature, Estimate> cache_;
+    std::size_t classifications_ = 0;
+    bool warm_ = false;
+};
+
+} // namespace hcloud::profiling
+
+#endif // HCLOUD_PROFILING_QUASAR_HPP

@@ -1,0 +1,40 @@
+#include "profiling/signal.hpp"
+
+#include <algorithm>
+
+namespace hcloud::profiling {
+
+FeatureVector
+featuresOf(const workload::JobSpec& spec)
+{
+    FeatureVector f(kNumFeatures, 0.0);
+    for (std::size_t i = 0; i < workload::kNumResources; ++i)
+        f[i] = spec.sensitivity[i];
+    f[kFeatureCores] = spec.coresIdeal / kCoresScale;
+    f[kFeatureMemory] = spec.memoryPerCore / kMemoryScale;
+    return f;
+}
+
+ProfilingSignal
+profileJob(const workload::JobSpec& spec, double noise, sim::Rng& rng)
+{
+    // Indices observed by the two-instance-type, two-interference-source
+    // profiling run: cpu (0), llc (3), mem-bw (4), net-bw (8), plus the
+    // two scale features.
+    static constexpr std::size_t kObserved[] = {0, 3, 4, 8, kFeatureCores,
+                                                kFeatureMemory};
+    const FeatureVector truth = featuresOf(spec);
+    ProfilingSignal signal;
+    signal.reserve(std::size(kObserved));
+    for (std::size_t idx : kObserved) {
+        // Scale features (cores, memory) are measured almost directly by
+        // the profiling run; sensitivities carry the full noise.
+        const double sigma = idx >= kFeatureCores ? 0.25 * noise : noise;
+        const double v =
+            std::clamp(truth[idx] + rng.normal(0.0, sigma), 0.0, 1.0);
+        signal.emplace_back(idx, v);
+    }
+    return signal;
+}
+
+} // namespace hcloud::profiling

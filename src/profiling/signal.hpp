@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Profiling signal: the sparse observation a short profiling run yields.
+ *
+ * Quasar profiles a new job on two instance types while injecting
+ * interference in two shared resources (e.g. LLC and network bandwidth).
+ * That produces noisy observations of a handful of entries of the job's
+ * feature vector; classification completes the rest.
+ *
+ * Feature-space layout (kNumFeatures columns):
+ *   [0, kNumResources)  per-resource sensitivity c_i,
+ *   kFeatureCores       ideal parallelism, normalized by 16 vCPUs,
+ *   kFeatureMemory      memory per core, normalized by 6 GiB.
+ */
+
+#ifndef HCLOUD_PROFILING_SIGNAL_HPP
+#define HCLOUD_PROFILING_SIGNAL_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/job.hpp"
+
+namespace hcloud::profiling {
+
+/** Index of the normalized ideal-cores feature. */
+inline constexpr std::size_t kFeatureCores = workload::kNumResources;
+/** Index of the normalized memory-per-core feature. */
+inline constexpr std::size_t kFeatureMemory = workload::kNumResources + 1;
+/** Total feature-vector width. */
+inline constexpr std::size_t kNumFeatures = workload::kNumResources + 2;
+
+/** Normalization constants. */
+inline constexpr double kCoresScale = 16.0;
+inline constexpr double kMemoryScale = 6.0;
+
+/** One observed (feature, value) pair. */
+using Observation = std::pair<std::size_t, double>;
+
+/** A sparse profiling observation of a job. */
+using ProfilingSignal = std::vector<Observation>;
+
+/** Dense feature vector of a fully-characterized job. */
+using FeatureVector = std::vector<double>;
+
+/** Build the dense (true) feature vector of a job spec. */
+FeatureVector featuresOf(const workload::JobSpec& spec);
+
+/**
+ * Simulate a profiling run: observe the injected-resource sensitivities
+ * (cpu, llc, mem-bw, net-bw) plus the scale features, each perturbed by
+ * Gaussian noise of the given stddev.
+ */
+ProfilingSignal profileJob(const workload::JobSpec& spec, double noise,
+                           sim::Rng& rng);
+
+} // namespace hcloud::profiling
+
+#endif // HCLOUD_PROFILING_SIGNAL_HPP

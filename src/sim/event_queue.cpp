@@ -1,0 +1,73 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace hcloud::sim {
+
+bool
+EventHandle::cancel()
+{
+    if (!pending())
+        return false;
+    state_->done = true;
+    if (state_->live)
+        --(*state_->live);
+    return true;
+}
+
+EventQueue::EventQueue()
+    : live_(std::make_shared<std::size_t>(0))
+{
+}
+
+EventHandle
+EventQueue::push(Time when, EventCallback cb)
+{
+    auto state = std::make_shared<EventHandle::State>();
+    state->live = live_;
+    heap_.push(Entry{when, nextSeq_++, std::move(cb), state});
+    ++(*live_);
+    return EventHandle(std::move(state));
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty() && heap_.top().state->done)
+        heap_.pop();
+}
+
+Time
+EventQueue::nextTime() const
+{
+    skipDead();
+    return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+std::pair<Time, EventCallback>
+EventQueue::pop()
+{
+    skipDead();
+    assert(!heap_.empty() && "pop() on empty event queue");
+    // priority_queue::top() is const; the entry is moved out via const_cast,
+    // which is safe because the element is popped immediately afterwards.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Time when = top.when;
+    EventCallback cb = std::move(top.cb);
+    top.state->done = true;
+    --(*live_);
+    heap_.pop();
+    return {when, std::move(cb)};
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty()) {
+        heap_.top().state->done = true;
+        heap_.pop();
+    }
+    *live_ = 0;
+}
+
+} // namespace hcloud::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Pending-event set for the discrete-event simulation kernel.
+ *
+ * Events are (time, sequence, callback) triples kept in a binary heap.
+ * The monotonically increasing sequence number breaks ties so that events
+ * scheduled for the same instant fire in scheduling order, which keeps runs
+ * deterministic. Cancellation is supported through lightweight handles and
+ * lazy deletion (cancelled events stay in the heap and are skipped on pop).
+ */
+
+#ifndef HCLOUD_SIM_EVENT_QUEUE_HPP
+#define HCLOUD_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hcloud::sim {
+
+/** Callback invoked when an event fires. */
+using EventCallback = std::function<void()>;
+
+/**
+ * Handle to a scheduled event, used for cancellation.
+ *
+ * Handles are cheap to copy; all copies refer to the same event. A default-
+ * constructed handle refers to nothing and is never pending.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the event has neither fired nor been cancelled. */
+    bool pending() const { return state_ && !state_->done; }
+
+    /**
+     * Cancel the event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel();
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        bool done = false;
+        std::shared_ptr<std::size_t> live;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Time-ordered pending-event set.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /**
+     * Insert an event.
+     *
+     * @param when Absolute simulated time at which to fire.
+     * @param cb Callback to invoke.
+     * @return Handle usable to cancel the event.
+     */
+    EventHandle push(Time when, EventCallback cb);
+
+    /** True if no live (non-cancelled) events remain. */
+    bool empty() const { return *live_ == 0; }
+
+    /** Number of live events. */
+    std::size_t size() const { return *live_; }
+
+    /** Time of the earliest live event, or kTimeNever if empty. */
+    Time nextTime() const;
+
+    /**
+     * Pop and return the earliest live event.
+     * @pre !empty()
+     */
+    std::pair<Time, EventCallback> pop();
+
+    /** Drop every pending event. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq;
+        EventCallback cb;
+        std::shared_ptr<EventHandle::State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Discard cancelled entries sitting at the top of the heap. */
+    void skipDead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::shared_ptr<std::size_t> live_;
+};
+
+} // namespace hcloud::sim
+
+#endif // HCLOUD_SIM_EVENT_QUEUE_HPP

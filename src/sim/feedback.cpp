@@ -1,0 +1,32 @@
+#include "sim/feedback.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcloud::sim {
+
+LinearFeedbackController::LinearFeedbackController(FeedbackConfig config,
+                                                   double initialOutput)
+    : config_(config),
+      output_(std::clamp(initialOutput, config.outputMin, config.outputMax))
+{
+}
+
+double
+LinearFeedbackController::update(double setpoint, double measurement)
+{
+    double delta = config_.gain * (setpoint - measurement);
+    if (config_.maxStep > 0.0)
+        delta = std::clamp(delta, -config_.maxStep, config_.maxStep);
+    output_ = std::clamp(output_ + delta, config_.outputMin,
+                         config_.outputMax);
+    return output_;
+}
+
+void
+LinearFeedbackController::reset(double output)
+{
+    output_ = std::clamp(output, config_.outputMin, config_.outputMax);
+}
+
+} // namespace hcloud::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Linear-transfer-function feedback controller.
+ *
+ * Section 4.2 of the paper adjusts the soft utilization limit of reserved
+ * instances "using a simple feedback loop with linear transfer functions"
+ * driven by the job-queue length. This class is that reusable primitive:
+ * a proportional controller on the error signal with slew-rate limiting
+ * and output clamping, generic enough for tests to exercise in isolation.
+ */
+
+#ifndef HCLOUD_SIM_FEEDBACK_HPP
+#define HCLOUD_SIM_FEEDBACK_HPP
+
+namespace hcloud::sim {
+
+/** Configuration of a LinearFeedbackController. */
+struct FeedbackConfig
+{
+    /** Proportional gain applied to (setpoint - measurement). */
+    double gain = 1.0;
+    /** Lower clamp on the controller output. */
+    double outputMin = 0.0;
+    /** Upper clamp on the controller output. */
+    double outputMax = 1.0;
+    /** Maximum |change| of the output per update (0 = unlimited). */
+    double maxStep = 0.0;
+};
+
+/**
+ * Proportional feedback controller with clamping and slew limiting.
+ *
+ * output' = clamp(output + gain * (setpoint - measurement))
+ */
+class LinearFeedbackController
+{
+  public:
+    LinearFeedbackController(FeedbackConfig config, double initialOutput);
+
+    /**
+     * Feed one measurement; returns the new output.
+     *
+     * @param setpoint Desired value of the measured signal.
+     * @param measurement Observed value.
+     */
+    double update(double setpoint, double measurement);
+
+    double output() const { return output_; }
+
+    /** Reset the output without disturbing the configuration. */
+    void reset(double output);
+
+  private:
+    FeedbackConfig config_;
+    double output_;
+};
+
+} // namespace hcloud::sim
+
+#endif // HCLOUD_SIM_FEEDBACK_HPP

@@ -1,0 +1,83 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace hcloud::sim {
+
+EventHandle
+Simulator::at(Time when, EventCallback cb)
+{
+    assert(when >= now_ && "cannot schedule event in the past");
+    return queue_.push(when, std::move(cb));
+}
+
+EventHandle
+Simulator::after(Duration delay, EventCallback cb)
+{
+    assert(delay >= 0.0 && "negative delay");
+    return queue_.push(now_ + delay, std::move(cb));
+}
+
+void
+Simulator::every(Duration period, std::function<bool()> cb)
+{
+    assert(period > 0.0 && "period must be positive");
+    // Self-rescheduling closure; holds the callback by shared_ptr so the
+    // chain owns it across occurrences.
+    auto shared = std::make_shared<std::function<bool()>>(std::move(cb));
+    struct Chain
+    {
+        Simulator* simulator;
+        Duration period;
+        std::shared_ptr<std::function<bool()>> body;
+
+        void
+        operator()() const
+        {
+            if ((*body)())
+                simulator->after(period, Chain{*this});
+        }
+    };
+    after(period, Chain{this, period, shared});
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    auto [when, cb] = queue_.pop();
+    assert(when >= now_);
+    now_ = when;
+    ++eventsRun_;
+    cb();
+    return true;
+}
+
+void
+Simulator::runUntil(Time until)
+{
+    while (!queue_.empty() && queue_.nextTime() <= until)
+        step();
+    if (std::isfinite(until) && until > now_)
+        now_ = until;
+}
+
+void
+Simulator::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Simulator::reset()
+{
+    queue_.clear();
+    now_ = 0.0;
+    eventsRun_ = 0;
+}
+
+} // namespace hcloud::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event simulator: clock plus event loop.
+ *
+ * The simulator owns the clock and an EventQueue. Client code schedules
+ * callbacks at absolute times or relative delays and then drives the loop
+ * with run(), runUntil() or step(). Periodic activities (monitoring,
+ * feedback controllers) use schedulePeriodic(), which reschedules itself
+ * until cancelled or until the predicate asks to stop.
+ */
+
+#ifndef HCLOUD_SIM_SIMULATOR_HPP
+#define HCLOUD_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace hcloud::sim {
+
+/**
+ * The discrete-event simulation kernel.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current simulated time in seconds. */
+    Time now() const { return now_; }
+
+    /** Schedule @p cb at absolute time @p when (must be >= now). */
+    EventHandle at(Time when, EventCallback cb);
+
+    /** Schedule @p cb after @p delay seconds (must be >= 0). */
+    EventHandle after(Duration delay, EventCallback cb);
+
+    /**
+     * Schedule a periodic callback every @p period seconds, first firing
+     * after one period. The callback returns true to keep running, false
+     * to stop. Returns a handle cancelling the *next* occurrence; once
+     * cancelled the chain ends.
+     */
+    void every(Duration period, std::function<bool()> cb);
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsRun() const { return eventsRun_; }
+
+    /** True if no events are pending. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Time of the next pending event (kTimeNever when idle). */
+    Time nextEventTime() const { return queue_.nextTime(); }
+
+    /** Execute the single earliest event. @return false if idle. */
+    bool step();
+
+    /**
+     * Run until the queue drains or the clock passes @p until.
+     * Events at exactly @p until are executed. The clock is advanced to
+     * @p until even if the queue drains earlier (when until is finite).
+     */
+    void runUntil(Time until);
+
+    /** Run until the event queue drains completely. */
+    void run();
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    EventQueue queue_;
+    Time now_ = 0.0;
+    std::uint64_t eventsRun_ = 0;
+};
+
+} // namespace hcloud::sim
+
+#endif // HCLOUD_SIM_SIMULATOR_HPP

@@ -1,0 +1,113 @@
+#include "sim/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hcloud::sim {
+
+TimeWeightedStat::TimeWeightedStat(Time start, double initial)
+    : start_(start), lastTime_(start), value_(initial), peak_(initial)
+{
+}
+
+void
+TimeWeightedStat::record(Time t, double value)
+{
+    assert(t >= lastTime_ && "time must be monotone");
+    area_ += value_ * (t - lastTime_);
+    lastTime_ = t;
+    value_ = value;
+    peak_ = std::max(peak_, value);
+}
+
+double
+TimeWeightedStat::average(Time t) const
+{
+    const Duration span = t - start_;
+    if (span <= 0.0)
+        return value_;
+    return integral(t) / span;
+}
+
+double
+TimeWeightedStat::integral(Time t) const
+{
+    assert(t >= lastTime_);
+    return area_ + value_ * (t - lastTime_);
+}
+
+void
+StepSeries::record(Time t, double v)
+{
+    assert((points_.empty() || t >= points_.back().t) &&
+           "time must be non-decreasing");
+    // Collapse same-time updates: the last write wins.
+    if (!points_.empty() && points_.back().t == t) {
+        points_.back().v = v;
+        return;
+    }
+    points_.push_back({t, v});
+}
+
+double
+StepSeries::at(Time t) const
+{
+    if (points_.empty() || t < points_.front().t)
+        return 0.0;
+    // Find the latest breakpoint <= t.
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](Time lhs, const Point& rhs) { return lhs < rhs.t; });
+    return (it - 1)->v;
+}
+
+double
+StepSeries::average(Time t0, Time t1) const
+{
+    if (t1 <= t0)
+        return at(t0);
+    double area = 0.0;
+    Time cursor = t0;
+    double value = at(t0);
+    for (const Point& p : points_) {
+        if (p.t <= t0)
+            continue;
+        if (p.t >= t1)
+            break;
+        area += value * (p.t - cursor);
+        cursor = p.t;
+        value = p.v;
+    }
+    area += value * (t1 - cursor);
+    return area / (t1 - t0);
+}
+
+double
+StepSeries::maxOver(Time t0, Time t1) const
+{
+    double best = at(t0);
+    for (const Point& p : points_) {
+        if (p.t < t0 || p.t > t1)
+            continue;
+        best = std::max(best, p.v);
+    }
+    return best;
+}
+
+std::vector<StepSeries::Point>
+StepSeries::resample(Time t0, Time t1, std::size_t n) const
+{
+    std::vector<Point> out;
+    if (n == 0)
+        return out;
+    out.reserve(n);
+    const Duration step = n > 1 ? (t1 - t0) / static_cast<double>(n - 1)
+                                : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Time t = t0 + step * static_cast<double>(i);
+        out.push_back({t, at(t)});
+    }
+    return out;
+}
+
+} // namespace hcloud::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Time-indexed measurement containers.
+ *
+ *  - TimeWeightedStat: integrates a piecewise-constant signal over
+ *    simulated time (the right notion of "average utilization").
+ *  - StepSeries: records (time, value) breakpoints of a piecewise-constant
+ *    signal for later resampling — used for the allocation/utilization
+ *    figures.
+ */
+
+#ifndef HCLOUD_SIM_TIMESERIES_HPP
+#define HCLOUD_SIM_TIMESERIES_HPP
+
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hcloud::sim {
+
+/**
+ * Time-weighted average of a piecewise-constant signal.
+ *
+ * The signal starts at the value supplied to the constructor; record(t, v)
+ * closes the previous segment at t and starts a new one at value v.
+ */
+class TimeWeightedStat
+{
+  public:
+    explicit TimeWeightedStat(Time start = 0.0, double initial = 0.0);
+
+    /** Change the signal value at time @p t (t must be monotone). */
+    void record(Time t, double value);
+
+    /** Current signal value. */
+    double value() const { return value_; }
+
+    /** Time-weighted mean over [start, t]. */
+    double average(Time t) const;
+
+    /** Integral of the signal over [start, t]. */
+    double integral(Time t) const;
+
+    /** Largest value ever recorded (including the initial value). */
+    double peak() const { return peak_; }
+
+  private:
+    Time start_;
+    Time lastTime_;
+    double value_;
+    double area_ = 0.0;
+    double peak_;
+};
+
+/**
+ * Recorded breakpoints of a piecewise-constant signal, resamplable on a
+ * fixed grid for plotting.
+ */
+class StepSeries
+{
+  public:
+    struct Point
+    {
+        Time t;
+        double v;
+    };
+
+    /** Append a breakpoint; times must be non-decreasing. */
+    void record(Time t, double v);
+
+    bool empty() const { return points_.empty(); }
+    std::size_t size() const { return points_.size(); }
+    const std::vector<Point>& points() const { return points_; }
+
+    /** Signal value at time t (value of the latest breakpoint <= t). */
+    double at(Time t) const;
+
+    /**
+     * Resample on a uniform grid of @p n points covering [t0, t1].
+     */
+    std::vector<Point> resample(Time t0, Time t1, std::size_t n) const;
+
+    /** Time-weighted average of the signal over [t0, t1]. */
+    double average(Time t0, Time t1) const;
+
+    /** Maximum breakpoint value in [t0, t1]. */
+    double maxOver(Time t0, Time t1) const;
+
+  private:
+    std::vector<Point> points_;
+};
+
+} // namespace hcloud::sim
+
+#endif // HCLOUD_SIM_TIMESERIES_HPP

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Basic simulation-wide type aliases and time helpers.
+ *
+ * Simulated time is kept in double-precision seconds. All modules agree on
+ * this unit; helpers below make intent explicit at call sites.
+ */
+
+#ifndef HCLOUD_SIM_TYPES_HPP
+#define HCLOUD_SIM_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace hcloud::sim {
+
+/** Simulated time point, in seconds since simulation start. */
+using Time = double;
+
+/** Simulated duration, in seconds. */
+using Duration = double;
+
+/** Sentinel for "never" / "not yet scheduled". */
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::infinity();
+
+/** Convert minutes to simulated seconds. */
+constexpr Duration minutes(double m) { return m * 60.0; }
+
+/** Convert hours to simulated seconds. */
+constexpr Duration hours(double h) { return h * 3600.0; }
+
+/** Convert days to simulated seconds. */
+constexpr Duration days(double d) { return d * 86400.0; }
+
+/** Convert weeks to simulated seconds. */
+constexpr Duration weeks(double w) { return w * 7.0 * 86400.0; }
+
+/** Monotonically increasing identifier types. */
+using JobId = std::uint64_t;
+using InstanceId = std::uint64_t;
+using MachineId = std::uint64_t;
+
+} // namespace hcloud::sim
+
+#endif // HCLOUD_SIM_TYPES_HPP

@@ -1,0 +1,51 @@
+#include "workload/archetypes.hpp"
+
+#include <algorithm>
+
+namespace hcloud::workload {
+
+const ResourceVector&
+archetype(AppKind kind)
+{
+    // Columns: cpu, l1i, l1d, llc, mem-bw, mem-cap, disk-bw, disk-cap,
+    //          net-bw, net-lat.
+    static const ResourceVector kHadoopRec = {
+        0.50, 0.20, 0.25, 0.35, 0.40, 0.50, 0.45, 0.50, 0.30, 0.15};
+    static const ResourceVector kHadoopSvm = {
+        0.65, 0.25, 0.30, 0.45, 0.50, 0.45, 0.35, 0.40, 0.25, 0.15};
+    static const ResourceVector kHadoopMf = {
+        0.60, 0.25, 0.35, 0.50, 0.60, 0.65, 0.40, 0.45, 0.30, 0.20};
+    static const ResourceVector kSparkAn = {
+        0.55, 0.25, 0.35, 0.50, 0.55, 0.70, 0.25, 0.30, 0.40, 0.30};
+    static const ResourceVector kSparkRt = {
+        0.70, 0.40, 0.50, 0.65, 0.60, 0.55, 0.20, 0.20, 0.60, 0.80};
+    static const ResourceVector kMemcached = {
+        0.55, 0.55, 0.60, 0.75, 0.50, 0.60, 0.10, 0.10, 0.70, 0.90};
+
+    switch (kind) {
+      case AppKind::HadoopRecommender:
+        return kHadoopRec;
+      case AppKind::HadoopSvm:
+        return kHadoopSvm;
+      case AppKind::HadoopMatFac:
+        return kHadoopMf;
+      case AppKind::SparkAnalytics:
+        return kSparkAn;
+      case AppKind::SparkRealtime:
+        return kSparkRt;
+      case AppKind::Memcached:
+        return kMemcached;
+    }
+    return kHadoopRec;
+}
+
+ResourceVector
+generateSensitivity(AppKind kind, sim::Rng& rng)
+{
+    ResourceVector v = archetype(kind);
+    for (double& c : v)
+        c = std::clamp(c + rng.normal(0.0, 0.08), 0.02, 0.98);
+    return v;
+}
+
+} // namespace hcloud::workload

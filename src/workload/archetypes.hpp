@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Per-application sensitivity archetypes.
+ *
+ * Each AppKind has a characteristic mean sensitivity vector (which shared
+ * resources it presses on / suffers from); individual jobs jitter around
+ * the archetype. The resulting job population is approximately low-rank
+ * in the (jobs x resources) matrix — exactly the structure that makes
+ * Quasar-style collaborative filtering work.
+ */
+
+#ifndef HCLOUD_WORKLOAD_ARCHETYPES_HPP
+#define HCLOUD_WORKLOAD_ARCHETYPES_HPP
+
+#include "sim/rng.hpp"
+#include "workload/job.hpp"
+#include "workload/sensitivity.hpp"
+
+namespace hcloud::workload {
+
+/** Archetype (mean) sensitivity vector of an application kind. */
+const ResourceVector& archetype(AppKind kind);
+
+/**
+ * Draw a job's sensitivity vector: archetype plus per-resource jitter,
+ * clamped to [0.02, 0.98].
+ */
+ResourceVector generateSensitivity(AppKind kind, sim::Rng& rng);
+
+/** All application kinds, for iteration. */
+inline constexpr AppKind kAllAppKinds[] = {
+    AppKind::HadoopRecommender, AppKind::HadoopSvm, AppKind::HadoopMatFac,
+    AppKind::SparkAnalytics,    AppKind::SparkRealtime, AppKind::Memcached,
+};
+
+} // namespace hcloud::workload
+
+#endif // HCLOUD_WORKLOAD_ARCHETYPES_HPP

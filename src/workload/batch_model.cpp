@@ -1,0 +1,35 @@
+#include "workload/batch_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcloud::workload::batch_model {
+
+double
+parallelEfficiency(double cores, double coresIdeal)
+{
+    if (cores <= coresIdeal || coresIdeal <= 0.0)
+        return 1.0;
+    // Extra cores beyond the ideal parallelism contribute at 35%.
+    const double extra = cores - coresIdeal;
+    return (coresIdeal + 0.35 * extra) / cores;
+}
+
+double
+workDone(double cores, double quality, sim::Duration dt)
+{
+    return std::max(cores, 0.0) * std::clamp(quality, 0.0, 1.0) * dt;
+}
+
+sim::Duration
+estimateRemaining(double workRemaining, double cores, double quality,
+                  double coresIdeal)
+{
+    const double rate =
+        cores * quality * parallelEfficiency(cores, coresIdeal);
+    if (rate <= 0.0)
+        return sim::kTimeNever;
+    return std::max(workRemaining, 0.0) / rate;
+}
+
+} // namespace hcloud::workload::batch_model

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Batch (throughput-bound) performance model.
+ *
+ * A batch job carries a total amount of work in core-seconds (measured at
+ * quality 1). Delivered progress integrates allocated cores times the
+ * effective instance quality, so interference and undersized allocations
+ * both stretch completion time — the two effects Figures 1 and 4 measure.
+ */
+
+#ifndef HCLOUD_WORKLOAD_BATCH_MODEL_HPP
+#define HCLOUD_WORKLOAD_BATCH_MODEL_HPP
+
+#include "sim/types.hpp"
+
+namespace hcloud::workload {
+
+/**
+ * Batch progress helpers (pure functions; state lives in Job).
+ */
+namespace batch_model {
+
+/**
+ * Work accomplished in an interval.
+ *
+ * @param cores Allocated cores.
+ * @param quality Effective instance quality in [0, 1].
+ * @param dt Interval length in seconds.
+ * @return Core-seconds of work done.
+ */
+double workDone(double cores, double quality, sim::Duration dt);
+
+/**
+ * Parallel-efficiency factor: allocating more cores than the job's ideal
+ * parallelism yields diminishing returns (Amdahl-style).
+ *
+ * @param cores Allocated cores.
+ * @param coresIdeal The job's ideal parallelism.
+ */
+double parallelEfficiency(double cores, double coresIdeal);
+
+/**
+ * Estimated seconds to finish the remaining work at the current rate.
+ * Returns sim::kTimeNever when the rate is zero.
+ */
+sim::Duration
+estimateRemaining(double workRemaining, double cores, double quality,
+                  double coresIdeal);
+
+} // namespace batch_model
+
+} // namespace hcloud::workload
+
+#endif // HCLOUD_WORKLOAD_BATCH_MODEL_HPP

@@ -1,0 +1,73 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hcloud::workload {
+
+const char*
+toString(AppKind kind)
+{
+    switch (kind) {
+      case AppKind::HadoopRecommender:
+        return "hadoop-recommender";
+      case AppKind::HadoopSvm:
+        return "hadoop-svm";
+      case AppKind::HadoopMatFac:
+        return "hadoop-matfac";
+      case AppKind::SparkAnalytics:
+        return "spark-analytics";
+      case AppKind::SparkRealtime:
+        return "spark-realtime";
+      case AppKind::Memcached:
+        return "memcached";
+    }
+    return "?";
+}
+
+const char*
+toString(JobClass cls)
+{
+    return cls == JobClass::Batch ? "batch" : "latency-critical";
+}
+
+JobClass
+classOf(AppKind kind)
+{
+    return kind == AppKind::Memcached ? JobClass::LatencyCritical
+                                      : JobClass::Batch;
+}
+
+sim::Duration
+Job::turnaround() const
+{
+    assert(state == JobState::Completed || state == JobState::Failed);
+    return completedAt - spec_.arrival;
+}
+
+double
+Job::achievedLatencyUs() const
+{
+    if (latencyUs.empty())
+        return 0.0;
+    return latencyUs.quantile(0.95);
+}
+
+double
+Job::perfNormalized() const
+{
+    if (state == JobState::Failed)
+        return 0.0;
+    if (spec_.jobClass() == JobClass::Batch) {
+        const sim::Duration t = turnaround();
+        if (t <= 0.0)
+            return 1.0;
+        return std::clamp(spec_.idealDuration / t, 0.0, 1.0);
+    }
+    const double p99 = achievedLatencyUs();
+    if (p99 <= 0.0)
+        return 1.0;
+    return std::clamp(spec_.lcQosUs / p99, 0.0, 1.0);
+}
+
+} // namespace hcloud::workload

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Job specification and runtime state.
+ *
+ * Two job classes, as in the paper's scenarios: throughput-bound batch
+ * analytics (Hadoop/Mahout and Spark) whose metric is completion time, and
+ * latency-critical services (memcached) whose metric is the tail of the
+ * request-latency distribution.
+ */
+
+#ifndef HCLOUD_WORKLOAD_JOB_HPP
+#define HCLOUD_WORKLOAD_JOB_HPP
+
+#include <string>
+
+#include "cloud/instance.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+#include "workload/sensitivity.hpp"
+
+namespace hcloud::workload {
+
+/** Coarse class: determines which performance metric applies. */
+enum class JobClass
+{
+    Batch,
+    LatencyCritical,
+};
+
+/** Concrete application, used for sensitivity archetypes and reporting. */
+enum class AppKind
+{
+    HadoopRecommender, ///< Mahout recommender (batch, tolerant)
+    HadoopSvm,         ///< Mahout SVM training (batch, tolerant)
+    HadoopMatFac,      ///< Mahout matrix factorization (batch, moderate)
+    SparkAnalytics,    ///< Spark ML analytics (batch, moderate)
+    SparkRealtime,     ///< real-time Spark (batch metric, very sensitive)
+    Memcached,         ///< latency-critical key-value service
+};
+
+const char* toString(AppKind kind);
+const char* toString(JobClass cls);
+JobClass classOf(AppKind kind);
+
+/**
+ * Immutable description of a submitted job.
+ */
+struct JobSpec
+{
+    sim::JobId id = 0;
+    AppKind kind = AppKind::HadoopRecommender;
+    sim::Time arrival = 0.0;
+
+    /** Cores that achieve the QoS target in isolation. */
+    double coresIdeal = 1.0;
+    /** Memory demand per core in GiB (drives family selection). */
+    double memoryPerCore = 1.5;
+
+    /** Batch: completion time at ideal cores and quality 1. */
+    sim::Duration idealDuration = 0.0;
+
+    /** LC: offered load in requests/sec (constant over the lifetime). */
+    double lcLoadRps = 0.0;
+    /** LC: service lifetime. */
+    sim::Duration lcLifetime = 0.0;
+    /** LC: p99 latency QoS target in microseconds. */
+    double lcQosUs = 0.0;
+
+    /** True per-resource sensitivity (hidden from the provisioner). */
+    ResourceVector sensitivity{};
+
+    JobClass jobClass() const { return classOf(kind); }
+    /** True quality score Q of this job. */
+    double trueQuality() const { return qualityScore(sensitivity); }
+    /** Scalar sensitivity for the performance model. */
+    double sensitivityScalar() const
+    {
+        return interferenceSensitivity(sensitivity);
+    }
+    /** Scalar pressure exerted on co-residents. */
+    double pressure() const { return pressureScalar(sensitivity); }
+    /** Total batch work in core-seconds at quality 1. */
+    double workTotal() const { return coresIdeal * idealDuration; }
+};
+
+/** Lifecycle of a job inside the engine. */
+enum class JobState
+{
+    Pending,   ///< arrived, not yet mapped
+    Queued,    ///< waiting for reserved capacity
+    Waiting,   ///< assigned to an instance that is still spinning up
+    Running,
+    Completed,
+    Failed,    ///< platform killed the instance (EC2 micro)
+};
+
+/**
+ * Runtime state of one job.
+ */
+class Job
+{
+  public:
+    explicit Job(JobSpec spec) : spec_(std::move(spec)) {}
+
+    const JobSpec& spec() const { return spec_; }
+    sim::JobId id() const { return spec_.id; }
+
+    JobState state = JobState::Pending;
+
+    /** Instance currently hosting (or designated to host) the job. */
+    cloud::Instance* instance = nullptr;
+    /** Cores allocated by the provisioner (may differ from ideal). */
+    double cores = 0.0;
+    /** True when the provisioner mapped the job to reserved capacity. */
+    bool onReserved = false;
+
+    sim::Time queuedAt = sim::kTimeNever;
+    sim::Time startedAt = sim::kTimeNever;
+    sim::Time completedAt = sim::kTimeNever;
+    /** Time spent waiting before running (queueing + spin-up). */
+    sim::Duration waitTime = 0.0;
+
+    /** Batch: accumulated work in core-seconds. */
+    double workDone = 0.0;
+    /** Number of times the QoS monitor rescheduled this job. */
+    int reschedules = 0;
+
+    /** Engine bookkeeping: last progress-integration time. */
+    sim::Time lastProgressAt = 0.0;
+    /** Engine bookkeeping: whether the job is in the active list. */
+    bool engineTracked = false;
+
+    /** LC: per-tick p99 samples over the lifetime. */
+    sim::SampleSet latencyUs;
+
+    /** Completion time measured from arrival (batch metric). */
+    sim::Duration turnaround() const;
+
+    /**
+     * Performance normalized to isolated execution, in [0, 1]:
+     * batch: ideal duration / turnaround; LC: QoS target / achieved p99
+     * (95th percentile over time), clamped.
+     */
+    double perfNormalized() const;
+
+    /** Achieved LC tail latency (95th pct of recorded p99 samples). */
+    double achievedLatencyUs() const;
+
+  private:
+    JobSpec spec_;
+};
+
+} // namespace hcloud::workload
+
+#endif // HCLOUD_WORKLOAD_JOB_HPP

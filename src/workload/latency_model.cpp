@@ -1,0 +1,39 @@
+#include "workload/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcloud::workload::latency_model {
+
+double
+p99Us(double loadRps, double cores, double quality, double sensedPressure)
+{
+    const double capacity =
+        std::max(cores, 0.0) * std::clamp(quality, 0.0, 1.0) * kRpsPerCore;
+    if (capacity <= 0.0)
+        return kBaseP99Us * 1000.0; // effectively unavailable
+    const double rho = loadRps / capacity;
+    const double rho_eff = std::min(rho, kRhoCap);
+    // M/M/1-style waiting growth, with linear penalty past saturation.
+    double latency = kBaseP99Us * (1.0 + 0.5 * rho_eff / (1.0 - rho_eff));
+    if (rho > 1.0)
+        latency *= 1.0 + 4.0 * (rho - 1.0);
+    // Interference jitter: co-runner phase changes fatten the tail even
+    // when average capacity would suffice.
+    latency *= 1.0 + 4.0 * std::clamp(sensedPressure, 0.0, 1.0);
+    return std::min(latency, kTimeoutP99Us);
+}
+
+double
+isolationP99Us(double loadRps, double cores)
+{
+    return p99Us(loadRps, cores, 1.0, 0.0);
+}
+
+double
+qosTargetUs(double loadRps, double cores)
+{
+    return 2.0 * isolationP99Us(loadRps, cores);
+}
+
+} // namespace hcloud::workload::latency_model

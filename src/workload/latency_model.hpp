@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Latency-critical (memcached-like) performance model.
+ *
+ * Tail latency is modelled with an M/M/1-flavoured waiting-time term that
+ * explodes as the effective utilization rho approaches saturation, plus a
+ * multiplicative interference-jitter term — the two mechanisms behind the
+ * tail-latency spikes of Figures 2 and 4b. Effective capacity scales with
+ * allocated cores and instance quality, so both undersized allocations and
+ * noisy instances raise the tail.
+ */
+
+#ifndef HCLOUD_WORKLOAD_LATENCY_MODEL_HPP
+#define HCLOUD_WORKLOAD_LATENCY_MODEL_HPP
+
+namespace hcloud::workload {
+
+namespace latency_model {
+
+/** Requests per second one core serves at quality 1. */
+inline constexpr double kRpsPerCore = 12500.0;
+
+/** p99 latency of an unloaded, un-interfered service, in microseconds. */
+inline constexpr double kBaseP99Us = 150.0;
+
+/** Utilization at which capacity is considered saturated. */
+inline constexpr double kRhoCap = 0.995;
+
+/**
+ * p99 recorded while a service has no serving capacity at all — still
+ * queued or waiting for an instance to spin up. Requests pile up at the
+ * clients; this is the regime behind the 15-20 ms tails the paper
+ * reports for OdM under load variability.
+ */
+inline constexpr double kUnservedP99Us = 20000.0;
+
+/**
+ * Grace period before unserved latency is charged: clients ramp up while
+ * the service deploys, so only sustained capacity gaps (slow spin-up
+ * tails, long queueing, instance churn) surface as timeouts.
+ */
+inline constexpr double kUnservedGraceSec = 25.0;
+
+/** Ceiling on modelled p99: beyond this, clients time out and retry. */
+inline constexpr double kTimeoutP99Us = 50000.0;
+
+/**
+ * p99 request latency in microseconds.
+ *
+ * @param loadRps Offered load.
+ * @param cores Allocated cores.
+ * @param quality Effective instance quality in [0, 1].
+ * @param sensedPressure sensitivity * interference pressure in [0, 1];
+ *        adds tail jitter beyond the pure capacity loss.
+ */
+double p99Us(double loadRps, double cores, double quality,
+             double sensedPressure);
+
+/** p99 with quality 1 and no interference (the isolation baseline). */
+double isolationP99Us(double loadRps, double cores);
+
+/**
+ * QoS target assigned to a service: its isolation p99 with a 2x
+ * engineering margin — tight enough that unmanaged interference violates
+ * it, loose enough that a healthy allocation meets it.
+ */
+double qosTargetUs(double loadRps, double cores);
+
+} // namespace latency_model
+
+} // namespace hcloud::workload
+
+#endif // HCLOUD_WORKLOAD_LATENCY_MODEL_HPP

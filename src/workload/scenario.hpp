@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload scenario generation (Figure 3 / Table 2).
+ *
+ * Three scenarios with increasing load variability:
+ *  - Static: ~854 cores steady state, max:min ~1.1x;
+ *  - Low Variability: 605-core steady state with a mid-scenario surge to
+ *    ~900 cores, driven mostly by the latency-critical services;
+ *  - High Variability: ~210-core trough with short-term spikes up to
+ *    ~1226 cores, shorter individual jobs (~8 min average).
+ *
+ * The generator tracks the nominal outstanding demand per job class and
+ * spawns a job (sized by class-specific distributions, scaled up when the
+ * deficit is large) whenever demand falls short of the scenario's target
+ * curve, producing ~1-second inter-arrivals and a demand curve that tracks
+ * Figure 3.
+ */
+
+#ifndef HCLOUD_WORKLOAD_SCENARIO_HPP
+#define HCLOUD_WORKLOAD_SCENARIO_HPP
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "workload/trace.hpp"
+
+namespace hcloud::workload {
+
+/** The three evaluation scenarios. */
+enum class ScenarioKind
+{
+    Static,
+    LowVariability,
+    HighVariability,
+};
+
+const char* toString(ScenarioKind kind);
+
+/** All scenarios, for iteration. */
+inline constexpr ScenarioKind kAllScenarios[] = {
+    ScenarioKind::Static,
+    ScenarioKind::LowVariability,
+    ScenarioKind::HighVariability,
+};
+
+/** Scenario-generation parameters. */
+struct ScenarioConfig
+{
+    ScenarioKind kind = ScenarioKind::Static;
+    /** Ideal scenario length; the paper uses 2 hours. */
+    sim::Duration duration = sim::hours(2.0);
+    /** Root seed for the generated trace. */
+    std::uint64_t seed = 42;
+    /**
+     * Fraction of jobs drawn from interference-sensitive applications
+     * (memcached / real-time Spark). Negative = natural per-scenario mix.
+     * Used by the Figure 16 sweep.
+     */
+    double sensitiveFraction = -1.0;
+    /** Scales the whole target-load curve (for smaller test runs). */
+    double loadScale = 1.0;
+};
+
+/** Aggregate target load (cores) of a scenario at time @p t (Figure 3). */
+double targetLoad(ScenarioKind kind, sim::Time t);
+
+/** Batch-class share of the target load at time @p t. */
+double targetBatchLoad(ScenarioKind kind, sim::Time t);
+
+/** Latency-critical share of the target load at time @p t. */
+double targetLcLoad(ScenarioKind kind, sim::Time t);
+
+/** Generate the arrival trace of a scenario. */
+ArrivalTrace generateScenario(const ScenarioConfig& config);
+
+} // namespace hcloud::workload
+
+#endif // HCLOUD_WORKLOAD_SCENARIO_HPP

@@ -1,0 +1,57 @@
+#include "workload/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace hcloud::workload {
+
+const char*
+resourceName(std::size_t i)
+{
+    static const char* kNames[kNumResources] = {
+        "cpu",      "l1i-cache", "l1d-cache", "llc",     "mem-bw",
+        "mem-cap",  "disk-bw",   "disk-cap",  "net-bw",  "net-lat",
+    };
+    return i < kNumResources ? kNames[i] : "?";
+}
+
+double
+qualityScore(const ResourceVector& c)
+{
+    ResourceVector sorted = c;
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    double q = 0.0;
+    double norm = 0.0;
+    for (std::size_t k = 0; k < kNumResources; ++k) {
+        const double weight =
+            std::pow(10.0, 2.0 * static_cast<double>(kNumResources - 1 - k));
+        q += std::clamp(sorted[k], 0.0, 1.0) * weight;
+        norm += weight;
+    }
+    return q / norm;
+}
+
+double
+interferenceSensitivity(const ResourceVector& c)
+{
+    double max = 0.0;
+    double sum = 0.0;
+    for (double v : c) {
+        max = std::max(max, v);
+        sum += v;
+    }
+    const double mean = sum / static_cast<double>(kNumResources);
+    return std::clamp(0.65 * max + 0.35 * mean, 0.0, 1.0);
+}
+
+double
+pressureScalar(const ResourceVector& c)
+{
+    double sum = 0.0;
+    for (double v : c)
+        sum += v;
+    return sum / static_cast<double>(kNumResources);
+}
+
+} // namespace hcloud::workload

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Resource-sensitivity vectors and the paper's quality encoding Q.
+ *
+ * Following Quasar (Section 3.3), a job's sensitivity to interference in
+ * resource i is c_i with i in [1, N], N = 10. Large c_i means the job both
+ * presses on and suffers from contention in resource i. The scalar quality
+ * score Q is computed by sorting the vector by decreasing magnitude and
+ * applying the order-preserving encoding
+ *
+ *   Q = c_j * 10^(2(N-1)) + c_k * 10^(2(N-2)) + ... + c_n,
+ *
+ * normalized into [0, 1]. High Q = resource-demanding job; low Q = job that
+ * tolerates interference.
+ */
+
+#ifndef HCLOUD_WORKLOAD_SENSITIVITY_HPP
+#define HCLOUD_WORKLOAD_SENSITIVITY_HPP
+
+#include <array>
+#include <cstddef>
+
+namespace hcloud::workload {
+
+/** Number of examined shared resources (Quasar's N). */
+inline constexpr std::size_t kNumResources = 10;
+
+/** Per-resource sensitivity, each entry in [0, 1]. */
+using ResourceVector = std::array<double, kNumResources>;
+
+/** Human-readable resource name for reports. */
+const char* resourceName(std::size_t i);
+
+/**
+ * The order-preserving quality encoding Q, normalized to [0, 1].
+ */
+double qualityScore(const ResourceVector& c);
+
+/**
+ * Scalar interference sensitivity used by the performance model: how much
+ * delivered quality degrades per unit of interference pressure. Weighted
+ * toward the worst resource, since contention on the single most critical
+ * resource dominates observed slowdown.
+ */
+double interferenceSensitivity(const ResourceVector& c);
+
+/**
+ * Scalar pressure the job exerts on co-resident workloads (mean c_i).
+ */
+double pressureScalar(const ResourceVector& c);
+
+} // namespace hcloud::workload
+
+#endif // HCLOUD_WORKLOAD_SENSITIVITY_HPP

@@ -1,0 +1,103 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace hcloud::workload {
+
+namespace {
+
+sim::Duration
+nominalDuration(const JobSpec& s)
+{
+    return s.jobClass() == JobClass::Batch ? s.idealDuration : s.lcLifetime;
+}
+
+} // namespace
+
+void
+ArrivalTrace::add(JobSpec spec)
+{
+    assert(!sealed_);
+    assert(jobs_.empty() || spec.arrival >= jobs_.back().arrival);
+    horizon_ = std::max(horizon_, spec.arrival + nominalDuration(spec));
+    jobs_.push_back(std::move(spec));
+}
+
+void
+ArrivalTrace::seal()
+{
+    assert(!sealed_);
+    sealed_ = true;
+    // Build the nominal demand curve from arrival/end deltas.
+    std::map<sim::Time, double> deltas;
+    for (const auto& j : jobs_) {
+        deltas[j.arrival] += j.coresIdeal;
+        deltas[j.arrival + nominalDuration(j)] -= j.coresIdeal;
+    }
+    double level = 0.0;
+    required_ = {};
+    for (const auto& [t, d] : deltas) {
+        level += d;
+        required_.record(t, std::max(level, 0.0));
+    }
+}
+
+TraceStats
+ArrivalTrace::stats() const
+{
+    TraceStats s;
+    s.jobCount = jobs_.size();
+    double batch_core_seconds = 0.0;
+    double lc_core_seconds = 0.0;
+    double total_duration = 0.0;
+    for (const auto& j : jobs_) {
+        const double cs = j.coresIdeal * nominalDuration(j);
+        if (j.jobClass() == JobClass::Batch) {
+            ++s.batchJobs;
+            batch_core_seconds += cs;
+        } else {
+            ++s.lcJobs;
+            lc_core_seconds += cs;
+        }
+        total_duration += nominalDuration(j);
+    }
+    s.batchLcJobRatio = s.lcJobs
+        ? static_cast<double>(s.batchJobs) / static_cast<double>(s.lcJobs)
+        : 0.0;
+    s.batchLcCoreRatio =
+        lc_core_seconds > 0.0 ? batch_core_seconds / lc_core_seconds : 0.0;
+    s.meanJobDuration =
+        s.jobCount ? total_duration / static_cast<double>(s.jobCount) : 0.0;
+    if (jobs_.size() >= 2) {
+        s.meanInterArrival = (jobs_.back().arrival - jobs_.front().arrival) /
+            static_cast<double>(jobs_.size() - 1);
+    }
+    s.idealCompletion = horizon_;
+
+    // min/max of the demand curve, ignoring the ramp-up edge and the
+    // post-cutoff drain tail, as the paper's Figure 3 does.
+    const sim::Time lo = horizon_ * 0.05;
+    const sim::Time hi = horizon_ * 0.88;
+    double min_cores = 0.0;
+    double max_cores = 0.0;
+    bool first = true;
+    for (const auto& p : required_.points()) {
+        if (p.t < lo || p.t > hi)
+            continue;
+        if (first) {
+            min_cores = max_cores = p.v;
+            first = false;
+        } else {
+            min_cores = std::min(min_cores, p.v);
+            max_cores = std::max(max_cores, p.v);
+        }
+    }
+    s.minCores = min_cores;
+    s.maxCores = max_cores;
+    s.maxMinCoreRatio = min_cores > 0.0 ? max_cores / min_cores : 0.0;
+    return s;
+}
+
+} // namespace hcloud::workload

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Arrival traces: the output of scenario generation, the input of a run.
+ */
+
+#ifndef HCLOUD_WORKLOAD_TRACE_HPP
+#define HCLOUD_WORKLOAD_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/timeseries.hpp"
+#include "sim/types.hpp"
+#include "workload/job.hpp"
+
+namespace hcloud::workload {
+
+/** Summary statistics of a trace, mirroring Table 2 of the paper. */
+struct TraceStats
+{
+    std::size_t jobCount = 0;
+    std::size_t batchJobs = 0;
+    std::size_t lcJobs = 0;
+    /** max : min of the nominal required-cores curve. */
+    double maxMinCoreRatio = 0.0;
+    double minCores = 0.0;
+    double maxCores = 0.0;
+    /** batch : LC ratio in job counts. */
+    double batchLcJobRatio = 0.0;
+    /** batch : LC ratio in core demand (core-seconds). */
+    double batchLcCoreRatio = 0.0;
+    /** Mean job duration in seconds (batch duration / LC lifetime). */
+    double meanJobDuration = 0.0;
+    /** Mean inter-arrival time in seconds. */
+    double meanInterArrival = 0.0;
+    /** Completion time with no delays or interference. */
+    sim::Duration idealCompletion = 0.0;
+};
+
+/**
+ * A generated arrival trace plus its nominal demand curve.
+ */
+class ArrivalTrace
+{
+  public:
+    ArrivalTrace() = default;
+
+    /** Jobs ordered by arrival time. */
+    const std::vector<JobSpec>& jobs() const { return jobs_; }
+
+    /** Nominal required cores over time (jobs at their ideal sizes). */
+    const sim::StepSeries& requiredCores() const { return required_; }
+
+    /** Scenario end time (last nominal job end). */
+    sim::Time horizon() const { return horizon_; }
+
+    /** Append a job (arrivals must be non-decreasing). */
+    void add(JobSpec spec);
+
+    /** Finalize: build the demand curve and freeze the trace. */
+    void seal();
+
+    /** Table 2-style statistics. */
+    TraceStats stats() const;
+
+  private:
+    std::vector<JobSpec> jobs_;
+    sim::StepSeries required_;
+    sim::Time horizon_ = 0.0;
+    bool sealed_ = false;
+};
+
+} // namespace hcloud::workload
+
+#endif // HCLOUD_WORKLOAD_TRACE_HPP

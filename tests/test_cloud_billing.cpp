@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the billing meter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/billing.hpp"
+#include "cloud/instance_type.hpp"
+#include "cloud/pricing.hpp"
+
+namespace hcloud::cloud {
+namespace {
+
+const InstanceType&
+st16()
+{
+    return InstanceTypeCatalog::defaultCatalog().byName("st16");
+}
+
+const InstanceType&
+st4()
+{
+    return InstanceTypeCatalog::defaultCatalog().byName("st4");
+}
+
+TEST(BillingMeter, ReservedPoolAmortizedCharge)
+{
+    BillingMeter meter;
+    meter.setReservedPool(st16(), 10);
+    AwsStylePricing pricing(2.0);
+    const CostBreakdown cost = meter.amortized(pricing, 3600.0);
+    // 10 instances x (0.8/2) $/h x 1 h.
+    EXPECT_NEAR(cost.reserved, 10 * 0.4, 1e-9);
+    EXPECT_DOUBLE_EQ(cost.onDemand, 0.0);
+}
+
+TEST(BillingMeter, OnDemandMinimumAndRounding)
+{
+    BillingMeter meter;
+    meter.onDemandAcquired(1, st4(), 0.0);
+    meter.onDemandReleased(1, 10.0); // 10 s -> minimum 60 s billed
+    EXPECT_NEAR(meter.onDemandBilledHours(3600.0), 60.0 / 3600.0, 1e-9);
+
+    BillingMeter meter2;
+    meter2.onDemandAcquired(1, st4(), 0.0);
+    meter2.onDemandReleased(1, 61.0); // rounds up to 120 s
+    EXPECT_NEAR(meter2.onDemandBilledHours(3600.0), 120.0 / 3600.0, 1e-9);
+}
+
+TEST(BillingMeter, OpenRecordsBilledToEnd)
+{
+    BillingMeter meter;
+    meter.onDemandAcquired(7, st4(), 0.0);
+    // Never released: billed until the query time.
+    EXPECT_NEAR(meter.onDemandBilledHours(7200.0), 2.0, 1e-9);
+}
+
+TEST(BillingMeter, AmortizedOnDemandUsesPerTypeAggregation)
+{
+    BillingMeter meter;
+    meter.onDemandAcquired(1, st4(), 0.0);
+    meter.onDemandReleased(1, 3600.0);
+    meter.onDemandAcquired(2, st16(), 0.0);
+    meter.onDemandReleased(2, 3600.0);
+    AwsStylePricing pricing;
+    const CostBreakdown cost = meter.amortized(pricing, 3600.0);
+    EXPECT_NEAR(cost.onDemand, 0.2 + 0.8, 1e-9);
+}
+
+TEST(BillingMeter, CommittedChargesWholeTerms)
+{
+    BillingMeter meter;
+    meter.setReservedPool(st16(), 2);
+    AwsStylePricing pricing;
+    const sim::Duration year = pricing.reservedTerm();
+    // 10 weeks of operation: one full term charged.
+    const CostBreakdown ten_weeks =
+        meter.committed(pricing, 7200.0, sim::weeks(10.0));
+    EXPECT_NEAR(ten_weeks.reserved, 2 * pricing.reservedUpfront(st16()),
+                1e-6);
+    // Beyond one year: the charge doubles.
+    const CostBreakdown beyond =
+        meter.committed(pricing, 7200.0, year + 1.0);
+    EXPECT_NEAR(beyond.reserved, 4 * pricing.reservedUpfront(st16()),
+                1e-6);
+}
+
+TEST(BillingMeter, CommittedExtrapolatesOnDemandLinearly)
+{
+    BillingMeter meter;
+    meter.onDemandAcquired(1, st16(), 0.0);
+    meter.onDemandReleased(1, 7200.0);
+    AwsStylePricing pricing;
+    const double run_cost = meter.amortized(pricing, 7200.0).onDemand;
+    const CostBreakdown week =
+        meter.committed(pricing, 7200.0, sim::weeks(1.0));
+    EXPECT_NEAR(week.onDemand, run_cost * sim::weeks(1.0) / 7200.0, 1e-6);
+}
+
+TEST(BillingMeter, AcquisitionCountTracked)
+{
+    BillingMeter meter;
+    meter.onDemandAcquired(1, st4(), 0.0);
+    meter.onDemandAcquired(2, st4(), 5.0);
+    EXPECT_EQ(meter.onDemandAcquisitions(), 2u);
+}
+
+} // namespace
+} // namespace hcloud::cloud

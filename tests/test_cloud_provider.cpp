@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the CloudProvider control-plane facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/provider.hpp"
+#include "sim/simulator.hpp"
+
+namespace hcloud::cloud {
+namespace {
+
+class ProviderTest : public ::testing::Test
+{
+  protected:
+    const InstanceType&
+    typeNamed(const char* name)
+    {
+        return InstanceTypeCatalog::defaultCatalog().byName(name);
+    }
+
+    sim::Simulator simulator;
+    CloudProvider provider{simulator, ProviderProfile::gce(), {},
+                           sim::Rng(42)};
+};
+
+TEST_F(ProviderTest, ReservedPoolReadyImmediately)
+{
+    auto pool = provider.reserveDedicated(typeNamed("st16"), 3);
+    ASSERT_EQ(pool.size(), 3u);
+    for (Instance* inst : pool) {
+        EXPECT_EQ(inst->state(), InstanceState::Running);
+        EXPECT_TRUE(inst->reserved());
+        EXPECT_DOUBLE_EQ(inst->availableAt(), 0.0);
+        EXPECT_FALSE(inst->host()->shared());
+    }
+    EXPECT_EQ(provider.billing().reservedCount(), 3);
+}
+
+TEST_F(ProviderTest, AcquireSpinsUpThenCallsBack)
+{
+    Instance* ready_instance = nullptr;
+    Instance* inst = provider.acquire(
+        typeNamed("st16"),
+        [&](Instance* i) { ready_instance = i; });
+    EXPECT_EQ(inst->state(), InstanceState::SpinningUp);
+    EXPECT_GT(inst->availableAt(), 0.0);
+    simulator.run();
+    EXPECT_EQ(ready_instance, inst);
+    EXPECT_EQ(inst->state(), InstanceState::Running);
+    EXPECT_DOUBLE_EQ(simulator.now(), inst->availableAt());
+}
+
+TEST_F(ProviderTest, ReleaseBeforeReadySuppressesCallback)
+{
+    bool called = false;
+    Instance* inst =
+        provider.acquire(typeNamed("st16"), [&](Instance*) {
+            called = true;
+        });
+    provider.release(inst);
+    simulator.run();
+    EXPECT_FALSE(called);
+    EXPECT_EQ(inst->state(), InstanceState::Released);
+}
+
+TEST_F(ProviderTest, FullServerGetsDedicatedMachine)
+{
+    Instance* inst = provider.acquire(typeNamed("st16"), nullptr);
+    EXPECT_FALSE(inst->host()->shared());
+    EXPECT_EQ(inst->host()->freeVcpus(), 0);
+}
+
+TEST_F(ProviderTest, SlicesPackOntoSharedMachines)
+{
+    Instance* a = provider.acquire(typeNamed("st4"), nullptr);
+    Instance* b = provider.acquire(typeNamed("st8"), nullptr);
+    Instance* c = provider.acquire(typeNamed("st4"), nullptr);
+    // 4 + 8 + 4 = 16 vCPUs: first-fit packs them on one shared machine.
+    EXPECT_TRUE(a->host()->shared());
+    EXPECT_EQ(a->host(), b->host());
+    EXPECT_EQ(a->host(), c->host());
+    EXPECT_EQ(a->host()->freeVcpus(), 0);
+    // The next slice must open a second machine.
+    Instance* d = provider.acquire(typeNamed("st1"), nullptr);
+    EXPECT_NE(d->host(), a->host());
+}
+
+TEST_F(ProviderTest, ReleaseFreesTheSlice)
+{
+    Instance* a = provider.acquire(typeNamed("st8"), nullptr);
+    Machine* host = a->host();
+    const int free_before = host->freeVcpus();
+    provider.release(a);
+    EXPECT_EQ(host->freeVcpus(), free_before + 8);
+}
+
+TEST_F(ProviderTest, BillingRecordsAcquireAndRelease)
+{
+    Instance* a = provider.acquire(typeNamed("st4"), nullptr);
+    simulator.runUntil(1000.0);
+    provider.release(a);
+    EXPECT_EQ(provider.billing().onDemandAcquisitions(), 1u);
+    EXPECT_GT(provider.billing().onDemandBilledHours(2000.0), 0.0);
+}
+
+TEST_F(ProviderTest, InstanceIdsUnique)
+{
+    Instance* a = provider.acquire(typeNamed("st4"), nullptr);
+    Instance* b = provider.acquire(typeNamed("st4"), nullptr);
+    EXPECT_NE(a->id(), b->id());
+}
+
+TEST_F(ProviderTest, DeterministicAcrossIdenticalRuns)
+{
+    sim::Simulator sim2;
+    CloudProvider provider2(sim2, ProviderProfile::gce(), {},
+                            sim::Rng(42));
+    Instance* a = provider.acquire(typeNamed("st8"), nullptr);
+    Instance* b = provider2.acquire(typeNamed("st8"), nullptr);
+    EXPECT_DOUBLE_EQ(a->availableAt(), b->availableAt());
+    EXPECT_DOUBLE_EQ(a->spatialQuality(), b->spatialQuality());
+}
+
+} // namespace
+} // namespace hcloud::cloud

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the instance-type catalog and the pricing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/pricing.hpp"
+
+namespace hcloud::cloud {
+namespace {
+
+TEST(InstanceTypeCatalog, DefaultCatalogSortedBySize)
+{
+    const auto& types = InstanceTypeCatalog::defaultCatalog().types();
+    ASSERT_FALSE(types.empty());
+    for (std::size_t i = 1; i < types.size(); ++i)
+        EXPECT_LE(types[i - 1].vcpus, types[i].vcpus);
+}
+
+TEST(InstanceTypeCatalog, ByNameAndUnknownThrows)
+{
+    const auto& catalog = InstanceTypeCatalog::defaultCatalog();
+    EXPECT_EQ(catalog.byName("st8").vcpus, 8);
+    EXPECT_EQ(catalog.byName("m16").family, Family::HighMem);
+    EXPECT_THROW(catalog.byName("nope"), std::out_of_range);
+}
+
+TEST(InstanceTypeCatalog, SmallestFittingHonorsCoresAndMemory)
+{
+    const auto& catalog = InstanceTypeCatalog::defaultCatalog();
+    const InstanceType* t = catalog.smallestFitting(3.0, 4.0);
+    ASSERT_NE(t, nullptr);
+    EXPECT_GE(t->vcpus, 3);
+    EXPECT_GE(t->memoryGb, 4.0);
+    // Memory-hungry demand must land in the highmem family.
+    const InstanceType* hm = catalog.smallestFitting(4.0, 24.0);
+    ASSERT_NE(hm, nullptr);
+    EXPECT_EQ(hm->family, Family::HighMem);
+    // Nothing fits absurd demand.
+    EXPECT_EQ(catalog.smallestFitting(64.0, 1.0), nullptr);
+}
+
+TEST(InstanceTypeCatalog, SmallestFittingIsCheapest)
+{
+    const auto& catalog = InstanceTypeCatalog::defaultCatalog();
+    // 2 cores with modest memory: highcpu (cheapest) qualifies.
+    const InstanceType* t = catalog.smallestFitting(2.0, 1.5);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->family, Family::HighCpu);
+}
+
+TEST(InstanceTypeCatalog, FamilyFilterAndLargest)
+{
+    const auto& catalog = InstanceTypeCatalog::defaultCatalog();
+    const InstanceType* t =
+        catalog.smallestFitting(2.0, 1.0, Family::Standard);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->family, Family::Standard);
+    EXPECT_EQ(catalog.largest(Family::Standard).name, "st16");
+    EXPECT_TRUE(catalog.largest(Family::Standard).fullServer());
+}
+
+TEST(AwsStylePricing, RatioMathAndUpfront)
+{
+    const auto& st16 =
+        InstanceTypeCatalog::defaultCatalog().byName("st16");
+    AwsStylePricing pricing(2.74);
+    EXPECT_DOUBLE_EQ(pricing.onDemandHourly(st16), 0.8);
+    EXPECT_NEAR(pricing.reservedEffectiveHourly(st16), 0.8 / 2.74, 1e-12);
+    // Upfront = effective hourly x one 1-year term.
+    EXPECT_NEAR(pricing.reservedUpfront(st16),
+                (0.8 / 2.74) * 365.0 * 24.0, 1e-6);
+    EXPECT_TRUE(pricing.offersReserved());
+}
+
+TEST(AwsStylePricing, RatioSweepMonotone)
+{
+    const auto& st16 =
+        InstanceTypeCatalog::defaultCatalog().byName("st16");
+    double prev = 1e18;
+    for (double ratio : {0.5, 1.0, 2.0, 4.0}) {
+        AwsStylePricing pricing(ratio);
+        const double hourly = pricing.reservedEffectiveHourly(st16);
+        EXPECT_LT(hourly, prev);
+        prev = hourly;
+    }
+}
+
+TEST(GcePricing, DiscountTiers)
+{
+    // Full-month usage averages the 1.0/0.8/0.6/0.4 quartile schedule.
+    EXPECT_DOUBLE_EQ(GceSustainedUsePricing::discountMultiplier(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(GceSustainedUsePricing::discountMultiplier(0.25),
+                     1.0);
+    EXPECT_NEAR(GceSustainedUsePricing::discountMultiplier(0.5), 0.9,
+                1e-12);
+    EXPECT_NEAR(GceSustainedUsePricing::discountMultiplier(1.0), 0.7,
+                1e-12);
+    // Monotone non-increasing.
+    double prev = 1.0;
+    for (double f = 0.05; f <= 1.0; f += 0.05) {
+        const double m = GceSustainedUsePricing::discountMultiplier(f);
+        EXPECT_LE(m, prev + 1e-12);
+        prev = m;
+    }
+}
+
+TEST(GcePricing, ChargeAppliesDiscountOverWindow)
+{
+    const auto& st1 = InstanceTypeCatalog::defaultCatalog().byName("st1");
+    GceSustainedUsePricing pricing;
+    // Full window usage: 30% discount.
+    EXPECT_NEAR(pricing.onDemandCharge(st1, 100.0, 100.0),
+                0.05 * 100.0 * 0.7, 1e-9);
+    // Quarter usage: list price.
+    EXPECT_NEAR(pricing.onDemandCharge(st1, 25.0, 100.0), 0.05 * 25.0,
+                1e-9);
+    EXPECT_FALSE(pricing.offersReserved());
+}
+
+TEST(AzurePricing, PlainOnDemand)
+{
+    const auto& st2 = InstanceTypeCatalog::defaultCatalog().byName("st2");
+    AzureOnDemandPricing pricing;
+    EXPECT_FALSE(pricing.offersReserved());
+    EXPECT_DOUBLE_EQ(pricing.onDemandCharge(st2, 10.0, 100.0),
+                     0.1 * 10.0);
+    // Without reservations, "reserved" usage is priced at list.
+    EXPECT_DOUBLE_EQ(pricing.reservedEffectiveHourly(st2), 0.1);
+}
+
+} // namespace
+} // namespace hcloud::cloud

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the application-mapping policies (P1-P8) and the dynamic
+ * policy's decision structure (Figure 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mapping_policy.hpp"
+
+namespace hcloud::core {
+namespace {
+
+MappingInputs
+baseInputs()
+{
+    MappingInputs in;
+    in.reservedUtilization = 0.5;
+    in.jobQuality = 0.5;
+    in.onDemandQ90 = 0.9;
+    in.softLimit = 0.65;
+    in.hardLimit = 0.85;
+    in.estimatedQueueWait = 1.0;
+    in.largeSpinUpMedian = 15.0;
+    return in;
+}
+
+TEST(MappingPolicy, RandomIsRoughlyFair)
+{
+    sim::Rng rng(3);
+    MappingInputs in = baseInputs();
+    in.rng = &rng;
+    int reserved = 0;
+    for (int i = 0; i < 2000; ++i) {
+        reserved += decideMapping(PolicyKind::P1Random, in) ==
+            MapTarget::Reserved;
+    }
+    EXPECT_NEAR(reserved / 2000.0, 0.5, 0.05);
+}
+
+TEST(MappingPolicy, QualityThresholds)
+{
+    MappingInputs in = baseInputs();
+    in.jobQuality = 0.85;
+    EXPECT_EQ(decideMapping(PolicyKind::P2Q80, in), MapTarget::Reserved);
+    EXPECT_EQ(decideMapping(PolicyKind::P3Q50, in), MapTarget::Reserved);
+    EXPECT_EQ(decideMapping(PolicyKind::P4Q20, in), MapTarget::Reserved);
+    in.jobQuality = 0.60;
+    EXPECT_EQ(decideMapping(PolicyKind::P2Q80, in), MapTarget::OnDemand);
+    EXPECT_EQ(decideMapping(PolicyKind::P3Q50, in), MapTarget::Reserved);
+    in.jobQuality = 0.10;
+    EXPECT_EQ(decideMapping(PolicyKind::P4Q20, in), MapTarget::OnDemand);
+}
+
+TEST(MappingPolicy, StaticLoadLimits)
+{
+    MappingInputs in = baseInputs();
+    in.reservedUtilization = 0.60;
+    EXPECT_EQ(decideMapping(PolicyKind::P5Load50, in),
+              MapTarget::OnDemand);
+    EXPECT_EQ(decideMapping(PolicyKind::P6Load70, in),
+              MapTarget::Reserved);
+    EXPECT_EQ(decideMapping(PolicyKind::P7Load90, in),
+              MapTarget::Reserved);
+    in.reservedUtilization = 0.95;
+    EXPECT_EQ(decideMapping(PolicyKind::P7Load90, in),
+              MapTarget::OnDemand);
+}
+
+TEST(DynamicPolicy, BelowSoftEverythingReserved)
+{
+    MappingInputs in = baseInputs();
+    in.reservedUtilization = 0.30;
+    in.jobQuality = 0.1; // even ultra-tolerant jobs
+    EXPECT_EQ(decideMapping(PolicyKind::P8Dynamic, in),
+              MapTarget::Reserved);
+}
+
+TEST(DynamicPolicy, BetweenLimitsSplitsBySensitivity)
+{
+    MappingInputs in = baseInputs();
+    in.reservedUtilization = 0.75;
+    // Tolerant job: the on-demand type meets its quality at 90% conf.
+    in.jobQuality = 0.5;
+    in.onDemandQ90 = 0.9;
+    EXPECT_EQ(decideMapping(PolicyKind::P8Dynamic, in),
+              MapTarget::OnDemand);
+    // Sensitive job: stays on reserved.
+    in.jobQuality = 0.95;
+    EXPECT_EQ(decideMapping(PolicyKind::P8Dynamic, in),
+              MapTarget::Reserved);
+}
+
+TEST(DynamicPolicy, AboveHardQueuesSensitiveJobs)
+{
+    MappingInputs in = baseInputs();
+    in.reservedUtilization = 0.95;
+    in.jobQuality = 0.95;
+    in.estimatedQueueWait = 2.0; // shorter than spinning up a server
+    EXPECT_EQ(decideMapping(PolicyKind::P8Dynamic, in),
+              MapTarget::QueueReserved);
+    // Tolerant jobs still overflow.
+    in.jobQuality = 0.4;
+    EXPECT_EQ(decideMapping(PolicyKind::P8Dynamic, in),
+              MapTarget::OnDemand);
+}
+
+TEST(DynamicPolicy, QueueWaitEscapeHatch)
+{
+    MappingInputs in = baseInputs();
+    in.reservedUtilization = 0.95;
+    in.jobQuality = 0.95;
+    in.estimatedQueueWait = 120.0; // queue would outlast a spin-up
+    in.largeSpinUpMedian = 15.0;
+    EXPECT_EQ(decideMapping(PolicyKind::P8Dynamic, in),
+              MapTarget::OnDemandLarge);
+}
+
+TEST(DynamicPolicy, SoftLimitAdaptationChangesDecision)
+{
+    MappingInputs in = baseInputs();
+    in.reservedUtilization = 0.55;
+    in.jobQuality = 0.3;
+    in.softLimit = 0.65;
+    EXPECT_EQ(decideMapping(PolicyKind::P8Dynamic, in),
+              MapTarget::Reserved);
+    in.softLimit = 0.40; // feedback tightened the limit
+    EXPECT_EQ(decideMapping(PolicyKind::P8Dynamic, in),
+              MapTarget::OnDemand);
+}
+
+TEST(MappingPolicy, NamesDefined)
+{
+    for (PolicyKind p : kAllPolicies)
+        EXPECT_STRNE(toString(p), "?");
+    EXPECT_STREQ(toString(MapTarget::Reserved), "reserved");
+    EXPECT_STREQ(toString(MapTarget::OnDemandLarge), "on-demand-large");
+}
+
+/**
+ * Property sweep: under P8, raising utilization never moves a job from
+ * on-demand back to reserved (monotone overflow).
+ */
+class UtilizationMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(UtilizationMonotonicity, OverflowIsMonotone)
+{
+    MappingInputs in = baseInputs();
+    in.jobQuality = GetParam();
+    bool overflowed = false;
+    for (double util = 0.0; util <= 1.0; util += 0.01) {
+        in.reservedUtilization = util;
+        const MapTarget t = decideMapping(PolicyKind::P8Dynamic, in);
+        if (t != MapTarget::Reserved)
+            overflowed = true;
+        else
+            EXPECT_FALSE(overflowed)
+                << "job returned to reserved at util " << util;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(JobQualities, UtilizationMonotonicity,
+                         ::testing::Values(0.1, 0.5, 0.8, 0.95));
+
+} // namespace
+} // namespace hcloud::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the experiment harness: reporter formatting and the
+ * memoized run matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace hcloud::exp {
+namespace {
+
+TEST(Report, FmtPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmt(0.0, 3), "0.000");
+}
+
+TEST(Report, BoxplotRowLayout)
+{
+    sim::BoxplotSummary b;
+    b.p5 = 1.0;
+    b.p25 = 2.0;
+    b.mean = 3.0;
+    b.p75 = 4.0;
+    b.p95 = 5.0;
+    const auto row = boxplotRow("label", b, 1);
+    ASSERT_EQ(row.size(), 6u);
+    EXPECT_EQ(row[0], "label");
+    EXPECT_EQ(row[1], "1.0");
+    EXPECT_EQ(row[5], "5.0");
+}
+
+TEST(Runner, TraceCachedPerScenario)
+{
+    Runner runner{ExperimentOptions{0.1, 42}};
+    const workload::ArrivalTrace& a =
+        runner.trace(workload::ScenarioKind::Static);
+    const workload::ArrivalTrace& b =
+        runner.trace(workload::ScenarioKind::Static);
+    EXPECT_EQ(&a, &b) << "same scenario must return the cached trace";
+    const workload::ArrivalTrace& c =
+        runner.trace(workload::ScenarioKind::HighVariability);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(Runner, RunsMemoizedByCell)
+{
+    Runner runner{ExperimentOptions{0.1, 42}};
+    const core::RunResult& a =
+        runner.run(workload::ScenarioKind::Static, core::StrategyKind::SR);
+    const core::RunResult& b =
+        runner.run(workload::ScenarioKind::Static, core::StrategyKind::SR);
+    EXPECT_EQ(&a, &b) << "identical cells must not re-run";
+    const core::RunResult& c = runner.run(workload::ScenarioKind::Static,
+                                          core::StrategyKind::SR, false);
+    EXPECT_NE(&a, &c) << "profiling flag is part of the cell key";
+    EXPECT_EQ(a.strategy, "SR");
+    EXPECT_FALSE(c.profiling);
+}
+
+TEST(Runner, OptionsFlowIntoRuns)
+{
+    Runner runner{ExperimentOptions{0.1, 7}};
+    EXPECT_EQ(runner.options().seed, 7u);
+    EXPECT_EQ(runner.baseConfig().seed, 7u);
+    const core::RunResult& r = runner.run(
+        workload::ScenarioKind::Static, core::StrategyKind::HF);
+    // A 10%-scale static scenario needs a pool of ~6 servers, not ~60.
+    EXPECT_LT(r.billing.reservedCount(), 15);
+    EXPECT_GT(r.billing.reservedCount(), 0);
+}
+
+TEST(Runner, RunWithCustomConfigIsIndependent)
+{
+    Runner runner{ExperimentOptions{0.1, 42}};
+    core::EngineConfig cfg = runner.baseConfig();
+    cfg.seed = 42;
+    cfg.mappingPolicy = core::PolicyKind::P1Random;
+    const core::RunResult a = runner.runWith(
+        workload::ScenarioKind::Static, core::StrategyKind::HM, cfg);
+    const core::RunResult b = runner.runWith(
+        workload::ScenarioKind::Static, core::StrategyKind::HM, cfg);
+    EXPECT_DOUBLE_EQ(a.meanPerfNorm(), b.meanPerfNorm())
+        << "custom runs stay deterministic";
+}
+
+} // namespace
+} // namespace hcloud::exp

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Failure-injection tests: platform-killed instances (the EC2 micro
+ * behaviour of Figure 1) flowing through the whole engine, plus billing
+ * edge cases around cancelled records.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/billing.hpp"
+#include "cloud/provider.hpp"
+#include "core/engine.hpp"
+#include "sim/simulator.hpp"
+#include "workload/archetypes.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcloud {
+namespace {
+
+/** An EC2-like profile where every small instance kills its workload. */
+cloud::ProviderProfile
+hostileProfile()
+{
+    cloud::ProviderProfile p = cloud::ProviderProfile::ec2();
+    p.microKillProbability = 1.0;
+    return p;
+}
+
+/** A trace of tiny jobs whose memory demand fits the micro shape. */
+workload::ArrivalTrace
+microEligibleTrace(std::size_t jobs)
+{
+    workload::ArrivalTrace trace;
+    sim::Rng rng(13);
+    for (std::size_t i = 0; i < jobs; ++i) {
+        workload::JobSpec spec;
+        spec.id = i + 1;
+        spec.kind = workload::AppKind::HadoopRecommender;
+        spec.arrival = static_cast<sim::Time>(i) * 2.0;
+        spec.coresIdeal = 1.0;
+        spec.memoryPerCore = 0.3; // fits the 0.6 GiB micro
+        spec.idealDuration = 300.0;
+        spec.sensitivity =
+            workload::generateSensitivity(spec.kind, rng);
+        trace.add(std::move(spec));
+    }
+    trace.seal();
+    return trace;
+}
+
+TEST(FailureInjection, FaultyInstancesFailJobsButRunCompletes)
+{
+    // OdM on a hostile provider: micro-eligible jobs (1 core, tiny
+    // memory) land on the cheapest fitting shape — the micro — whose
+    // platform terminates them.
+    const workload::ArrivalTrace trace = microEligibleTrace(30);
+
+    core::EngineConfig config;
+    config.seed = 3;
+    config.qosMonitoring = false; // no rescue: measure the raw kills
+    core::Engine engine(config, hostileProfile());
+    const core::RunResult r =
+        engine.run(trace, core::StrategyKind::OdM, "hostile");
+
+    EXPECT_EQ(r.jobCount, trace.jobs().size())
+        << "every job must be accounted for";
+    EXPECT_GT(r.failedJobs, 0u) << "micro placements must be killed";
+    // Failed jobs score zero normalized performance.
+    EXPECT_DOUBLE_EQ(r.batchPerfNorm.min(), 0.0);
+}
+
+TEST(FailureInjection, ReservedPoolImmuneToMicroKills)
+{
+    // SR uses only dedicated full servers; the hostile micro behaviour
+    // must never reach it.
+    workload::ScenarioConfig scenario;
+    scenario.kind = workload::ScenarioKind::Static;
+    scenario.seed = 3;
+    scenario.loadScale = 0.08;
+    const workload::ArrivalTrace trace =
+        workload::generateScenario(scenario);
+
+    core::EngineConfig config;
+    config.seed = 3;
+    core::Engine engine(config, hostileProfile());
+    const core::RunResult r =
+        engine.run(trace, core::StrategyKind::SR, "sr-hostile");
+    EXPECT_EQ(r.failedJobs, 0u);
+}
+
+TEST(FailureInjection, RetentionNeverRetainsFaultyInstances)
+{
+    sim::Simulator simulator;
+    cloud::CloudProvider provider(simulator, hostileProfile(), {},
+                                  sim::Rng(5));
+    const auto& micro =
+        cloud::InstanceTypeCatalog::defaultCatalog().byName("micro");
+    cloud::Instance* inst = provider.acquire(micro, nullptr);
+    ASSERT_TRUE(inst->faulty());
+    core::RetentionPolicy policy(1000.0, 0.0);
+    simulator.run();
+    EXPECT_FALSE(policy.retainWorthy(*inst, simulator.now()));
+}
+
+TEST(BillingEdgeCases, DiscardOpenLeavesOtherRecordsIntact)
+{
+    cloud::BillingMeter meter;
+    const auto& st4 =
+        cloud::InstanceTypeCatalog::defaultCatalog().byName("st4");
+    meter.onDemandAcquired(1, st4, 0.0);
+    meter.onDemandAcquired(2, st4, 0.0);
+    meter.onDemandAcquired(3, st4, 0.0);
+    meter.discardOpen(2);
+    // Records 1 and 3 survive and can still be closed.
+    meter.onDemandReleased(1, 3600.0);
+    meter.onDemandReleased(3, 3600.0);
+    EXPECT_EQ(meter.onDemandAcquisitions(), 2u);
+    EXPECT_NEAR(meter.onDemandBilledHours(3600.0), 2.0, 1e-9);
+}
+
+TEST(BillingEdgeCases, SpotRecordsPricedAtLockedFraction)
+{
+    cloud::BillingMeter meter;
+    const auto& st16 =
+        cloud::InstanceTypeCatalog::defaultCatalog().byName("st16");
+    meter.onDemandAcquired(1, st16, 0.0, /*priceFactor=*/0.4);
+    meter.onDemandReleased(1, 3600.0);
+    const cloud::AwsStylePricing pricing;
+    EXPECT_NEAR(meter.amortized(pricing, 3600.0).onDemand, 0.8 * 0.4,
+                1e-9);
+}
+
+TEST(FailureInjection, MaxRuntimeCapForcesTermination)
+{
+    // A pathological configuration (every spin-up takes hours) must not
+    // hang the engine: the safety cap fails the stragglers.
+    workload::ScenarioConfig scenario;
+    scenario.kind = workload::ScenarioKind::Static;
+    scenario.seed = 9;
+    scenario.loadScale = 0.05;
+    const workload::ArrivalTrace trace =
+        workload::generateScenario(scenario);
+
+    core::EngineConfig config;
+    config.seed = 9;
+    config.spinUpFixed = sim::hours(20.0);
+    config.maxRuntime = sim::hours(3.0);
+    core::Engine engine(config);
+    const core::RunResult r =
+        engine.run(trace, core::StrategyKind::OdF, "stuck");
+    EXPECT_EQ(r.jobCount, trace.jobs().size());
+    EXPECT_GT(r.failedJobs, 0u);
+    EXPECT_LE(r.makespan, sim::hours(3.1));
+}
+
+} // namespace
+} // namespace hcloud

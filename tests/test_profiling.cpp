@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the Quasar substrate: matrix factorization, classification
+ * accuracy, signature caching and profiling delays.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiling/matrix_factorization.hpp"
+#include "profiling/quasar.hpp"
+#include "sim/rng.hpp"
+#include "workload/archetypes.hpp"
+
+namespace hcloud::profiling {
+namespace {
+
+TEST(MatrixFactorization, RecoversLowRankStructure)
+{
+    // Build a rank-2 matrix and check the factorization reconstructs
+    // held-out entries from sparse observations.
+    const std::size_t cols = 8;
+    sim::Rng rng(3);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> u1(cols);
+    std::vector<double> u2(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        u1[c] = rng.uniform(0.0, 1.0);
+        u2[c] = rng.uniform(0.0, 1.0);
+    }
+    MfConfig cfg;
+    cfg.rank = 4;
+    MatrixFactorization mf(cols, cfg, 7);
+    for (int r = 0; r < 120; ++r) {
+        const double a = rng.uniform(0.0, 1.0);
+        std::vector<double> row(cols);
+        std::vector<std::pair<std::size_t, double>> entries;
+        for (std::size_t c = 0; c < cols; ++c) {
+            row[c] = a * u1[c] + (1.0 - a) * u2[c];
+            entries.emplace_back(c, row[c]);
+        }
+        mf.addRow(entries);
+        rows.push_back(std::move(row));
+    }
+    mf.train();
+    EXPECT_LT(mf.trainRmse(), 0.05);
+
+    // New rows: observe 3 entries, predict the rest.
+    double err = 0.0;
+    int count = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        const double a = rng.uniform(0.0, 1.0);
+        std::vector<double> truth(cols);
+        for (std::size_t c = 0; c < cols; ++c)
+            truth[c] = a * u1[c] + (1.0 - a) * u2[c];
+        const std::vector<std::pair<std::size_t, double>> observed = {
+            {0, truth[0]}, {3, truth[3]}, {5, truth[5]}};
+        const std::vector<double> predicted = mf.completeRow(observed);
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (c == 0 || c == 3 || c == 5)
+                continue;
+            err += std::abs(predicted[c] - truth[c]);
+            ++count;
+        }
+    }
+    EXPECT_LT(err / count, 0.12);
+}
+
+TEST(MatrixFactorization, ObservedEntriesOverridePredictions)
+{
+    MfConfig cfg;
+    MatrixFactorization mf(4, cfg, 1);
+    mf.addRow({{0, 0.5}, {1, 0.5}, {2, 0.5}, {3, 0.5}});
+    mf.train();
+    const auto row = mf.completeRow({{1, 0.93}});
+    EXPECT_DOUBLE_EQ(row[1], 0.93);
+}
+
+TEST(Classifier, BootstrapBuildsLibrary)
+{
+    ClassifierConfig cfg;
+    cfg.referenceJobs = 60;
+    WorkloadClassifier classifier(cfg);
+    classifier.bootstrap();
+    EXPECT_EQ(classifier.libraryRows(), 60u);
+    EXPECT_LT(classifier.trainRmse(), 0.12);
+    // Idempotent.
+    classifier.bootstrap();
+    EXPECT_EQ(classifier.libraryRows(), 60u);
+}
+
+TEST(Quasar, EstimateCloseToTruth)
+{
+    QuasarConfig cfg;
+    Quasar quasar(cfg);
+    sim::Rng rng(5);
+    double sens_err = 0.0;
+    int entries = 0;
+    for (int i = 0; i < 40; ++i) {
+        workload::JobSpec spec;
+        spec.kind = workload::kAllAppKinds[i % 6];
+        spec.sensitivity = workload::generateSensitivity(spec.kind, rng);
+        spec.coresIdeal = 4.0;
+        spec.memoryPerCore = 2.0 + 0.05 * i;
+        const Estimate& e = quasar.estimate(spec);
+        for (std::size_t r = 0; r < workload::kNumResources; ++r) {
+            sens_err += std::abs(e.sensitivity[r] - spec.sensitivity[r]);
+            ++entries;
+        }
+        // Estimates are cached per application signature, so a later
+        // job inherits the estimate of the first job with its signature;
+        // tolerances cover archetype jitter plus observation noise.
+        EXPECT_NEAR(e.quality, spec.trueQuality(), 0.32);
+        // Cores: conservative, never catastrophically under.
+        EXPECT_GE(e.cores, spec.coresIdeal - 2.0);
+        EXPECT_LE(e.cores, spec.coresIdeal + 2.0);
+    }
+    EXPECT_LT(sens_err / entries, 0.17);
+}
+
+TEST(Quasar, SignatureCacheSkipsRepeatProfiling)
+{
+    QuasarConfig cfg;
+    Quasar quasar(cfg);
+    sim::Rng rng(9);
+    workload::JobSpec spec;
+    spec.kind = workload::AppKind::Memcached;
+    spec.sensitivity = workload::generateSensitivity(spec.kind, rng);
+    spec.coresIdeal = 8.0;
+    spec.memoryPerCore = 3.5;
+
+    EXPECT_FALSE(quasar.isCached(spec));
+    const sim::Duration first = quasar.profilingDelay(spec);
+    EXPECT_GE(first, cfg.profileMin);
+    EXPECT_LE(first, cfg.profileMax);
+    (void)quasar.estimate(spec);
+    EXPECT_TRUE(quasar.isCached(spec));
+    EXPECT_DOUBLE_EQ(quasar.profilingDelay(spec), 0.0);
+    EXPECT_EQ(quasar.classifications(), 1u);
+    // Same signature: no reclassification.
+    (void)quasar.estimate(spec);
+    EXPECT_EQ(quasar.classifications(), 1u);
+    // Different size bucket: new signature.
+    spec.coresIdeal = 16.0;
+    (void)quasar.estimate(spec);
+    EXPECT_EQ(quasar.classifications(), 2u);
+}
+
+/** Property: estimation accuracy degrades monotonically with noise. */
+class NoiseSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(NoiseSweep, QualityEstimateWithinNoiseBand)
+{
+    QuasarConfig cfg;
+    cfg.observationNoise = GetParam();
+    Quasar quasar(cfg);
+    sim::Rng rng(13);
+    double err = 0.0;
+    for (int i = 0; i < 30; ++i) {
+        workload::JobSpec spec;
+        spec.kind = workload::kAllAppKinds[i % 6];
+        spec.sensitivity = workload::generateSensitivity(spec.kind, rng);
+        spec.coresIdeal = 2.0 + i % 8;
+        spec.memoryPerCore = 1.0 + 0.1 * i;
+        err += std::abs(quasar.estimate(spec).quality -
+                        spec.trueQuality());
+    }
+    // Tolerance scales with the injected noise.
+    EXPECT_LT(err / 30.0, 0.10 + 2.0 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, NoiseSweep,
+                         ::testing::Values(0.01, 0.05, 0.11, 0.2));
+
+} // namespace
+} // namespace hcloud::profiling

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the DES pending-event set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace hcloud::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTime(), kTimeNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(3.0, [&] { fired.push_back(3); });
+    q.push(1.0, [&] { fired.push_back(1); });
+    q.push(2.0, [&] { fired.push_back(2); });
+    while (!q.empty()) {
+        auto [t, cb] = q.pop();
+        cb();
+    }
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i)
+        q.push(5.0, [&fired, i] { fired.push_back(i); });
+    while (!q.empty())
+        q.pop().second();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestLiveEvent)
+{
+    EventQueue q;
+    EventHandle early = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    EXPECT_DOUBLE_EQ(q.nextTime(), 1.0);
+    early.cancel();
+    EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+}
+
+TEST(EventQueue, CancelRemovesEvent)
+{
+    EventQueue q;
+    bool fired = false;
+    EventHandle h = q.push(1.0, [&] { fired = true; });
+    EXPECT_TRUE(h.pending());
+    EXPECT_TRUE(h.cancel());
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel()) << "double cancel must be a no-op";
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    EventHandle a = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    a.cancel();
+    EXPECT_EQ(q.size(), 1u);
+    q.pop();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, HandleNotPendingAfterPop)
+{
+    EventQueue q;
+    EventHandle h = q.push(1.0, [] {});
+    q.pop();
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueue, DefaultHandleNeverPending)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    EventHandle h = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, CancelledEventsSkippedDeepInHeap)
+{
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    std::vector<int> fired;
+    for (int i = 0; i < 20; ++i)
+        handles.push_back(
+            q.push(static_cast<Time>(i), [&fired, i] { fired.push_back(i); }));
+    for (int i = 0; i < 20; i += 2)
+        handles[i].cancel();
+    while (!q.empty())
+        q.pop().second();
+    ASSERT_EQ(fired.size(), 10u);
+    for (int v : fired)
+        EXPECT_EQ(v % 2, 1);
+}
+
+} // namespace
+} // namespace hcloud::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the Ornstein-Uhlenbeck process and the linear feedback
+ * controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/feedback.hpp"
+#include "sim/ou_process.hpp"
+#include "sim/stats.hpp"
+
+namespace hcloud::sim {
+namespace {
+
+TEST(OuProcess, StartsAtInitialValue)
+{
+    OuProcess p(0.5, 60.0, 0.1, Rng(1), 0.9);
+    EXPECT_DOUBLE_EQ(p.value(), 0.9);
+    OuProcess q(0.5, 60.0, 0.1, Rng(1));
+    EXPECT_DOUBLE_EQ(q.value(), 0.5);
+}
+
+TEST(OuProcess, ZeroDtIsNoOp)
+{
+    OuProcess p(0.5, 60.0, 0.1, Rng(1));
+    const double before = p.advanceTo(10.0);
+    EXPECT_DOUBLE_EQ(p.advanceTo(10.0), before);
+}
+
+TEST(OuProcess, StationaryMomentsMatchConfiguration)
+{
+    OuProcess p(0.25, 30.0, 0.05, Rng(7));
+    OnlineStats stats;
+    // Sample every 2 relaxation times: nearly independent draws.
+    for (int i = 1; i <= 4000; ++i)
+        stats.add(p.advanceTo(i * 60.0));
+    EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+    EXPECT_NEAR(stats.stddev(), 0.05, 0.01);
+}
+
+TEST(OuProcess, MeanRevertsFromDisplacedStart)
+{
+    OuProcess p(0.0, 10.0, 0.001, Rng(3), 1.0);
+    // After many relaxation times the displaced start must decay.
+    EXPECT_NEAR(p.advanceTo(100.0), 0.0, 0.02);
+}
+
+TEST(OuProcess, DeterministicGivenSeed)
+{
+    OuProcess a(0.5, 60.0, 0.1, Rng(5));
+    OuProcess b(0.5, 60.0, 0.1, Rng(5));
+    for (int i = 1; i <= 50; ++i)
+        EXPECT_DOUBLE_EQ(a.advanceTo(i * 10.0), b.advanceTo(i * 10.0));
+}
+
+TEST(FeedbackController, MovesTowardSetpoint)
+{
+    FeedbackConfig cfg;
+    cfg.gain = 0.1;
+    cfg.outputMin = 0.0;
+    cfg.outputMax = 1.0;
+    LinearFeedbackController c(cfg, 0.5);
+    // Measurement below setpoint: output rises.
+    const double up = c.update(1.0, 0.0);
+    EXPECT_GT(up, 0.5);
+    // Measurement above setpoint: output falls.
+    const double down = c.update(0.0, 1.0);
+    EXPECT_LT(down, up);
+}
+
+TEST(FeedbackController, OutputClamped)
+{
+    FeedbackConfig cfg;
+    cfg.gain = 10.0;
+    cfg.outputMin = 0.2;
+    cfg.outputMax = 0.8;
+    LinearFeedbackController c(cfg, 0.5);
+    c.update(100.0, 0.0);
+    EXPECT_DOUBLE_EQ(c.output(), 0.8);
+    c.update(0.0, 100.0);
+    EXPECT_DOUBLE_EQ(c.output(), 0.2);
+}
+
+TEST(FeedbackController, SlewRateLimited)
+{
+    FeedbackConfig cfg;
+    cfg.gain = 10.0;
+    cfg.maxStep = 0.05;
+    LinearFeedbackController c(cfg, 0.5);
+    c.update(100.0, 0.0);
+    EXPECT_DOUBLE_EQ(c.output(), 0.55);
+}
+
+TEST(FeedbackController, InitialOutputClampedAndResettable)
+{
+    FeedbackConfig cfg;
+    cfg.outputMin = 0.3;
+    cfg.outputMax = 0.7;
+    LinearFeedbackController c(cfg, 0.9);
+    EXPECT_DOUBLE_EQ(c.output(), 0.7);
+    c.reset(0.1);
+    EXPECT_DOUBLE_EQ(c.output(), 0.3);
+}
+
+TEST(FeedbackController, ConvergesUnderProportionalControl)
+{
+    FeedbackConfig cfg;
+    cfg.gain = 0.2;
+    LinearFeedbackController c(cfg, 0.0);
+    // Plant: measurement equals the controller output; setpoint 0.6.
+    for (int i = 0; i < 200; ++i)
+        c.update(0.6, c.output());
+    EXPECT_NEAR(c.output(), 0.6, 1e-6);
+}
+
+} // namespace
+} // namespace hcloud::sim

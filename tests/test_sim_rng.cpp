@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG and its child
+ * streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace hcloud::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.uniform() == b.uniform();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ChildStreamsAreStableByLabel)
+{
+    Rng root(42);
+    Rng a = root.child("spin_up");
+    Rng b = root.child("spin_up");
+    EXPECT_EQ(a.seed(), b.seed());
+    EXPECT_NE(root.child("spin_up").seed(), root.child("quality").seed());
+}
+
+TEST(Rng, ChildDerivationDoesNotConsumeParentState)
+{
+    Rng a(7);
+    Rng b(7);
+    (void)a.child("x");
+    (void)a.child("y");
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, IntegerChildKeysProduceDistinctStreams)
+{
+    Rng root(42);
+    EXPECT_NE(root.child(std::uint64_t{1}).seed(),
+              root.child(std::uint64_t{2}).seed());
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMatchesMoments)
+{
+    Rng rng(9);
+    OnlineStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalQuantileCalibration)
+{
+    // lognormalFromQuantiles(median, p95) must reproduce those quantiles.
+    Rng rng(11);
+    SampleSet samples;
+    for (int i = 0; i < 40000; ++i)
+        samples.add(rng.lognormalFromQuantiles(15.0, 120.0));
+    EXPECT_NEAR(samples.quantile(0.5), 15.0, 1.0);
+    EXPECT_NEAR(samples.quantile(0.95), 120.0, 12.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(13);
+    OnlineStats stats;
+    for (int i = 0; i < 30000; ++i)
+        stats.add(rng.exponential(4.0));
+    EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequencyAndEdgeCases)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, BetaBoundedWithCorrectMean)
+{
+    Rng rng(19);
+    OnlineStats stats;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.beta(8.0, 2.0);
+        EXPECT_GE(x, 0.0);
+        EXPECT_LE(x, 1.0);
+        stats.add(x);
+    }
+    EXPECT_NEAR(stats.mean(), 0.8, 0.02);
+}
+
+TEST(Rng, ParetoRespectsScale)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(29);
+    const std::vector<double> weights = {1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+    EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+/** Determinism must hold across every seed, not just one. */
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, ChildStreamsDeterministicAndDecorrelated)
+{
+    const std::uint64_t seed = GetParam();
+    Rng a = Rng(seed).child("alpha");
+    Rng b = Rng(seed).child("alpha");
+    Rng c = Rng(seed).child("beta");
+    double max_abs_diff = 0.0;
+    int identical_to_c = 0;
+    for (int i = 0; i < 200; ++i) {
+        const double va = a.uniform();
+        const double vb = b.uniform();
+        const double vc = c.uniform();
+        max_abs_diff = std::max(max_abs_diff, std::abs(va - vb));
+        identical_to_c += va == vc;
+    }
+    EXPECT_EQ(max_abs_diff, 0.0);
+    EXPECT_LT(identical_to_c, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 1337ull,
+                                           0xffffffffffffffffull));
+
+} // namespace
+} // namespace hcloud::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: clock, scheduling, periodic
+ * events, run control.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hcloud::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesToEventTime)
+{
+    Simulator s;
+    double seen = -1.0;
+    s.at(5.0, [&] { seen = s.now(); });
+    s.run();
+    EXPECT_DOUBLE_EQ(seen, 5.0);
+    EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow)
+{
+    Simulator s;
+    double seen = -1.0;
+    s.at(10.0, [&] { s.after(2.5, [&] { seen = s.now(); }); });
+    s.run();
+    EXPECT_DOUBLE_EQ(seen, 12.5);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock)
+{
+    Simulator s;
+    std::vector<double> fired;
+    for (double t : {1.0, 2.0, 3.0, 4.0})
+        s.at(t, [&fired, t] { fired.push_back(t); });
+    s.runUntil(2.5);
+    EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+    EXPECT_DOUBLE_EQ(s.now(), 2.5);
+    s.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilExecutesEventsAtExactBoundary)
+{
+    Simulator s;
+    bool fired = false;
+    s.at(2.0, [&] { fired = true; });
+    s.runUntil(2.0);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsAtSameTimeRunInScheduleOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    s.at(1.0, [&] { order.push_back(1); });
+    s.at(1.0, [&] { order.push_back(2); });
+    s.at(1.0, [&] { order.push_back(3); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EveryRepeatsUntilCallbackReturnsFalse)
+{
+    Simulator s;
+    int ticks = 0;
+    s.every(10.0, [&] { return ++ticks < 5; });
+    s.run();
+    EXPECT_EQ(ticks, 5);
+    EXPECT_DOUBLE_EQ(s.now(), 50.0);
+}
+
+TEST(Simulator, EventsCanCancelOtherEvents)
+{
+    Simulator s;
+    bool fired = false;
+    EventHandle victim = s.at(2.0, [&] { fired = true; });
+    s.at(1.0, [&] { victim.cancel(); });
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CountsEventsRun)
+{
+    Simulator s;
+    for (int i = 0; i < 7; ++i)
+        s.at(static_cast<Time>(i), [] {});
+    s.run();
+    EXPECT_EQ(s.eventsRun(), 7u);
+}
+
+TEST(Simulator, ResetClearsClockAndQueue)
+{
+    Simulator s;
+    s.at(3.0, [] {});
+    s.runUntil(1.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.now(), 0.0);
+    EXPECT_TRUE(s.idle());
+    EXPECT_EQ(s.eventsRun(), 0u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle)
+{
+    Simulator s;
+    EXPECT_FALSE(s.step());
+    s.at(1.0, [] {});
+    EXPECT_TRUE(s.step());
+    EXPECT_FALSE(s.step());
+}
+
+} // namespace
+} // namespace hcloud::sim

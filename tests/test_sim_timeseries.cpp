@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for time-weighted statistics and step series.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/timeseries.hpp"
+
+namespace hcloud::sim {
+namespace {
+
+TEST(TimeWeightedStat, AverageOfPiecewiseConstantSignal)
+{
+    TimeWeightedStat s(0.0, 2.0);
+    s.record(10.0, 4.0); // 2.0 for 10s
+    s.record(20.0, 0.0); // 4.0 for 10s
+    // signal 0 afterwards
+    EXPECT_DOUBLE_EQ(s.average(20.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.average(40.0), 1.5);
+    EXPECT_DOUBLE_EQ(s.integral(40.0), 60.0);
+    EXPECT_DOUBLE_EQ(s.peak(), 4.0);
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(TimeWeightedStat, NonZeroStartTime)
+{
+    TimeWeightedStat s(100.0, 10.0);
+    s.record(110.0, 0.0);
+    EXPECT_DOUBLE_EQ(s.average(120.0), 5.0);
+}
+
+TEST(StepSeries, AtReturnsLatestBreakpoint)
+{
+    StepSeries s;
+    s.record(0.0, 1.0);
+    s.record(10.0, 2.0);
+    s.record(20.0, 3.0);
+    EXPECT_DOUBLE_EQ(s.at(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.at(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(9.999), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(10.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.at(100.0), 3.0);
+}
+
+TEST(StepSeries, SameTimeUpdateCollapses)
+{
+    StepSeries s;
+    s.record(5.0, 1.0);
+    s.record(5.0, 7.0);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.at(5.0), 7.0);
+}
+
+TEST(StepSeries, ResampleCoversGridInclusive)
+{
+    StepSeries s;
+    s.record(0.0, 1.0);
+    s.record(50.0, 2.0);
+    const auto grid = s.resample(0.0, 100.0, 5);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_DOUBLE_EQ(grid.front().t, 0.0);
+    EXPECT_DOUBLE_EQ(grid.back().t, 100.0);
+    EXPECT_DOUBLE_EQ(grid[1].v, 1.0); // t=25
+    EXPECT_DOUBLE_EQ(grid[2].v, 2.0); // t=50
+    EXPECT_DOUBLE_EQ(grid[4].v, 2.0);
+}
+
+TEST(StepSeries, AverageIntegratesSegments)
+{
+    StepSeries s;
+    s.record(0.0, 2.0);
+    s.record(10.0, 4.0);
+    EXPECT_DOUBLE_EQ(s.average(0.0, 20.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.average(5.0, 15.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.average(10.0, 20.0), 4.0);
+}
+
+TEST(StepSeries, MaxOverWindow)
+{
+    StepSeries s;
+    s.record(0.0, 1.0);
+    s.record(10.0, 9.0);
+    s.record(20.0, 3.0);
+    EXPECT_DOUBLE_EQ(s.maxOver(0.0, 30.0), 9.0);
+    // The signal is still 9.0 at t=15 (breakpoint at t=10 rules).
+    EXPECT_DOUBLE_EQ(s.maxOver(15.0, 30.0), 9.0);
+    EXPECT_DOUBLE_EQ(s.maxOver(20.0, 30.0), 3.0);
+}
+
+TEST(StepSeries, EmptySeriesIsZero)
+{
+    StepSeries s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.at(5.0), 0.0);
+}
+
+} // namespace
+} // namespace hcloud::sim

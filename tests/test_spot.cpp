@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the spot-market extension (Section 5.5): price process,
+ * bid/interruption mechanics, spot billing, and the HS strategy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/provider.hpp"
+#include "cloud/spot_market.hpp"
+#include "core/engine.hpp"
+#include "core/hybrid_spot.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcloud {
+namespace {
+
+const cloud::InstanceType&
+typeNamed(const char* name)
+{
+    return cloud::InstanceTypeCatalog::defaultCatalog().byName(name);
+}
+
+TEST(SpotMarket, PricesHoverAroundTheDiscount)
+{
+    cloud::SpotMarketConfig cfg;
+    cfg.spikeInterval = 0.0; // isolate the base process
+    cloud::SpotMarket market(cfg, sim::Rng(3));
+    sim::OnlineStats fractions;
+    for (int i = 1; i <= 2000; ++i)
+        fractions.add(market.priceFraction(typeNamed("st16"), i * 30.0));
+    EXPECT_NEAR(fractions.mean(), cfg.meanDiscount, 0.04);
+    EXPECT_GE(fractions.min(), cfg.minFraction);
+    EXPECT_LE(fractions.max(), cfg.maxFraction);
+}
+
+TEST(SpotMarket, SpikesPushPriceAboveOnDemand)
+{
+    cloud::SpotMarketConfig cfg;
+    cfg.spikeInterval = 600.0;
+    cfg.spikeMagnitude = 0.9;
+    cloud::SpotMarket market(cfg, sim::Rng(5));
+    double max_fraction = 0.0;
+    for (int i = 1; i <= 2000; ++i) {
+        max_fraction = std::max(
+            max_fraction, market.priceFraction(typeNamed("st16"),
+                                               i * 10.0));
+    }
+    EXPECT_GT(max_fraction, 1.0) << "spikes must cross the on-demand rate";
+}
+
+TEST(SpotMarket, ClassesMoveIndependently)
+{
+    cloud::SpotMarket market(cloud::SpotMarketConfig{}, sim::Rng(7));
+    int identical = 0;
+    for (int i = 1; i <= 100; ++i) {
+        identical += market.priceFraction(typeNamed("st4"), i * 60.0) ==
+            market.priceFraction(typeNamed("st16"), i * 60.0);
+    }
+    EXPECT_LT(identical, 5);
+}
+
+TEST(SpotMarket, InterruptionTriggersAboveBid)
+{
+    cloud::SpotMarket market(cloud::SpotMarketConfig{}, sim::Rng(9));
+    const auto& st16 = typeNamed("st16");
+    const double price = market.price(st16, 100.0);
+    EXPECT_TRUE(market.wouldInterrupt(st16, price - 0.01, 100.0));
+    EXPECT_FALSE(market.wouldInterrupt(st16, price + 0.01, 100.0));
+}
+
+TEST(Provider, SpotLifecycleAndBilling)
+{
+    sim::Simulator simulator;
+    cloud::CloudProvider provider(simulator,
+                                  cloud::ProviderProfile::gce(), {},
+                                  sim::Rng(42));
+    const auto& st16 = typeNamed("st16");
+    // A bid above the price ceiling is never interrupted.
+    cloud::Instance* inst = provider.acquireSpot(
+        st16, /*bidHourly=*/10.0, nullptr, nullptr);
+    EXPECT_TRUE(inst->spot());
+    EXPECT_DOUBLE_EQ(inst->spotBid(), 10.0);
+    simulator.runUntil(3600.0);
+    EXPECT_EQ(inst->state(), cloud::InstanceState::Running);
+    provider.release(inst);
+    // Spot usage is billed at the locked market fraction (< list).
+    const cloud::AwsStylePricing pricing;
+    const double cost =
+        provider.billing().amortized(pricing, 3600.0).onDemand;
+    EXPECT_GT(cost, 0.0);
+    EXPECT_LT(cost, st16.onDemandHourly * 1.0)
+        << "spot must be cheaper than on-demand for the same hour";
+    simulator.run(); // drain the cancelled check chain
+}
+
+TEST(Provider, UnderwaterBidInterruptsQuickly)
+{
+    sim::Simulator simulator;
+    cloud::CloudProvider provider(simulator,
+                                  cloud::ProviderProfile::gce(), {},
+                                  sim::Rng(42));
+    cloud::Instance* interrupted = nullptr;
+    cloud::Instance* inst = provider.acquireSpot(
+        typeNamed("st16"), /*bidHourly=*/0.0001, nullptr,
+        [&](cloud::Instance* victim) { interrupted = victim; });
+    simulator.runUntil(600.0);
+    EXPECT_EQ(interrupted, inst);
+    EXPECT_EQ(inst->state(), cloud::InstanceState::Released);
+    simulator.run();
+}
+
+TEST(HybridSpot, EndToEndCheaperThanHmSimilarPerf)
+{
+    workload::ScenarioConfig scenario;
+    scenario.kind = workload::ScenarioKind::HighVariability;
+    scenario.seed = 42;
+    scenario.loadScale = 0.3;
+    const workload::ArrivalTrace trace =
+        workload::generateScenario(scenario);
+
+    core::EngineConfig config;
+    config.seed = 7;
+    core::Engine engine(config);
+    const core::RunResult hm =
+        engine.run(trace, core::StrategyKind::HM, "hm");
+    const core::RunResult hs = engine.run(
+        trace,
+        [](core::EngineContext& ctx) {
+            return std::make_unique<core::HybridSpotStrategy>(ctx);
+        },
+        "hs");
+
+    EXPECT_EQ(hs.strategy, "HS");
+    EXPECT_EQ(hs.jobCount, trace.jobs().size());
+    EXPECT_EQ(hs.failedJobs, 0u);
+    const cloud::AwsStylePricing pricing;
+    EXPECT_LT(hs.cost(pricing).total(), hm.cost(pricing).total())
+        << "spot capacity must reduce cost";
+    EXPECT_GT(hs.meanPerfNorm(), 0.85 * hm.meanPerfNorm())
+        << "tolerant batch jobs absorb the interruptions";
+}
+
+TEST(HybridSpot, InterruptedJobsStillComplete)
+{
+    workload::ScenarioConfig scenario;
+    scenario.kind = workload::ScenarioKind::Static;
+    scenario.seed = 11;
+    scenario.loadScale = 0.2;
+    const workload::ArrivalTrace trace =
+        workload::generateScenario(scenario);
+
+    core::EngineConfig config;
+    config.seed = 11;
+    core::Engine engine(config);
+    // A hostile market: low bid, frequent spikes.
+    core::SpotPolicyConfig spot;
+    spot.bidFraction = 0.40;
+    const core::RunResult r = engine.run(
+        trace,
+        [spot](core::EngineContext& ctx) {
+            return std::make_unique<core::HybridSpotStrategy>(ctx, spot);
+        },
+        "hs-hostile");
+    EXPECT_EQ(r.failedJobs, 0u)
+        << "eviction must resubmit, not lose, jobs";
+    EXPECT_EQ(r.jobCount, trace.jobs().size());
+}
+
+} // namespace
+} // namespace hcloud

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for sensitivity vectors, the Q encoding, archetypes, and the
+ * batch/latency performance models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "workload/archetypes.hpp"
+#include "workload/batch_model.hpp"
+#include "workload/latency_model.hpp"
+#include "workload/sensitivity.hpp"
+
+namespace hcloud::workload {
+namespace {
+
+TEST(QualityScore, BoundsAndExtremes)
+{
+    ResourceVector zeros{};
+    EXPECT_DOUBLE_EQ(qualityScore(zeros), 0.0);
+    ResourceVector ones;
+    ones.fill(1.0);
+    EXPECT_NEAR(qualityScore(ones), 1.0, 1e-12);
+}
+
+TEST(QualityScore, DominatedByLargestEntry)
+{
+    // The order-preserving encoding weighs the largest c_i by 10^18 of
+    // ~1.01e18 total: Q tracks max(c) closely.
+    ResourceVector v{};
+    v[3] = 0.9;
+    EXPECT_NEAR(qualityScore(v), 0.9 * (1e18 / 1.0101010101010102e18),
+                1e-3);
+}
+
+TEST(QualityScore, OrderPreserving)
+{
+    // Permuting the vector must not change Q (it sorts internally).
+    ResourceVector a{0.1, 0.9, 0.3, 0.5, 0.2, 0.4, 0.6, 0.7, 0.8, 0.05};
+    ResourceVector b = a;
+    std::reverse(b.begin(), b.end());
+    EXPECT_DOUBLE_EQ(qualityScore(a), qualityScore(b));
+}
+
+TEST(QualityScore, MonotoneInEachEntry)
+{
+    ResourceVector v;
+    v.fill(0.3);
+    const double base = qualityScore(v);
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+        ResourceVector w = v;
+        w[i] = 0.8;
+        EXPECT_GT(qualityScore(w), base);
+    }
+}
+
+TEST(SensitivityScalars, Bounds)
+{
+    ResourceVector v{0.2, 0.8, 0.4, 0.6, 0.1, 0.9, 0.3, 0.5, 0.7, 0.0};
+    const double s = interferenceSensitivity(v);
+    const double p = pressureScalar(v);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_NEAR(p, 0.45, 1e-12);
+}
+
+TEST(Archetypes, MemcachedMoreSensitiveThanHadoop)
+{
+    const double mc =
+        interferenceSensitivity(archetype(AppKind::Memcached));
+    const double hadoop =
+        interferenceSensitivity(archetype(AppKind::HadoopRecommender));
+    EXPECT_GT(mc, hadoop + 0.15);
+    EXPECT_GT(qualityScore(archetype(AppKind::Memcached)),
+              qualityScore(archetype(AppKind::HadoopRecommender)));
+}
+
+TEST(Archetypes, GeneratedVectorsJitterAroundArchetype)
+{
+    sim::Rng rng(17);
+    const ResourceVector& mean = archetype(AppKind::SparkRealtime);
+    for (int i = 0; i < 50; ++i) {
+        const ResourceVector v =
+            generateSensitivity(AppKind::SparkRealtime, rng);
+        for (std::size_t r = 0; r < kNumResources; ++r) {
+            EXPECT_GE(v[r], 0.02);
+            EXPECT_LE(v[r], 0.98);
+            EXPECT_NEAR(v[r], mean[r], 0.5);
+        }
+    }
+}
+
+TEST(ResourceNames, AllDefined)
+{
+    for (std::size_t i = 0; i < kNumResources; ++i)
+        EXPECT_STRNE(resourceName(i), "?");
+    EXPECT_STREQ(resourceName(kNumResources), "?");
+}
+
+TEST(BatchModel, ParallelEfficiency)
+{
+    EXPECT_DOUBLE_EQ(batch_model::parallelEfficiency(4.0, 8.0), 1.0);
+    EXPECT_DOUBLE_EQ(batch_model::parallelEfficiency(8.0, 8.0), 1.0);
+    // Extra cores contribute at a reduced rate.
+    const double eff = batch_model::parallelEfficiency(16.0, 8.0);
+    EXPECT_LT(eff, 1.0);
+    EXPECT_GT(eff * 16.0, 8.0);
+}
+
+TEST(BatchModel, WorkAndRemaining)
+{
+    EXPECT_DOUBLE_EQ(batch_model::workDone(4.0, 0.5, 10.0), 20.0);
+    EXPECT_DOUBLE_EQ(
+        batch_model::estimateRemaining(100.0, 4.0, 0.5, 8.0), 50.0);
+    EXPECT_EQ(batch_model::estimateRemaining(100.0, 0.0, 1.0, 8.0),
+              sim::kTimeNever);
+}
+
+TEST(LatencyModel, MonotoneInLoad)
+{
+    double prev = 0.0;
+    for (double load = 1000.0; load <= 50000.0; load += 1000.0) {
+        const double p99 = latency_model::p99Us(load, 4.0, 1.0, 0.0);
+        EXPECT_GE(p99, prev);
+        prev = p99;
+    }
+}
+
+TEST(LatencyModel, QualityLossRaisesLatency)
+{
+    const double good = latency_model::p99Us(25000.0, 4.0, 1.0, 0.0);
+    const double bad = latency_model::p99Us(25000.0, 4.0, 0.5, 0.0);
+    EXPECT_GT(bad, good);
+}
+
+TEST(LatencyModel, PressureFattensTail)
+{
+    const double calm = latency_model::p99Us(25000.0, 4.0, 1.0, 0.0);
+    const double noisy = latency_model::p99Us(25000.0, 4.0, 1.0, 0.5);
+    EXPECT_GT(noisy, 2.0 * calm);
+}
+
+TEST(LatencyModel, SaturationCappedByTimeout)
+{
+    const double p99 = latency_model::p99Us(100000.0, 1.0, 0.1, 1.0);
+    EXPECT_LE(p99, latency_model::kTimeoutP99Us);
+    EXPECT_GT(p99, 10000.0);
+}
+
+TEST(LatencyModel, QosTargetHasMargin)
+{
+    const double iso = latency_model::isolationP99Us(25000.0, 4.0);
+    EXPECT_DOUBLE_EQ(latency_model::qosTargetUs(25000.0, 4.0), 2.0 * iso);
+}
+
+TEST(LatencyModel, ZeroCapacityIsUnavailable)
+{
+    EXPECT_GT(latency_model::p99Us(1000.0, 0.0, 1.0, 0.0), 100000.0);
+}
+
+} // namespace
+} // namespace hcloud::workload
