@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_spot.dir/bench_ext_spot.cpp.o"
+  "CMakeFiles/bench_ext_spot.dir/bench_ext_spot.cpp.o.d"
+  "bench_ext_spot"
+  "bench_ext_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_variability_batch.dir/bench_fig01_variability_batch.cpp.o"
+  "CMakeFiles/bench_fig01_variability_batch.dir/bench_fig01_variability_batch.cpp.o.d"
+  "bench_fig01_variability_batch"
+  "bench_fig01_variability_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_variability_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_variability_memcached.dir/bench_fig02_variability_memcached.cpp.o"
+  "CMakeFiles/bench_fig02_variability_memcached.dir/bench_fig02_variability_memcached.cpp.o.d"
+  "bench_fig02_variability_memcached"
+  "bench_fig02_variability_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_variability_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_baseline_perf.dir/bench_fig04_baseline_perf.cpp.o"
+  "CMakeFiles/bench_fig04_baseline_perf.dir/bench_fig04_baseline_perf.cpp.o.d"
+  "bench_fig04_baseline_perf"
+  "bench_fig04_baseline_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_baseline_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

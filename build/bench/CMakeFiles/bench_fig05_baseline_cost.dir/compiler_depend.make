@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig05_baseline_cost.
+# This may be replaced when dependencies are built.

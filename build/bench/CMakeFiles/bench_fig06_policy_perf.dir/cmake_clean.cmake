@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_policy_perf.dir/bench_fig06_policy_perf.cpp.o"
+  "CMakeFiles/bench_fig06_policy_perf.dir/bench_fig06_policy_perf.cpp.o.d"
+  "bench_fig06_policy_perf"
+  "bench_fig06_policy_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_policy_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

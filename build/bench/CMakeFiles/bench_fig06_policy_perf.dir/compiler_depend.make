@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig06_policy_perf.
+# This may be replaced when dependencies are built.

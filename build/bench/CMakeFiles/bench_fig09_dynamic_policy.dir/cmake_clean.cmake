@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_dynamic_policy.dir/bench_fig09_dynamic_policy.cpp.o"
+  "CMakeFiles/bench_fig09_dynamic_policy.dir/bench_fig09_dynamic_policy.cpp.o.d"
+  "bench_fig09_dynamic_policy"
+  "bench_fig09_dynamic_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_dynamic_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hybrid_cost.dir/bench_fig11_hybrid_cost.cpp.o"
+  "CMakeFiles/bench_fig11_hybrid_cost.dir/bench_fig11_hybrid_cost.cpp.o.d"
+  "bench_fig11_hybrid_cost"
+  "bench_fig11_hybrid_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hybrid_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_price_ratio.dir/bench_fig12_price_ratio.cpp.o"
+  "CMakeFiles/bench_fig12_price_ratio.dir/bench_fig12_price_ratio.cpp.o.d"
+  "bench_fig12_price_ratio"
+  "bench_fig12_price_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_price_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_duration.dir/bench_fig13_duration.cpp.o"
+  "CMakeFiles/bench_fig13_duration.dir/bench_fig13_duration.cpp.o.d"
+  "bench_fig13_duration"
+  "bench_fig13_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_spinup_extload.dir/bench_fig14_spinup_extload.cpp.o"
+  "CMakeFiles/bench_fig14_spinup_extload.dir/bench_fig14_spinup_extload.cpp.o.d"
+  "bench_fig14_spinup_extload"
+  "bench_fig14_spinup_extload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_spinup_extload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_retention.dir/bench_fig15_retention.cpp.o"
+  "CMakeFiles/bench_fig15_retention.dir/bench_fig15_retention.cpp.o.d"
+  "bench_fig15_retention"
+  "bench_fig15_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

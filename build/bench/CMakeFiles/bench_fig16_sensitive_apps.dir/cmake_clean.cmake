@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_sensitive_apps.dir/bench_fig16_sensitive_apps.cpp.o"
+  "CMakeFiles/bench_fig16_sensitive_apps.dir/bench_fig16_sensitive_apps.cpp.o.d"
+  "bench_fig16_sensitive_apps"
+  "bench_fig16_sensitive_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_sensitive_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

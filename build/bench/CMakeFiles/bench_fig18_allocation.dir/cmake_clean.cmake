@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_allocation.dir/bench_fig18_allocation.cpp.o"
+  "CMakeFiles/bench_fig18_allocation.dir/bench_fig18_allocation.cpp.o.d"
+  "bench_fig18_allocation"
+  "bench_fig18_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

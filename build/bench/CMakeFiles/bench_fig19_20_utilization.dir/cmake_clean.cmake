@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_20_utilization.dir/bench_fig19_20_utilization.cpp.o"
+  "CMakeFiles/bench_fig19_20_utilization.dir/bench_fig19_20_utilization.cpp.o.d"
+  "bench_fig19_20_utilization"
+  "bench_fig19_20_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_20_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overheads.dir/bench_overheads.cpp.o"
+  "CMakeFiles/bench_overheads.dir/bench_overheads.cpp.o.d"
+  "bench_overheads"
+  "bench_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

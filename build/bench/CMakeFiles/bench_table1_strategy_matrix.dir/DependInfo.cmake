@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_strategy_matrix.cpp" "bench/CMakeFiles/bench_table1_strategy_matrix.dir/bench_table1_strategy_matrix.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_strategy_matrix.dir/bench_table1_strategy_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcloud_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

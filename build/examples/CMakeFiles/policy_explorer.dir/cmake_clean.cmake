@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o"
+  "CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o.d"
+  "policy_explorer"
+  "policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

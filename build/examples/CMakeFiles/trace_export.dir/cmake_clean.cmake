@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_export.dir/trace_export.cpp.o"
+  "CMakeFiles/trace_export.dir/trace_export.cpp.o.d"
+  "trace_export"
+  "trace_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/billing.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/billing.cpp.o.d"
+  "/root/repo/src/cloud/external_load.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/external_load.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/external_load.cpp.o.d"
+  "/root/repo/src/cloud/instance.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/instance.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/instance.cpp.o.d"
+  "/root/repo/src/cloud/instance_type.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/instance_type.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/instance_type.cpp.o.d"
+  "/root/repo/src/cloud/machine.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/machine.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/machine.cpp.o.d"
+  "/root/repo/src/cloud/pricing.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/pricing.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/pricing.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/provider.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/provider.cpp.o.d"
+  "/root/repo/src/cloud/provider_profile.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/provider_profile.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/provider_profile.cpp.o.d"
+  "/root/repo/src/cloud/spin_up.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/spin_up.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/spin_up.cpp.o.d"
+  "/root/repo/src/cloud/spot_market.cpp" "src/CMakeFiles/hcloud_cloud.dir/cloud/spot_market.cpp.o" "gcc" "src/CMakeFiles/hcloud_cloud.dir/cloud/spot_market.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

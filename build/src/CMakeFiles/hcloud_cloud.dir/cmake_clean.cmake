@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcloud_cloud.dir/cloud/billing.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/billing.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/external_load.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/external_load.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/instance.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/instance.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/instance_type.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/instance_type.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/machine.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/machine.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/pricing.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/pricing.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/provider.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/provider.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/provider_profile.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/provider_profile.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/spin_up.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/spin_up.cpp.o.d"
+  "CMakeFiles/hcloud_cloud.dir/cloud/spot_market.cpp.o"
+  "CMakeFiles/hcloud_cloud.dir/cloud/spot_market.cpp.o.d"
+  "libhcloud_cloud.a"
+  "libhcloud_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcloud_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

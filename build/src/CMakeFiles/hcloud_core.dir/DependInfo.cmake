@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/hcloud_core.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/hcloud_core.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/hcloud_core.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/hybrid_spot.cpp" "src/CMakeFiles/hcloud_core.dir/core/hybrid_spot.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/hybrid_spot.cpp.o.d"
+  "/root/repo/src/core/mapping_policy.cpp" "src/CMakeFiles/hcloud_core.dir/core/mapping_policy.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/mapping_policy.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/hcloud_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/on_demand.cpp" "src/CMakeFiles/hcloud_core.dir/core/on_demand.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/on_demand.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/hcloud_core.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/qos_monitor.cpp" "src/CMakeFiles/hcloud_core.dir/core/qos_monitor.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/qos_monitor.cpp.o.d"
+  "/root/repo/src/core/quality_tracker.cpp" "src/CMakeFiles/hcloud_core.dir/core/quality_tracker.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/quality_tracker.cpp.o.d"
+  "/root/repo/src/core/queue_estimator.cpp" "src/CMakeFiles/hcloud_core.dir/core/queue_estimator.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/queue_estimator.cpp.o.d"
+  "/root/repo/src/core/retention.cpp" "src/CMakeFiles/hcloud_core.dir/core/retention.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/retention.cpp.o.d"
+  "/root/repo/src/core/soft_limit.cpp" "src/CMakeFiles/hcloud_core.dir/core/soft_limit.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/soft_limit.cpp.o.d"
+  "/root/repo/src/core/static_reserved.cpp" "src/CMakeFiles/hcloud_core.dir/core/static_reserved.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/static_reserved.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/CMakeFiles/hcloud_core.dir/core/strategy.cpp.o" "gcc" "src/CMakeFiles/hcloud_core.dir/core/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcloud_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

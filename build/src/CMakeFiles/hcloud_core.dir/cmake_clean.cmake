@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcloud_core.dir/core/cluster.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/cluster.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/engine.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/engine.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/hybrid.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/hybrid.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/hybrid_spot.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/hybrid_spot.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/mapping_policy.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/mapping_policy.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/on_demand.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/on_demand.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/placement.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/placement.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/qos_monitor.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/qos_monitor.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/quality_tracker.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/quality_tracker.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/queue_estimator.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/queue_estimator.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/retention.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/retention.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/soft_limit.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/soft_limit.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/static_reserved.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/static_reserved.cpp.o.d"
+  "CMakeFiles/hcloud_core.dir/core/strategy.cpp.o"
+  "CMakeFiles/hcloud_core.dir/core/strategy.cpp.o.d"
+  "libhcloud_core.a"
+  "libhcloud_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcloud_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/figures.cpp" "src/CMakeFiles/hcloud_exp.dir/exp/figures.cpp.o" "gcc" "src/CMakeFiles/hcloud_exp.dir/exp/figures.cpp.o.d"
+  "/root/repo/src/exp/figures_sensitivity.cpp" "src/CMakeFiles/hcloud_exp.dir/exp/figures_sensitivity.cpp.o" "gcc" "src/CMakeFiles/hcloud_exp.dir/exp/figures_sensitivity.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/hcloud_exp.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/hcloud_exp.dir/exp/report.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/CMakeFiles/hcloud_exp.dir/exp/runner.cpp.o" "gcc" "src/CMakeFiles/hcloud_exp.dir/exp/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcloud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcloud_exp.dir/exp/figures.cpp.o"
+  "CMakeFiles/hcloud_exp.dir/exp/figures.cpp.o.d"
+  "CMakeFiles/hcloud_exp.dir/exp/figures_sensitivity.cpp.o"
+  "CMakeFiles/hcloud_exp.dir/exp/figures_sensitivity.cpp.o.d"
+  "CMakeFiles/hcloud_exp.dir/exp/report.cpp.o"
+  "CMakeFiles/hcloud_exp.dir/exp/report.cpp.o.d"
+  "CMakeFiles/hcloud_exp.dir/exp/runner.cpp.o"
+  "CMakeFiles/hcloud_exp.dir/exp/runner.cpp.o.d"
+  "libhcloud_exp.a"
+  "libhcloud_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcloud_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hcloud_exp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/classifier.cpp" "src/CMakeFiles/hcloud_profiling.dir/profiling/classifier.cpp.o" "gcc" "src/CMakeFiles/hcloud_profiling.dir/profiling/classifier.cpp.o.d"
+  "/root/repo/src/profiling/matrix_factorization.cpp" "src/CMakeFiles/hcloud_profiling.dir/profiling/matrix_factorization.cpp.o" "gcc" "src/CMakeFiles/hcloud_profiling.dir/profiling/matrix_factorization.cpp.o.d"
+  "/root/repo/src/profiling/quasar.cpp" "src/CMakeFiles/hcloud_profiling.dir/profiling/quasar.cpp.o" "gcc" "src/CMakeFiles/hcloud_profiling.dir/profiling/quasar.cpp.o.d"
+  "/root/repo/src/profiling/signal.cpp" "src/CMakeFiles/hcloud_profiling.dir/profiling/signal.cpp.o" "gcc" "src/CMakeFiles/hcloud_profiling.dir/profiling/signal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcloud_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

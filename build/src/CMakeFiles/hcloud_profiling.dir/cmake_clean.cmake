@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcloud_profiling.dir/profiling/classifier.cpp.o"
+  "CMakeFiles/hcloud_profiling.dir/profiling/classifier.cpp.o.d"
+  "CMakeFiles/hcloud_profiling.dir/profiling/matrix_factorization.cpp.o"
+  "CMakeFiles/hcloud_profiling.dir/profiling/matrix_factorization.cpp.o.d"
+  "CMakeFiles/hcloud_profiling.dir/profiling/quasar.cpp.o"
+  "CMakeFiles/hcloud_profiling.dir/profiling/quasar.cpp.o.d"
+  "CMakeFiles/hcloud_profiling.dir/profiling/signal.cpp.o"
+  "CMakeFiles/hcloud_profiling.dir/profiling/signal.cpp.o.d"
+  "libhcloud_profiling.a"
+  "libhcloud_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcloud_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcloud_profiling.a"
+)

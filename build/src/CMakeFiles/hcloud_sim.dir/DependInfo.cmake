@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/hcloud_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/hcloud_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/feedback.cpp" "src/CMakeFiles/hcloud_sim.dir/sim/feedback.cpp.o" "gcc" "src/CMakeFiles/hcloud_sim.dir/sim/feedback.cpp.o.d"
+  "/root/repo/src/sim/ou_process.cpp" "src/CMakeFiles/hcloud_sim.dir/sim/ou_process.cpp.o" "gcc" "src/CMakeFiles/hcloud_sim.dir/sim/ou_process.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/hcloud_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/hcloud_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/hcloud_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/hcloud_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/hcloud_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/hcloud_sim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/timeseries.cpp" "src/CMakeFiles/hcloud_sim.dir/sim/timeseries.cpp.o" "gcc" "src/CMakeFiles/hcloud_sim.dir/sim/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

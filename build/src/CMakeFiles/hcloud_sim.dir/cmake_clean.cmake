@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcloud_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/hcloud_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/hcloud_sim.dir/sim/feedback.cpp.o"
+  "CMakeFiles/hcloud_sim.dir/sim/feedback.cpp.o.d"
+  "CMakeFiles/hcloud_sim.dir/sim/ou_process.cpp.o"
+  "CMakeFiles/hcloud_sim.dir/sim/ou_process.cpp.o.d"
+  "CMakeFiles/hcloud_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/hcloud_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/hcloud_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/hcloud_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/hcloud_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/hcloud_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/hcloud_sim.dir/sim/timeseries.cpp.o"
+  "CMakeFiles/hcloud_sim.dir/sim/timeseries.cpp.o.d"
+  "libhcloud_sim.a"
+  "libhcloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

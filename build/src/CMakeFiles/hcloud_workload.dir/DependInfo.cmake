@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/archetypes.cpp" "src/CMakeFiles/hcloud_workload.dir/workload/archetypes.cpp.o" "gcc" "src/CMakeFiles/hcloud_workload.dir/workload/archetypes.cpp.o.d"
+  "/root/repo/src/workload/batch_model.cpp" "src/CMakeFiles/hcloud_workload.dir/workload/batch_model.cpp.o" "gcc" "src/CMakeFiles/hcloud_workload.dir/workload/batch_model.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/CMakeFiles/hcloud_workload.dir/workload/job.cpp.o" "gcc" "src/CMakeFiles/hcloud_workload.dir/workload/job.cpp.o.d"
+  "/root/repo/src/workload/latency_model.cpp" "src/CMakeFiles/hcloud_workload.dir/workload/latency_model.cpp.o" "gcc" "src/CMakeFiles/hcloud_workload.dir/workload/latency_model.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/CMakeFiles/hcloud_workload.dir/workload/scenario.cpp.o" "gcc" "src/CMakeFiles/hcloud_workload.dir/workload/scenario.cpp.o.d"
+  "/root/repo/src/workload/sensitivity.cpp" "src/CMakeFiles/hcloud_workload.dir/workload/sensitivity.cpp.o" "gcc" "src/CMakeFiles/hcloud_workload.dir/workload/sensitivity.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/hcloud_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/hcloud_workload.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcloud_workload.dir/workload/archetypes.cpp.o"
+  "CMakeFiles/hcloud_workload.dir/workload/archetypes.cpp.o.d"
+  "CMakeFiles/hcloud_workload.dir/workload/batch_model.cpp.o"
+  "CMakeFiles/hcloud_workload.dir/workload/batch_model.cpp.o.d"
+  "CMakeFiles/hcloud_workload.dir/workload/job.cpp.o"
+  "CMakeFiles/hcloud_workload.dir/workload/job.cpp.o.d"
+  "CMakeFiles/hcloud_workload.dir/workload/latency_model.cpp.o"
+  "CMakeFiles/hcloud_workload.dir/workload/latency_model.cpp.o.d"
+  "CMakeFiles/hcloud_workload.dir/workload/scenario.cpp.o"
+  "CMakeFiles/hcloud_workload.dir/workload/scenario.cpp.o.d"
+  "CMakeFiles/hcloud_workload.dir/workload/sensitivity.cpp.o"
+  "CMakeFiles/hcloud_workload.dir/workload/sensitivity.cpp.o.d"
+  "CMakeFiles/hcloud_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/hcloud_workload.dir/workload/trace.cpp.o.d"
+  "libhcloud_workload.a"
+  "libhcloud_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcloud_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

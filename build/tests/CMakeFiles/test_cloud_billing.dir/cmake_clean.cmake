@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_billing.dir/test_cloud_billing.cpp.o"
+  "CMakeFiles/test_cloud_billing.dir/test_cloud_billing.cpp.o.d"
+  "test_cloud_billing"
+  "test_cloud_billing.pdb"
+  "test_cloud_billing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

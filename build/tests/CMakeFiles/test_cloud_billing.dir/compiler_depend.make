@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_cloud_billing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_instances.dir/test_cloud_instances.cpp.o"
+  "CMakeFiles/test_cloud_instances.dir/test_cloud_instances.cpp.o.d"
+  "test_cloud_instances"
+  "test_cloud_instances.pdb"
+  "test_cloud_instances[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_provider.dir/test_cloud_provider.cpp.o"
+  "CMakeFiles/test_cloud_provider.dir/test_cloud_provider.cpp.o.d"
+  "test_cloud_provider"
+  "test_cloud_provider.pdb"
+  "test_cloud_provider[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

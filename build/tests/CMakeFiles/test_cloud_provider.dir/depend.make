@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cloud_provider.
+# This may be replaced when dependencies are built.

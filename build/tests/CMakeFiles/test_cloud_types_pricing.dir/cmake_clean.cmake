@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_types_pricing.dir/test_cloud_types_pricing.cpp.o"
+  "CMakeFiles/test_cloud_types_pricing.dir/test_cloud_types_pricing.cpp.o.d"
+  "test_cloud_types_pricing"
+  "test_cloud_types_pricing.pdb"
+  "test_cloud_types_pricing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_types_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_components.dir/test_core_components.cpp.o"
+  "CMakeFiles/test_core_components.dir/test_core_components.cpp.o.d"
+  "test_core_components"
+  "test_core_components.pdb"
+  "test_core_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

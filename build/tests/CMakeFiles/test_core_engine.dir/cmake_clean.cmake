@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_engine.dir/test_core_engine.cpp.o"
+  "CMakeFiles/test_core_engine.dir/test_core_engine.cpp.o.d"
+  "test_core_engine"
+  "test_core_engine.pdb"
+  "test_core_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

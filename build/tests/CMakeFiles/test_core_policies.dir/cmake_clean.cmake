@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_policies.dir/test_core_policies.cpp.o"
+  "CMakeFiles/test_core_policies.dir/test_core_policies.cpp.o.d"
+  "test_core_policies"
+  "test_core_policies.pdb"
+  "test_core_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

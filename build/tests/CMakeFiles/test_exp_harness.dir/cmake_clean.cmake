@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_harness.dir/test_exp_harness.cpp.o"
+  "CMakeFiles/test_exp_harness.dir/test_exp_harness.cpp.o.d"
+  "test_exp_harness"
+  "test_exp_harness.pdb"
+  "test_exp_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiling.dir/test_profiling.cpp.o"
+  "CMakeFiles/test_profiling.dir/test_profiling.cpp.o.d"
+  "test_profiling"
+  "test_profiling.pdb"
+  "test_profiling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

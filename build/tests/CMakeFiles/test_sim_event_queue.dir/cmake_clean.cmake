@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_event_queue.dir/test_sim_event_queue.cpp.o"
+  "CMakeFiles/test_sim_event_queue.dir/test_sim_event_queue.cpp.o.d"
+  "test_sim_event_queue"
+  "test_sim_event_queue.pdb"
+  "test_sim_event_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_ou_feedback.dir/test_sim_ou_feedback.cpp.o"
+  "CMakeFiles/test_sim_ou_feedback.dir/test_sim_ou_feedback.cpp.o.d"
+  "test_sim_ou_feedback"
+  "test_sim_ou_feedback.pdb"
+  "test_sim_ou_feedback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_ou_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

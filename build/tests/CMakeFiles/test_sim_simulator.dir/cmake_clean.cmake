@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_simulator.dir/test_sim_simulator.cpp.o"
+  "CMakeFiles/test_sim_simulator.dir/test_sim_simulator.cpp.o.d"
+  "test_sim_simulator"
+  "test_sim_simulator.pdb"
+  "test_sim_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_timeseries.dir/test_sim_timeseries.cpp.o"
+  "CMakeFiles/test_sim_timeseries.dir/test_sim_timeseries.cpp.o.d"
+  "test_sim_timeseries"
+  "test_sim_timeseries.pdb"
+  "test_sim_timeseries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spot.dir/test_spot.cpp.o"
+  "CMakeFiles/test_spot.dir/test_spot.cpp.o.d"
+  "test_spot"
+  "test_spot.pdb"
+  "test_spot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_sensitivity.dir/test_workload_sensitivity.cpp.o"
+  "CMakeFiles/test_workload_sensitivity.dir/test_workload_sensitivity.cpp.o.d"
+  "test_workload_sensitivity"
+  "test_workload_sensitivity.pdb"
+  "test_workload_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_timeseries[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_ou_feedback[1]_include.cmake")
+include("/root/repo/build/tests/test_cloud_types_pricing[1]_include.cmake")
+include("/root/repo/build/tests/test_cloud_billing[1]_include.cmake")
+include("/root/repo/build/tests/test_cloud_instances[1]_include.cmake")
+include("/root/repo/build/tests/test_cloud_provider[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_sensitivity[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_profiling[1]_include.cmake")
+include("/root/repo/build/tests/test_core_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_core_components[1]_include.cmake")
+include("/root/repo/build/tests/test_core_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_spot[1]_include.cmake")
+include("/root/repo/build/tests/test_exp_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
