@@ -2,9 +2,13 @@
  * @file
  * Figure 1: Hadoop completion-time variability across instance types on EC2 and GCE.
  *
- * Usage: bench_fig01_variability_batch [loadScale] [seed]
+ * Usage: bench_fig01_variability_batch [loadScale] [seed] [threads]
  *   loadScale scales the scenario load curves (default 1.0 = paper scale);
- *   seed selects the deterministic random seed (default 42).
+ *   seed selects the deterministic random seed (default 42);
+ *   threads sets the worker count for the per-instance-type sampling
+ *   cells (default: HCLOUD_THREADS env var or hardware concurrency;
+ *   1 forces serial execution). Results are bit-identical at any
+ *   thread count.
  */
 
 #include <cstdlib>
@@ -19,6 +23,9 @@ main(int argc, char** argv)
         opt.loadScale = std::atof(argv[1]);
     if (argc > 2)
         opt.seed = std::strtoull(argv[2], nullptr, 10);
+    if (argc > 3)
+        opt.threads = static_cast<std::size_t>(
+            std::strtoull(argv[3], nullptr, 10));
     hcloud::exp::fig01VariabilityBatch(opt);
     return 0;
 }

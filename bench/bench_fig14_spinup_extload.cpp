@@ -2,14 +2,18 @@
  * @file
  * Figure 14: performance sensitivity to spin-up time and external load.
  *
- * Usage: bench_fig14_spinup_extload [loadScale] [seed]
+ * Usage: bench_fig14_spinup_extload [loadScale] [seed] [threads]
  *   loadScale scales the scenario load curves (default 1.0 = paper scale);
- *   seed selects the deterministic random seed (default 42).
+ *   seed selects the deterministic random seed (default 42);
+ *   threads sets the worker count (default: HCLOUD_THREADS env var or
+ *   hardware concurrency; 1 forces serial execution). Results are
+ *   bit-identical at any thread count.
  */
 
 #include <cstdlib>
 
 #include "exp/figures.hpp"
+#include "runtime/parallel_runner.hpp"
 
 int
 main(int argc, char** argv)
@@ -19,7 +23,10 @@ main(int argc, char** argv)
         opt.loadScale = std::atof(argv[1]);
     if (argc > 2)
         opt.seed = std::strtoull(argv[2], nullptr, 10);
-    hcloud::exp::Runner runner(opt);
+    if (argc > 3)
+        opt.threads = static_cast<std::size_t>(
+            std::strtoull(argv[3], nullptr, 10));
+    hcloud::runtime::ParallelRunner runner(opt);
     hcloud::exp::fig14SpinUpAndExternalLoad(runner);
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "core/queue_estimator.hpp"
 #include "exp/figures_detail.hpp"
 #include "exp/report.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "workload/archetypes.hpp"
 #include "workload/batch_model.hpp"
@@ -22,6 +23,31 @@ namespace {
 
 /** Instance types shown in Figures 1-2, smallest to largest. */
 const char* kLadder[] = {"micro", "st1", "st2", "st8", "m16"};
+
+/**
+ * One (provider x instance-type) sampling cell of Figures 1-2. The cells
+ * are independent — each builds its own simulator and provider from a
+ * named child seed — so the figure drivers fan them out on the runtime
+ * thread pool; parallelMap returns rows in ladder order, bit-identical to
+ * the serial loop.
+ */
+struct SamplingCell
+{
+    cloud::ProviderProfile profile;
+    const char* type;
+};
+
+std::vector<SamplingCell>
+samplingCells()
+{
+    std::vector<SamplingCell> cells;
+    for (const auto& profile :
+         {cloud::ProviderProfile::ec2(), cloud::ProviderProfile::gce()}) {
+        for (const char* type_name : kLadder)
+            cells.push_back({profile, type_name});
+    }
+    return cells;
+}
 
 
 /**
@@ -75,17 +101,20 @@ fig01VariabilityBatch(const ExperimentOptions& opt)
     spec.sensitivity =
         workload::generateSensitivity(spec.kind, sens_rng);
 
-    std::vector<std::vector<std::string>> rows;
-    for (const auto& profile :
-         {cloud::ProviderProfile::ec2(), cloud::ProviderProfile::gce()}) {
-        for (const char* type_name : kLadder) {
+    const std::vector<SamplingCell> cells = samplingCells();
+    runtime::ThreadPool pool(opt.threads);
+    const std::vector<std::vector<std::string>> rows = runtime::parallelMap(
+        pool, cells.size(), [&](std::size_t c) {
+            const SamplingCell& cell = cells[c];
             sim::Simulator simulator;
             cloud::CloudProvider provider(
-                simulator, profile, {},
-                sim::Rng(opt.seed).child(profile.name).child(type_name));
+                simulator, cell.profile, {},
+                sim::Rng(opt.seed)
+                    .child(cell.profile.name)
+                    .child(cell.type));
             const auto& type =
                 cloud::InstanceTypeCatalog::defaultCatalog().byName(
-                    type_name);
+                    cell.type);
             sim::SampleSet minutes;
             int failures = 0;
             for (int i = 0; i < 40; ++i) {
@@ -100,13 +129,12 @@ fig01VariabilityBatch(const ExperimentOptions& opt)
                     minutes.add(m);
                 }
             }
-            auto row = boxplotRow(std::string(profile.name) + "/" +
-                                      type_name,
+            auto row = boxplotRow(std::string(cell.profile.name) + "/" +
+                                      cell.type,
                                   minutes.boxplot(), 1);
             row.push_back(std::to_string(failures));
-            rows.push_back(row);
-        }
-    }
+            return row;
+        });
     printTable({"provider/type", "p5(min)", "p25", "mean", "p75", "p95",
                 "killed"},
                rows);
@@ -128,19 +156,20 @@ fig02VariabilityMemcached(const ExperimentOptions& opt)
     const double sens =
         workload::interferenceSensitivity(sensitivity);
 
-    std::vector<std::vector<std::string>> rows;
-    for (const auto& profile :
-         {cloud::ProviderProfile::ec2(), cloud::ProviderProfile::gce()}) {
-        for (const char* type_name : kLadder) {
+    const std::vector<SamplingCell> cells = samplingCells();
+    runtime::ThreadPool pool(opt.threads);
+    const std::vector<std::vector<std::string>> rows = runtime::parallelMap(
+        pool, cells.size(), [&](std::size_t c) {
+            const SamplingCell& cell = cells[c];
             sim::Simulator simulator;
             cloud::CloudProvider provider(
-                simulator, profile, {},
+                simulator, cell.profile, {},
                 sim::Rng(opt.seed + 1)
-                    .child(profile.name)
-                    .child(type_name));
+                    .child(cell.profile.name)
+                    .child(cell.type));
             const auto& type =
                 cloud::InstanceTypeCatalog::defaultCatalog().byName(
-                    type_name);
+                    cell.type);
             // Clients scaled with vCPUs: equal, moderate per-core load
             // everywhere (the paper keeps all instances at a similar,
             // non-saturating system load).
@@ -163,11 +192,10 @@ fig02VariabilityMemcached(const ExperimentOptions& opt)
                 }
                 p99s.add(samples.quantile(0.95));
             }
-            rows.push_back(boxplotRow(std::string(profile.name) + "/" +
-                                          type_name,
-                                      p99s.boxplot(), 0));
-        }
-    }
+            return boxplotRow(std::string(cell.profile.name) + "/" +
+                                  cell.type,
+                              p99s.boxplot(), 0);
+        });
     printTable({"provider/type", "p5(us)", "p25", "mean", "p75", "p95"},
                rows);
     printClaim("small instances: severe tail variability",
@@ -374,7 +402,6 @@ policyRun(Runner& runner, core::StrategyKind strategy,
           core::PolicyKind policy)
 {
     core::EngineConfig cfg = runner.baseConfig();
-    cfg.seed = runner.options().seed;
     cfg.useProfiling = true;
     cfg.mappingPolicy = policy;
     return runner.runWith(workload::ScenarioKind::HighVariability,

@@ -93,6 +93,9 @@ fig12PriceRatio(Runner& runner)
 {
     printHeader("Figure 12: cost sensitivity to the on-demand:reserved "
                 "price ratio (normalized to static SR at ratio 2.74)");
+    // Fill the 3x5 profiled matrix up front: under a ParallelRunner the
+    // cells run concurrently; on the serial Runner this is a no-op split.
+    runner.prewarm();
     const double base =
         detail::staticSrCost(runner, cloud::AwsStylePricing());
     const double ratios[] = {0.01, 0.5, 1.0, 1.5, 2.0, 2.74, 3.0, 4.0};
@@ -122,6 +125,7 @@ fig13Duration(Runner& runner)
 {
     printHeader("Figure 13: absolute cost vs scenario duration "
                 "(x1000 $, reservations charged as full 1-year terms)");
+    runner.prewarm();
     const cloud::AwsStylePricing pricing;
     const double weeks[] = {1, 5, 10, 15, 20, 25, 30, 40, 52, 60};
     for (workload::ScenarioKind scenario : workload::kAllScenarios) {
@@ -159,17 +163,29 @@ sensitivitySweep(Runner& runner, const char* knobHeader,
 {
     const cloud::AwsStylePricing pricing;
     const double base = detail::staticSrCost(runner, pricing);
+    // One spec per (strategy x knob) point. runBatch() returns results in
+    // spec order — concurrently under a ParallelRunner, serially otherwise
+    // — and applies the root seed per the Runner seed contract.
+    std::vector<RunSpec> specs;
+    for (core::StrategyKind s : core::kAllStrategies) {
+        for (double knob : knobs) {
+            RunSpec spec;
+            spec.scenario = workload::ScenarioKind::HighVariability;
+            spec.strategy = s;
+            spec.config = runner.baseConfig();
+            configure(spec.config, knob);
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<core::RunResult> results = runner.runBatch(specs);
     std::vector<std::vector<std::string>> perf_rows;
     std::vector<std::vector<std::string>> cost_rows;
+    std::size_t idx = 0;
     for (core::StrategyKind s : core::kAllStrategies) {
         std::vector<std::string> perf_row = {toString(s)};
         std::vector<std::string> cost_row = {toString(s)};
-        for (double knob : knobs) {
-            core::EngineConfig cfg = runner.baseConfig();
-            cfg.seed = runner.options().seed;
-            configure(cfg, knob);
-            const core::RunResult r = runner.runWith(
-                workload::ScenarioKind::HighVariability, s, cfg);
+        for (std::size_t k = 0; k < knobs.size(); ++k, ++idx) {
+            const core::RunResult& r = results[idx];
             perf_row.push_back(fmt(100.0 * detail::tailPerf(r), 1));
             cost_row.push_back(fmt(r.cost(pricing).total() / base, 2));
         }
@@ -242,25 +258,33 @@ fig16SensitiveApps(Runner& runner)
                 "interference-sensitive applications (high variability)");
     const cloud::AwsStylePricing pricing;
     const double base = detail::staticSrCost(runner, pricing);
-    const double fractions[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    const std::vector<double> fractions = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    // Each point needs its own trace (the sensitive fraction is a
+    // scenario-generation knob), so the specs carry scenario overrides and
+    // every runBatch() task generates its private trace.
+    std::vector<RunSpec> specs;
+    for (core::StrategyKind s : core::kAllStrategies) {
+        for (double f : fractions) {
+            RunSpec spec;
+            spec.strategy = s;
+            spec.config = runner.baseConfig();
+            workload::ScenarioConfig scenario = runner.scenarioConfig(
+                workload::ScenarioKind::HighVariability);
+            scenario.sensitiveFraction = f;
+            spec.scenarioOverride = scenario;
+            spec.label = "fig16";
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<core::RunResult> results = runner.runBatch(specs);
     std::vector<std::vector<std::string>> perf_rows;
     std::vector<std::vector<std::string>> cost_rows;
+    std::size_t idx = 0;
     for (core::StrategyKind s : core::kAllStrategies) {
         std::vector<std::string> perf_row = {toString(s)};
         std::vector<std::string> cost_row = {toString(s)};
-        for (double f : fractions) {
-            workload::ScenarioConfig scenario;
-            scenario.kind = workload::ScenarioKind::HighVariability;
-            scenario.seed = runner.options().seed;
-            scenario.loadScale = runner.options().loadScale;
-            scenario.sensitiveFraction = f;
-            const workload::ArrivalTrace trace =
-                workload::generateScenario(scenario);
-            core::EngineConfig cfg = runner.baseConfig();
-            cfg.seed = runner.options().seed;
-            core::Engine engine(cfg);
-            const core::RunResult r =
-                engine.run(trace, s, "fig16");
+        for (std::size_t k = 0; k < fractions.size(); ++k, ++idx) {
+            const core::RunResult& r = results[idx];
             perf_row.push_back(fmt(100.0 * detail::tailPerf(r), 1));
             cost_row.push_back(fmt(r.cost(pricing).total() / base, 2));
         }

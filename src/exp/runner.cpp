@@ -8,16 +8,25 @@ Runner::Runner(ExperimentOptions options, core::EngineConfig baseConfig)
     baseConfig_.seed = options.seed;
 }
 
+workload::ScenarioConfig
+Runner::scenarioConfig(workload::ScenarioKind scenario) const
+{
+    workload::ScenarioConfig cfg;
+    cfg.kind = scenario;
+    cfg.seed = options_.seed;
+    cfg.loadScale = options_.loadScale;
+    return cfg;
+}
+
 const workload::ArrivalTrace&
 Runner::trace(workload::ScenarioKind scenario)
 {
     auto it = traces_.find(scenario);
     if (it == traces_.end()) {
-        workload::ScenarioConfig cfg;
-        cfg.kind = scenario;
-        cfg.seed = options_.seed;
-        cfg.loadScale = options_.loadScale;
-        it = traces_.emplace(scenario, workload::generateScenario(cfg))
+        it = traces_
+                 .emplace(scenario,
+                          workload::generateScenario(
+                              scenarioConfig(scenario)))
                  .first;
     }
     return it->second;
@@ -46,9 +55,57 @@ Runner::runWith(workload::ScenarioKind scenario,
                 core::StrategyKind strategy,
                 const core::EngineConfig& config)
 {
-    core::Engine engine(config);
+    // Root-seed contract: runWith() used to run with whatever seed the
+    // caller left in the config, silently diverging from the memoized
+    // run() path whenever a call site forgot `cfg.seed = options().seed`.
+    core::EngineConfig cfg = config;
+    cfg.seed = options_.seed;
+    core::Engine engine(cfg);
     return engine.run(trace(scenario), strategy,
                       workload::toString(scenario));
+}
+
+std::vector<core::RunResult>
+Runner::runBatch(const std::vector<RunSpec>& specs)
+{
+    std::vector<core::RunResult> results;
+    results.reserve(specs.size());
+    for (const RunSpec& spec : specs) {
+        const workload::ArrivalTrace* shared =
+            spec.scenarioOverride ? nullptr : &trace(spec.scenario);
+        results.push_back(executeSpec(spec, shared));
+    }
+    return results;
+}
+
+void
+Runner::prewarm(bool includeUnprofiled)
+{
+    for (workload::ScenarioKind scenario : workload::kAllScenarios) {
+        for (core::StrategyKind strategy : core::kAllStrategies) {
+            run(scenario, strategy, true);
+            if (includeUnprofiled)
+                run(scenario, strategy, false);
+        }
+    }
+}
+
+core::RunResult
+Runner::executeSpec(const RunSpec& spec,
+                    const workload::ArrivalTrace* sharedTrace) const
+{
+    core::EngineConfig cfg = spec.config;
+    cfg.seed = spec.seedOverride.value_or(options_.seed);
+    core::Engine engine(cfg);
+    const std::string label = spec.label.empty()
+        ? std::string(workload::toString(spec.scenario))
+        : spec.label;
+    if (spec.scenarioOverride) {
+        const workload::ArrivalTrace local =
+            workload::generateScenario(*spec.scenarioOverride);
+        return engine.run(local, spec.strategy, label);
+    }
+    return engine.run(*sharedTrace, spec.strategy, label);
 }
 
 } // namespace hcloud::exp

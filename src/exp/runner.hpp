@@ -5,13 +5,29 @@
  * Several figures share runs (e.g. the cost figures re-price the runs of
  * the performance figures), so the runner caches traces and results
  * within one process.
+ *
+ * ## Seed derivation
+ *
+ * Every run driven through a Runner uses `options().seed` as the engine's
+ * root seed, on every path — the memoized run() matrix, one-off runWith()
+ * calls and runBatch() sweeps alike (a RunSpec may opt out with an
+ * explicit seedOverride). The engine then derives independent named child
+ * streams per subsystem via sim::Rng::child(), and per-entity streams
+ * keyed by stable ids below that, so neither the order in which cells
+ * execute nor the thread they execute on can perturb any draw. This is
+ * what makes the parallel runtime (runtime::ParallelRunner) bit-identical
+ * to serial execution.
  */
 
 #ifndef HCLOUD_EXP_RUNNER_HPP
 #define HCLOUD_EXP_RUNNER_HPP
 
+#include <cstdint>
 #include <map>
+#include <optional>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/types.hpp"
@@ -26,34 +42,102 @@ struct ExperimentOptions
     double loadScale = 1.0;
     /** Root seed. */
     std::uint64_t seed = 42;
+    /**
+     * Worker threads for parallel drivers (runtime::ParallelRunner and
+     * the sampling figures). 0 = auto: the HCLOUD_THREADS environment
+     * variable if set, otherwise hardware_concurrency. 1 forces the
+     * serial path. Plain Runner ignores this.
+     */
+    std::size_t threads = 0;
+};
+
+/**
+ * One cell of work for runBatch(): a strategy run against either a shared
+ * scenario trace or a custom per-spec scenario (e.g. the Figure 16
+ * sensitive-fraction sweep).
+ */
+struct RunSpec
+{
+    /** Scenario whose shared trace to run (unless overridden below). */
+    workload::ScenarioKind scenario = workload::ScenarioKind::Static;
+    core::StrategyKind strategy = core::StrategyKind::SR;
+    /** Engine configuration; its seed is replaced per the class contract. */
+    core::EngineConfig config{};
+    /** Generate a private trace from this config instead of the shared one. */
+    std::optional<workload::ScenarioConfig> scenarioOverride;
+    /** Scenario label recorded in the result; empty = scenario name. */
+    std::string label;
+    /** Escape hatch from the root-seed contract (multi-seed studies). */
+    std::optional<std::uint64_t> seedOverride;
 };
 
 /**
  * Memoized run matrix over the three scenarios and five strategies.
+ *
+ * The virtual cell API (trace / run / runWith / runBatch / prewarm) is the
+ * extension seam for runtime::ParallelRunner, which executes the same
+ * cells concurrently; this base class is strictly serial and not
+ * thread-safe.
  */
 class Runner
 {
   public:
     explicit Runner(ExperimentOptions options = {},
                     core::EngineConfig baseConfig = {});
+    virtual ~Runner() = default;
 
     const ExperimentOptions& options() const { return options_; }
     const core::EngineConfig& baseConfig() const { return baseConfig_; }
 
+    /** Scenario-generation config prefilled with this runner's options. */
+    workload::ScenarioConfig scenarioConfig(
+        workload::ScenarioKind scenario) const;
+
     /** Generated (and cached) trace of a scenario. */
-    const workload::ArrivalTrace& trace(workload::ScenarioKind scenario);
+    virtual const workload::ArrivalTrace& trace(
+        workload::ScenarioKind scenario);
 
     /** Run (and cache) one cell of the matrix. */
-    const core::RunResult& run(workload::ScenarioKind scenario,
-                               core::StrategyKind strategy,
-                               bool profiling = true);
+    virtual const core::RunResult& run(workload::ScenarioKind scenario,
+                                       core::StrategyKind strategy,
+                                       bool profiling = true);
 
-    /** Run without caching, with a custom engine config. */
-    core::RunResult runWith(workload::ScenarioKind scenario,
-                            core::StrategyKind strategy,
-                            const core::EngineConfig& config);
+    /**
+     * Run without caching, with a custom engine config. The config's seed
+     * is replaced by options().seed (see the seed-derivation contract
+     * above), so sweeps that tweak other knobs stay comparable with the
+     * memoized matrix without every caller re-plumbing the seed.
+     */
+    virtual core::RunResult runWith(workload::ScenarioKind scenario,
+                                    core::StrategyKind strategy,
+                                    const core::EngineConfig& config);
 
-  private:
+    /**
+     * Execute a batch of uncached cells and return their results in spec
+     * order. Serial here; runtime::ParallelRunner executes the specs
+     * concurrently with an identical, submission-ordered result vector.
+     */
+    virtual std::vector<core::RunResult> runBatch(
+        const std::vector<RunSpec>& specs);
+
+    /**
+     * Populate the memoized matrix (all scenarios x strategies, plus the
+     * unprofiled cells when requested). A no-op for cells already cached;
+     * the parallel runner overrides this to fill the cache concurrently.
+     */
+    virtual void prewarm(bool includeUnprofiled = false);
+
+  protected:
+    /**
+     * Run one spec exactly as the serial paths do: private trace if the
+     * spec overrides the scenario, @p sharedTrace otherwise. Both the
+     * serial and the parallel runBatch() funnel through this so the two
+     * paths cannot diverge.
+     */
+    core::RunResult executeSpec(const RunSpec& spec,
+                                const workload::ArrivalTrace* sharedTrace)
+        const;
+
     ExperimentOptions options_;
     core::EngineConfig baseConfig_;
     std::map<workload::ScenarioKind, workload::ArrivalTrace> traces_;

@@ -1,0 +1,131 @@
+#include "runtime/parallel_runner.hpp"
+
+#include <map>
+
+namespace hcloud::runtime {
+
+ParallelRunner::ParallelRunner(exp::ExperimentOptions options,
+                               core::EngineConfig baseConfig)
+    : Runner(options, baseConfig),
+      threads_(options.threads > 0 ? options.threads
+                                   : defaultThreadCount()),
+      pool_(threads_)
+{
+}
+
+const workload::ArrivalTrace&
+ParallelRunner::trace(workload::ScenarioKind scenario)
+{
+    return ensureTrace(scenario);
+}
+
+const workload::ArrivalTrace&
+ParallelRunner::ensureTrace(workload::ScenarioKind scenario)
+{
+    // Generation happens under the lock: it is cheap relative to a run,
+    // and map references stay stable across later inserts.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = traces_.find(scenario);
+    if (it == traces_.end()) {
+        it = traces_
+                 .emplace(scenario,
+                          workload::generateScenario(
+                              scenarioConfig(scenario)))
+                 .first;
+    }
+    return it->second;
+}
+
+const core::RunResult&
+ParallelRunner::run(workload::ScenarioKind scenario,
+                    core::StrategyKind strategy, bool profiling)
+{
+    const auto key = std::make_tuple(scenario, strategy, profiling);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = results_.find(key);
+        if (it != results_.end())
+            return it->second;
+    }
+    // Compute outside the lock. Two threads racing on the same cell both
+    // produce the bit-identical result, and emplace keeps the first.
+    const workload::ArrivalTrace& tr = ensureTrace(scenario);
+    core::EngineConfig cfg = baseConfig_;
+    cfg.useProfiling = profiling;
+    core::Engine engine(cfg);
+    core::RunResult result =
+        engine.run(tr, strategy, workload::toString(scenario));
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.emplace(key, std::move(result)).first->second;
+}
+
+std::vector<core::RunResult>
+ParallelRunner::runBatch(const std::vector<exp::RunSpec>& specs)
+{
+    if (threads_ <= 1 || specs.size() <= 1)
+        return Runner::runBatch(specs);
+    // Resolve shared traces up front so tasks never mutate shared state.
+    std::vector<const workload::ArrivalTrace*> shared(specs.size(),
+                                                      nullptr);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!specs[i].scenarioOverride)
+            shared[i] = &ensureTrace(specs[i].scenario);
+    }
+    return parallelMap(pool_, specs.size(), [&](std::size_t i) {
+        return executeSpec(specs[i], shared[i]);
+    });
+}
+
+void
+ParallelRunner::prewarm(bool includeUnprofiled)
+{
+    if (threads_ <= 1) {
+        Runner::prewarm(includeUnprofiled);
+        return;
+    }
+    std::map<workload::ScenarioKind, const workload::ArrivalTrace*>
+        shared;
+    for (workload::ScenarioKind s : workload::kAllScenarios)
+        shared[s] = &ensureTrace(s);
+
+    struct Cell
+    {
+        workload::ScenarioKind scenario;
+        core::StrategyKind strategy;
+        bool profiling;
+    };
+    std::vector<Cell> cells;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (workload::ScenarioKind s : workload::kAllScenarios) {
+            for (core::StrategyKind st : core::kAllStrategies) {
+                for (bool profiling : {true, false}) {
+                    if (!profiling && !includeUnprofiled)
+                        continue;
+                    if (!results_.count(
+                            std::make_tuple(s, st, profiling)))
+                        cells.push_back({s, st, profiling});
+                }
+            }
+        }
+    }
+    std::vector<core::RunResult> results =
+        parallelMap(pool_, cells.size(), [&](std::size_t i) {
+            const Cell& c = cells[i];
+            core::EngineConfig cfg = baseConfig_;
+            cfg.useProfiling = c.profiling;
+            core::Engine engine(cfg);
+            return engine.run(*shared.at(c.scenario), c.strategy,
+                              workload::toString(c.scenario));
+        });
+    // Deterministic, submission-ordered merge into the memo cache.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& c = cells[i];
+        results_.emplace(
+            std::make_tuple(c.scenario, c.strategy, c.profiling),
+            std::move(results[i]));
+    }
+}
+
+} // namespace hcloud::runtime

@@ -1,0 +1,115 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace hcloud::runtime {
+
+std::size_t
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+std::size_t
+defaultThreadCount()
+{
+    if (const char* env = std::getenv("HCLOUD_THREADS")) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return hardwareThreads();
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    // One thread means "run on the caller": spawning a single worker would
+    // only add queueing latency without any overlap.
+    if (threads <= 1)
+        return;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (serial()) {
+        // Serial path: execute inline. Exceptions are captured so that
+        // submit()/wait() semantics match the threaded pool.
+        try {
+            task();
+        } catch (...) {
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++pending_;
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] { return pending_ == 0; });
+    if (error_) {
+        std::exception_ptr error = error_;
+        error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+            // Graceful shutdown: keep draining until the queue is empty.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !error_)
+                error_ = error;
+            if (--pending_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+} // namespace hcloud::runtime

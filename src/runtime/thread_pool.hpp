@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Fixed-size thread pool with chunked parallel-for / parallel-map helpers.
+ *
+ * The pool is the low-level half of the execution runtime: it knows nothing
+ * about experiments, only about running closures on worker threads. Design
+ * constraints, in order:
+ *
+ *  1. Determinism of *results* is the caller's problem (tasks must not share
+ *     mutable state); determinism of *structure* is ours: parallelMap()
+ *     returns results in submission order, and when several tasks throw,
+ *     the exception of the lowest-index task is the one rethrown, so a
+ *     failing run reports the same error regardless of scheduling.
+ *  2. Exceptions never kill a worker: they are captured per task and
+ *     rethrown on the waiting caller's thread.
+ *  3. A pool constructed with one thread (e.g. HCLOUD_THREADS=1) runs every
+ *     task inline on the caller's thread — the serial path is the literal
+ *     same code path a pool-free caller would take, not a one-worker queue.
+ *  4. Destruction is graceful: queued tasks are drained, then workers join.
+ */
+
+#ifndef HCLOUD_RUNTIME_THREAD_POOL_HPP
+#define HCLOUD_RUNTIME_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcloud::runtime {
+
+/** std::thread::hardware_concurrency(), never less than 1. */
+std::size_t hardwareThreads();
+
+/**
+ * Worker count used when none is requested explicitly: the
+ * HCLOUD_THREADS environment variable if set to a positive integer,
+ * otherwise hardwareThreads(). HCLOUD_THREADS=1 therefore forces every
+ * runtime consumer onto the serial path.
+ */
+std::size_t defaultThreadCount();
+
+/**
+ * Fixed-size worker pool.
+ *
+ * submit() enqueues a closure; wait() blocks until everything submitted so
+ * far has finished and rethrows the first exception any task raised since
+ * the last wait(). Higher-level fan-outs should prefer parallelFor() /
+ * parallelMap(), which add chunking, ordered results and lowest-index
+ * exception selection.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 = defaultThreadCount(). */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Worker count. 0 means the pool is serial: submit() runs tasks
+     * inline on the calling thread.
+     */
+    std::size_t size() const { return workers_.size(); }
+
+    /** True when tasks run inline on the caller's thread. */
+    bool serial() const { return workers_.empty(); }
+
+    /** Enqueue a task (or run it inline on a serial pool). */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far has completed. Rethrows the
+     * first exception captured from a task since the previous wait().
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_; ///< queue non-empty or stopping
+    std::condition_variable doneCv_; ///< pending count reached zero
+    std::size_t pending_ = 0;        ///< queued + currently executing
+    std::exception_ptr error_;       ///< first task exception since wait()
+    bool stop_ = false;
+};
+
+namespace detail {
+
+/**
+ * Join-point for one parallelFor/parallelMap call: counts completions and
+ * keeps the exception of the lowest-index failed task.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(std::size_t pending) : pending_(pending) {}
+
+    void finish(std::size_t index, std::exception_ptr error)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error && index < errorIndex_) {
+            errorIndex_ = index;
+            error_ = error;
+        }
+        if (--pending_ == 0)
+            cv_.notify_all();
+    }
+
+    /** Blocks until every task finished; rethrows the selected error. */
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return pending_ == 0; });
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t pending_;
+    std::exception_ptr error_;
+    std::size_t errorIndex_ = static_cast<std::size_t>(-1);
+};
+
+/** Chunk length for n items on a pool, targeting ~4 chunks per worker. */
+inline std::size_t
+chunkLength(const ThreadPool& pool, std::size_t n, std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const std::size_t target = pool.size() * 4;
+    if (target == 0)
+        return n > 0 ? n : 1;
+    const std::size_t chunk = (n + target - 1) / target;
+    return chunk > 0 ? chunk : 1;
+}
+
+} // namespace detail
+
+/**
+ * Invoke fn(i) for every i in [begin, end), distributing contiguous chunks
+ * across the pool. Blocks until done; rethrows the exception of the
+ * lowest-index failing iteration. On a serial pool this is a plain loop.
+ *
+ * @param chunk Iterations per task; 0 = automatic (~4 chunks per worker).
+ */
+template <typename Fn>
+void
+parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end, Fn fn,
+            std::size_t chunk = 0)
+{
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    if (pool.serial()) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+    const std::size_t len = detail::chunkLength(pool, n, chunk);
+    const std::size_t chunks = (n + len - 1) / len;
+    detail::TaskGroup group(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = begin + c * len;
+        const std::size_t hi = lo + len < end ? lo + len : end;
+        pool.submit([&fn, &group, c, lo, hi] {
+            std::exception_ptr error;
+            try {
+                for (std::size_t i = lo; i < hi; ++i)
+                    fn(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            group.finish(c, error);
+        });
+    }
+    group.wait();
+}
+
+/**
+ * Compute fn(i) for every i in [0, n) concurrently and return the results
+ * in index order — the deterministic, submission-ordered merge every
+ * runtime consumer builds on. Blocks until done; rethrows the exception of
+ * the lowest-index failing task. On a serial pool this is a plain loop.
+ */
+template <typename Fn>
+auto
+parallelMap(ThreadPool& pool, std::size_t n, Fn fn)
+    -> std::vector<decltype(fn(std::size_t{}))>
+{
+    using Result = decltype(fn(std::size_t{}));
+    std::vector<Result> results(n);
+    if (pool.serial()) {
+        for (std::size_t i = 0; i < n; ++i)
+            results[i] = fn(i);
+        return results;
+    }
+    detail::TaskGroup group(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&fn, &results, &group, i] {
+            std::exception_ptr error;
+            try {
+                results[i] = fn(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            group.finish(i, error);
+        });
+    }
+    group.wait();
+    return results;
+}
+
+} // namespace hcloud::runtime
+
+#endif // HCLOUD_RUNTIME_THREAD_POOL_HPP

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the runtime thread pool: task completion, ordered parallel
+ * maps, exception propagation, graceful shutdown under load and the
+ * HCLOUD_THREADS=1 serial fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace hcloud::runtime {
+namespace {
+
+/** Scoped setenv/unsetenv for HCLOUD_THREADS. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char* name, const char* value) : name_(name)
+    {
+        const char* old = std::getenv(name);
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char* name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 50 * (batch + 1));
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(pool, 1, 257, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(hits[0].load(), 0);
+    for (std::size_t i = 1; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelMapPreservesSubmissionOrder)
+{
+    ThreadPool pool(4);
+    const auto out = parallelMap(pool, 100, [](std::size_t i) {
+        return static_cast<int>(i * i);
+    });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, ParallelMapOnEmptyRange)
+{
+    ThreadPool pool(2);
+    const auto out =
+        parallelMap(pool, 0, [](std::size_t) { return 1; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ThreadPool, SubmitExceptionSurfacesOnWait)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed: the pool stays usable afterwards.
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapRethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        try {
+            parallelMap(pool, 64, [](std::size_t i) {
+                if (i == 11 || i == 12 || i == 63)
+                    throw std::runtime_error(std::to_string(i));
+                return i;
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& e) {
+            // Deterministic selection regardless of scheduling.
+            EXPECT_STREQ(e.what(), "11");
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(parallelFor(pool, 0, 100,
+                             [](std::size_t i) {
+                                 if (i == 40)
+                                     throw std::logic_error("x");
+                             }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsQueueUnderLoad)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 300; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                ++count;
+            });
+        }
+        // Destructor must finish all queued work before joining.
+    }
+    EXPECT_EQ(count.load(), 300);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_TRUE(pool.serial());
+    EXPECT_EQ(pool.size(), 0u);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    pool.submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+    pool.wait();
+    EXPECT_EQ(ran_on, caller);
+    // Inline exceptions still surface through wait().
+    pool.submit([] { throw std::runtime_error("serial"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // And parallelMap degenerates to an ordered serial loop.
+    const auto out =
+        parallelMap(pool, 10, [](std::size_t i) { return i + 1; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(ThreadPool, EnvKnobForcesSerialFallback)
+{
+    ScopedEnv env("HCLOUD_THREADS", "1");
+    EXPECT_EQ(defaultThreadCount(), 1u);
+    ThreadPool pool; // 0 = auto -> env knob -> serial
+    EXPECT_TRUE(pool.serial());
+}
+
+TEST(ThreadPool, EnvKnobParsesWorkerCount)
+{
+    ScopedEnv env("HCLOUD_THREADS", "6");
+    EXPECT_EQ(defaultThreadCount(), 6u);
+    ThreadPool pool;
+    EXPECT_EQ(pool.size(), 6u);
+}
+
+TEST(ThreadPool, EnvKnobIgnoresGarbage)
+{
+    ScopedEnv env("HCLOUD_THREADS", "not-a-number");
+    EXPECT_EQ(defaultThreadCount(), hardwareThreads());
+    ScopedEnv zero("HCLOUD_THREADS", "0");
+    EXPECT_EQ(defaultThreadCount(), hardwareThreads());
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(hardwareThreads(), 1u);
+}
+
+} // namespace
+} // namespace hcloud::runtime
