@@ -2,24 +2,29 @@
  * @file
  * Figure 4: performance of SR/OdF/OdM with and without profiling information.
  *
- * Usage: bench_fig04_baseline_perf [loadScale] [seed]
+ * Usage: bench_fig04_baseline_perf [loadScale] [seed] [threads]
+ *                                  [--json <path>] [--trace <path>]
  *   loadScale scales the scenario load curves (default 1.0 = paper scale);
- *   seed selects the deterministic random seed (default 42).
+ *   seed selects the deterministic random seed (default 42);
+ *   --json writes a machine-readable report of every run;
+ *   --trace forces tracing on and writes the event streams as JSONL
+ *   (without it, the HCLOUD_TRACE environment knob decides).
  */
 
-#include <cstdlib>
-
+#include "exp/cli.hpp"
 #include "exp/figures.hpp"
 
 int
 main(int argc, char** argv)
 {
-    hcloud::exp::ExperimentOptions opt;
-    if (argc > 1)
-        opt.loadScale = std::atof(argv[1]);
-    if (argc > 2)
-        opt.seed = std::strtoull(argv[2], nullptr, 10);
-    hcloud::exp::Runner runner(opt);
+    hcloud::exp::BenchCli cli = hcloud::exp::parseBenchCli(argc, argv);
+    if (cli.parseError)
+        return 2;
+    hcloud::exp::Runner runner(cli.options, cli.engineConfig());
+    runner.setRecordAdhoc(cli.wantsArtifacts());
     hcloud::exp::fig04BaselinePerf(runner);
-    return 0;
+    return hcloud::exp::writeBenchArtifacts(cli, "fig04_baseline_perf",
+                                            runner)
+        ? 0
+        : 1;
 }

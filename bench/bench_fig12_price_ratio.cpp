@@ -3,30 +3,34 @@
  * Figure 12: cost sensitivity to the on-demand:reserved price ratio.
  *
  * Usage: bench_fig12_price_ratio [loadScale] [seed] [threads]
+ *                                [--json <path>] [--trace <path>]
  *   loadScale scales the scenario load curves (default 1.0 = paper scale);
  *   seed selects the deterministic random seed (default 42);
  *   threads sets the worker count (default: HCLOUD_THREADS env var or
  *   hardware concurrency; 1 forces serial execution). Results are
- *   bit-identical at any thread count.
+ *   bit-identical at any thread count;
+ *   --json writes a machine-readable report of every run;
+ *   --trace forces tracing on and writes the event streams as JSONL
+ *   (without it, the HCLOUD_TRACE environment knob decides). The JSONL
+ *   is byte-identical for any HCLOUD_THREADS value at a fixed seed.
  */
 
-#include <cstdlib>
-
+#include "exp/cli.hpp"
 #include "exp/figures.hpp"
 #include "runtime/parallel_runner.hpp"
 
 int
 main(int argc, char** argv)
 {
-    hcloud::exp::ExperimentOptions opt;
-    if (argc > 1)
-        opt.loadScale = std::atof(argv[1]);
-    if (argc > 2)
-        opt.seed = std::strtoull(argv[2], nullptr, 10);
-    if (argc > 3)
-        opt.threads = static_cast<std::size_t>(
-            std::strtoull(argv[3], nullptr, 10));
-    hcloud::runtime::ParallelRunner runner(opt);
+    hcloud::exp::BenchCli cli = hcloud::exp::parseBenchCli(argc, argv);
+    if (cli.parseError)
+        return 2;
+    hcloud::runtime::ParallelRunner runner(cli.options,
+                                           cli.engineConfig());
+    runner.setRecordAdhoc(cli.wantsArtifacts());
     hcloud::exp::fig12PriceRatio(runner);
-    return 0;
+    return hcloud::exp::writeBenchArtifacts(cli, "fig12_price_ratio",
+                                            runner)
+        ? 0
+        : 1;
 }

@@ -12,9 +12,11 @@
 #include <benchmark/benchmark.h>
 
 #include "cloud/provider.hpp"
+#include "core/engine.hpp"
 #include "core/mapping_policy.hpp"
 #include "core/placement.hpp"
 #include "core/queue_estimator.hpp"
+#include "obs/tracer.hpp"
 #include "profiling/quasar.hpp"
 #include "sim/simulator.hpp"
 #include "workload/archetypes.hpp"
@@ -120,6 +122,74 @@ BM_QueueEstimator(benchmark::State& state)
     }
 }
 BENCHMARK(BM_QueueEstimator);
+
+/**
+ * Full engine run with the tracer off (Arg 0) vs on (Arg 1).
+ *
+ * The disabled row is the observability tax every run pays: the tracer's
+ * emit helpers early-return on a single bool, so the two off/on rows
+ * should differ well under 2% when Arg(0) is compared against the
+ * pre-obs baseline and by the event-construction cost when Arg(1) is.
+ */
+void
+BM_EngineRunTrace(benchmark::State& state)
+{
+    workload::ScenarioConfig scenario_cfg;
+    scenario_cfg.kind = workload::ScenarioKind::Static;
+    scenario_cfg.seed = 42;
+    scenario_cfg.loadScale = 0.05;
+    const workload::ArrivalTrace trace =
+        workload::generateScenario(scenario_cfg);
+    core::EngineConfig cfg;
+    cfg.seed = 42;
+    cfg.trace.mode = state.range(0) != 0
+        ? obs::TraceConfig::Mode::On
+        : obs::TraceConfig::Mode::Off;
+    for (auto _ : state) {
+        core::Engine engine(cfg);
+        core::RunResult result =
+            engine.run(trace, core::StrategyKind::HM, "static");
+        benchmark::DoNotOptimize(result.trace.recorded);
+    }
+}
+BENCHMARK(BM_EngineRunTrace)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/** Cost of one emit-helper call on a disabled tracer (the hot guard). */
+void
+BM_TracerDisabledEmit(benchmark::State& state)
+{
+    obs::TraceConfig cfg;
+    cfg.mode = obs::TraceConfig::Mode::Off;
+    obs::Tracer tracer(cfg);
+    sim::Time t = 0.0;
+    for (auto _ : state) {
+        t += 1.0;
+        tracer.decision(t, obs::DecisionReason::SoftLimitExceeded, 1, 2,
+                        0.5, "st16");
+        benchmark::DoNotOptimize(tracer.recordedCount());
+    }
+}
+BENCHMARK(BM_TracerDisabledEmit);
+
+/** Cost of recording one event into the ring (tracer enabled). */
+void
+BM_TracerRecord(benchmark::State& state)
+{
+    obs::TraceConfig cfg;
+    cfg.mode = obs::TraceConfig::Mode::On;
+    obs::Tracer tracer(cfg);
+    sim::Time t = 0.0;
+    for (auto _ : state) {
+        t += 1.0;
+        tracer.decision(t, obs::DecisionReason::SoftLimitExceeded, 1, 2,
+                        0.5, "st16");
+        benchmark::DoNotOptimize(tracer.recordedCount());
+    }
+}
+BENCHMARK(BM_TracerRecord);
 
 /** Scenario generation (trace synthesis) at paper scale. */
 void

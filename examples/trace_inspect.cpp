@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Inspect a trace JSONL file produced by the benches (--trace flag or
+ * the HCLOUD_TRACE environment knob): per-run event counts, per-job and
+ * per-instance timelines, and a decision-reason summary.
+ *
+ * Usage: trace_inspect <trace.jsonl> [--jobs N] [--instances N]
+ *   --jobs / --instances bound how many per-entity timelines are printed
+ *   (default 5 each; 0 suppresses the section).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/tracer.hpp"
+
+namespace {
+
+using namespace hcloud;
+
+struct RunSection
+{
+    std::string label;
+    std::vector<obs::TraceEvent> events;
+};
+
+/** "strategy/scenario[, unprofiled]" from a {"run":{...}} header line. */
+std::string
+runLabel(const obs::JsonValue& header)
+{
+    const obs::JsonValue* run = header.find("run");
+    if (!run)
+        return "(unlabeled run)";
+    std::string label = run->find("strategy")
+        ? run->find("strategy")->stringOr("?")
+        : "?";
+    label += " / ";
+    label += run->find("scenario") ? run->find("scenario")->stringOr("?")
+                                   : "?";
+    if (run->find("profiling") && !run->find("profiling")->boolOr(true))
+        label += " (unprofiled)";
+    return label;
+}
+
+void
+printTimeline(const char* kind, std::uint64_t id,
+              const std::vector<const obs::TraceEvent*>& events)
+{
+    std::printf("  %s %llu:\n", kind,
+                static_cast<unsigned long long>(id));
+    for (const obs::TraceEvent* e : events) {
+        std::printf("    t=%10.2f  %-22s", e->time, toString(e->kind));
+        if (e->reason != obs::DecisionReason::None)
+            std::printf("  reason=%s", toString(e->reason));
+        if (e->value != 0.0)
+            std::printf("  value=%g", e->value);
+        if (!e->detail.empty())
+            std::printf("  (%s)", e->detail.c_str());
+        std::printf("\n");
+    }
+}
+
+void
+summarizeRun(const RunSection& run, std::size_t maxJobs,
+             std::size_t maxInstances)
+{
+    std::printf("\n== %s: %zu events ==\n", run.label.c_str(),
+                run.events.size());
+    if (run.events.empty())
+        return;
+
+    // Decision-reason histogram.
+    std::map<obs::DecisionReason, std::size_t> reasons;
+    std::map<obs::EventKind, std::size_t> kinds;
+    std::map<sim::JobId, std::vector<const obs::TraceEvent*>> byJob;
+    std::map<sim::InstanceId, std::vector<const obs::TraceEvent*>>
+        byInstance;
+    for (const obs::TraceEvent& e : run.events) {
+        ++kinds[e.kind];
+        if (e.reason != obs::DecisionReason::None)
+            ++reasons[e.reason];
+        if (e.job != 0)
+            byJob[e.job].push_back(&e);
+        if (e.instance != 0)
+            byInstance[e.instance].push_back(&e);
+    }
+
+    std::printf(" event kinds:\n");
+    for (const auto& [kind, count] : kinds)
+        std::printf("  %-22s %zu\n", toString(kind), count);
+
+    if (!reasons.empty()) {
+        std::printf(" decision reasons:\n");
+        for (const auto& [reason, count] : reasons)
+            std::printf("  %-26s %zu\n", toString(reason), count);
+    }
+
+    if (maxJobs > 0 && !byJob.empty()) {
+        std::printf(" job timelines (%zu of %zu):\n",
+                    std::min(maxJobs, byJob.size()), byJob.size());
+        std::size_t shown = 0;
+        for (const auto& [id, events] : byJob) {
+            if (shown++ >= maxJobs)
+                break;
+            printTimeline("job", id, events);
+        }
+    }
+
+    if (maxInstances > 0 && !byInstance.empty()) {
+        std::printf(" instance timelines (%zu of %zu):\n",
+                    std::min(maxInstances, byInstance.size()),
+                    byInstance.size());
+        std::size_t shown = 0;
+        for (const auto& [id, events] : byInstance) {
+            if (shown++ >= maxInstances)
+                break;
+            printTimeline("instance", id, events);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path;
+    std::size_t max_jobs = 5;
+    std::size_t max_instances = 5;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            max_jobs = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--instances") == 0 &&
+                   i + 1 < argc) {
+            max_instances = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s <trace.jsonl> [--jobs N] "
+                         "[--instances N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        // Fall back to the HCLOUD_TRACE-named default, matching benches.
+        path = hcloud::obs::envTracePath();
+        if (path.empty()) {
+            std::fprintf(stderr,
+                         "usage: %s <trace.jsonl> [--jobs N] "
+                         "[--instances N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+
+    std::vector<RunSection> runs;
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t bad_lines = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        obs::TraceEvent event;
+        if (obs::eventFromJsonLine(line, &event)) {
+            if (runs.empty())
+                runs.push_back({"(unlabeled run)", {}});
+            runs.back().events.push_back(std::move(event));
+            continue;
+        }
+        // Not an event: a {"run":...} header starts a new section.
+        try {
+            const obs::JsonValue header = obs::parseJson(line);
+            if (header.find("run")) {
+                runs.push_back({runLabel(header), {}});
+                continue;
+            }
+        } catch (const std::exception&) {
+        }
+        std::fprintf(stderr, "line %zu: unrecognized, skipped\n",
+                     line_no);
+        ++bad_lines;
+    }
+
+    std::printf("%s: %zu run(s)\n", path.c_str(), runs.size());
+    for (const RunSection& run : runs)
+        summarizeRun(run, max_jobs, max_instances);
+    if (bad_lines > 0)
+        std::printf("\n%zu unrecognized line(s) skipped\n", bad_lines);
+    return 0;
+}

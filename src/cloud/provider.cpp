@@ -15,6 +15,14 @@ CloudProvider::CloudProvider(sim::Simulator& simulator,
 {
 }
 
+void
+CloudProvider::setTracer(obs::Tracer* tracer)
+{
+    tracer_ = tracer;
+    if (spotMarket_)
+        spotMarket_->setTracer(tracer);
+}
+
 Machine*
 CloudProvider::newMachine(bool shared)
 {
@@ -53,6 +61,12 @@ CloudProvider::reserveDedicated(const InstanceType& type, int count)
         Instance* inst = instances_.back().get();
         inst->setState(InstanceState::Running);
         inst->setAvailableAt(simulator_.now());
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->instance(obs::EventKind::InstanceReady,
+                              simulator_.now(), id,
+                              inst->baseQuality(simulator_.now()),
+                              type.name);
+        }
         pool.push_back(inst);
     }
     billing_.setReservedPool(type, count);
@@ -82,11 +96,21 @@ CloudProvider::acquire(const InstanceType& type, ReadyCallback onReady)
     const sim::Time ready = simulator_.now() + delay;
     inst->setAvailableAt(ready);
     billing_.onDemandAcquired(id, type, simulator_.now());
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instance(obs::EventKind::InstanceRequest,
+                          simulator_.now(), id, delay, type.name);
+    }
 
-    simulator_.at(ready, [inst, cb = std::move(onReady)]() {
+    simulator_.at(ready, [this, inst, cb = std::move(onReady)]() {
         if (inst->state() != InstanceState::SpinningUp)
             return; // released while spinning up
         inst->setState(InstanceState::Running);
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->instance(obs::EventKind::InstanceReady,
+                              simulator_.now(), inst->id(),
+                              inst->baseQuality(simulator_.now()),
+                              inst->type().name);
+        }
         if (cb)
             cb(inst);
     });
@@ -99,6 +123,7 @@ CloudProvider::spotMarket()
     if (!spotMarket_) {
         spotMarket_ = std::make_unique<SpotMarket>(
             SpotMarketConfig{}, rng_.child("spot-market"));
+        spotMarket_->setTracer(tracer_);
     }
     return *spotMarket_;
 }
@@ -115,6 +140,15 @@ CloudProvider::scheduleSpotCheck(Instance* instance,
                                         simulator_.now())) {
             // Market reclaim: the owner evicts residents, then the
             // instance is destroyed.
+            if (tracer_ && tracer_->enabled()) {
+                tracer_->decision(
+                    simulator_.now(),
+                    obs::DecisionReason::SpotInterruption, /*job=*/0,
+                    instance->id(),
+                    spotMarket().price(instance->type(),
+                                       simulator_.now()),
+                    instance->type().name, obs::Severity::Warn);
+            }
             if (onInterrupt)
                 onInterrupt(instance);
             if (instance->state() != InstanceState::Released) {
@@ -162,6 +196,12 @@ CloudProvider::release(Instance* instance)
     instance->host()->free(instance->type().vcpus);
     if (!instance->reserved())
         billing_.onDemandReleased(instance->id(), simulator_.now());
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instance(obs::EventKind::InstanceRelease,
+                          simulator_.now(), instance->id(),
+                          simulator_.now() - instance->acquiredAt(),
+                          instance->type().name);
+    }
 }
 
 } // namespace hcloud::cloud

@@ -29,6 +29,7 @@
 #include "cloud/provider_profile.hpp"
 #include "cloud/spin_up.hpp"
 #include "cloud/spot_market.hpp"
+#include "obs/tracer.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -116,6 +117,12 @@ class CloudProvider
         loadConfig_ = config;
     }
 
+    /**
+     * Emit instance-lifecycle and spot-market trace events through
+     * @p tracer (not owned; may be null to disable).
+     */
+    void setTracer(obs::Tracer* tracer);
+
   private:
     Machine* newMachine(bool shared);
 
@@ -133,6 +140,7 @@ class CloudProvider
     SpinUpModel spinUp_;
     BillingMeter billing_;
     std::unique_ptr<SpotMarket> spotMarket_;
+    obs::Tracer* tracer_ = nullptr;
 
     std::deque<std::unique_ptr<Machine>> machines_;
     std::deque<std::unique_ptr<Instance>> instances_;

@@ -1,6 +1,7 @@
 #include "cloud/spot_market.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace hcloud::cloud {
 
@@ -34,6 +35,14 @@ SpotMarket::priceFraction(const InstanceType& type, sim::Time t)
     ClassState& s = stateFor(type);
     double fraction = s.process.advanceTo(t);
     while (t >= s.nextSpikeStart) {
+        // Spikes are only materialized lazily on queries, so the onset
+        // event carries the spike's own start time, which can predate t.
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->controller(obs::EventKind::MarketSpike,
+                                s.nextSpikeStart,
+                                config_.spikeMagnitude,
+                                std::to_string(type.vcpus) + "-vcpu");
+        }
         s.spikeEnd = s.nextSpikeStart + config_.spikeDuration;
         s.nextSpikeStart = s.spikeEnd +
             s.spikeRng.exponential(config_.spikeInterval);

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "cloud/instance_type.hpp"
+#include "obs/tracer.hpp"
 #include "sim/ou_process.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
@@ -68,6 +69,9 @@ class SpotMarket
 
     const SpotMarketConfig& config() const { return config_; }
 
+    /** Emit MarketSpike trace events through @p tracer (may be null). */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   private:
     struct ClassState
     {
@@ -83,6 +87,7 @@ class SpotMarket
     SpotMarketConfig config_;
     sim::Rng rng_;
     std::map<int, ClassState> classes_;
+    obs::Tracer* tracer_ = nullptr;
 };
 
 } // namespace hcloud::cloud

@@ -8,6 +8,8 @@
 
 #include "core/hybrid.hpp"
 #include "core/strategy.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "workload/batch_model.hpp"
 #include "workload/latency_model.hpp"
@@ -57,12 +59,18 @@ Engine::run(const workload::ArrivalTrace& trace,
             const StrategyFactory& factory,
             const std::string& scenarioName)
 {
+    obs::PhaseProfiler phases;
+    auto setup_scope =
+        std::make_unique<obs::PhaseProfiler::Scope>(phases, "setup");
+
     sim::Simulator simulator;
     sim::Rng root(config_.seed);
+    obs::Tracer tracer(config_.trace);
 
     cloud::CloudProvider provider(simulator, profile_,
                                   config_.externalLoad,
                                   root.child("provider"));
+    provider.setTracer(&tracer);
     provider.spinUp().setScale(config_.spinUpScale);
     if (config_.spinUpFixed)
         provider.spinUp().setFixedOverride(config_.spinUpFixed);
@@ -78,6 +86,7 @@ Engine::run(const workload::ArrivalTrace& trace,
                       cloud::InstanceTypeCatalog::defaultCatalog(),
                       quasar,
                       metrics,
+                      tracer,
                       config_,
                       /*onJobStarted=*/nullptr};
     std::unique_ptr<Strategy> strategy = factory(ctx);
@@ -103,6 +112,10 @@ Engine::run(const workload::ArrivalTrace& trace,
         job.state = failed ? workload::JobState::Failed
                            : workload::JobState::Completed;
         ++finished;
+        tracer.job(failed ? obs::EventKind::JobFail
+                          : obs::EventKind::JobFinish,
+                   when, job.id(), job.perfNormalized(), {},
+                   failed ? obs::Severity::Warn : obs::Severity::Info);
         strategy->jobCompleted(job);
     };
 
@@ -154,6 +167,9 @@ Engine::run(const workload::ArrivalTrace& trace,
             const sim::Duration delay = config_.useProfiling
                 ? quasar.profilingDelay(job.spec())
                 : 0.0;
+            tracer.job(obs::EventKind::JobSubmit, simulator.now(),
+                       job.id(), delay,
+                       workload::toString(job.spec().kind));
             if (delay > 0.0) {
                 simulator.after(delay,
                                 [&job, &strategy]() {
@@ -303,6 +319,9 @@ Engine::run(const workload::ArrivalTrace& trace,
                         job->completedAt = t;
                         job->state = workload::JobState::Failed;
                         ++finished;
+                        tracer.job(obs::EventKind::JobFail, t, job->id(),
+                                   0.0, "max_runtime",
+                                   obs::Severity::Warn);
                         metrics.recordOutcome(*job);
                     } else {
                         finish_job(*job, t, /*failed=*/true);
@@ -314,9 +333,14 @@ Engine::run(const workload::ArrivalTrace& trace,
         return true;
     });
 
-    simulator.run();
+    setup_scope.reset();
+    {
+        obs::PhaseProfiler::Scope sim_scope(phases, "sim-loop");
+        simulator.run();
+    }
 
     // ---- Finalize the result -------------------------------------------
+    const auto finalize_start = obs::PhaseProfiler::Clock::now();
     RunResult result;
     result.strategy = strategy->name();
     result.scenario = scenarioName;
@@ -362,6 +386,22 @@ Engine::run(const workload::ArrivalTrace& trace,
     result.queuedJobs = metrics.queuedJobs();
     result.spinUpWaits = metrics.spinUpWaits();
     result.queueWaits = metrics.queueWaits();
+
+    // ---- Observability artifacts ---------------------------------------
+    result.trace = tracer.take();
+    result.metricsSnapshot = metrics.registry().snapshot();
+    phases.add("finalize",
+               std::chrono::duration<double>(
+                   obs::PhaseProfiler::Clock::now() - finalize_start)
+                   .count());
+    result.telemetry.setupSec = phases.seconds("setup");
+    result.telemetry.simLoopSec = phases.seconds("sim-loop");
+    result.telemetry.finalizeSec = phases.seconds("finalize");
+    result.telemetry.eventsProcessed = simulator.eventsRun();
+    result.telemetry.eventsPerSec = result.telemetry.simLoopSec > 0.0
+        ? static_cast<double>(result.telemetry.eventsProcessed) /
+            result.telemetry.simLoopSec
+        : 0.0;
     return result;
 }
 

@@ -7,6 +7,7 @@ namespace hcloud::core {
 HybridStrategy::HybridStrategy(EngineContext& ctx, bool mixed)
     : OnDemandStrategy(ctx, mixed)
 {
+    softLimit_.setTracer(&ctx.tracer);
 }
 
 void
@@ -42,7 +43,8 @@ HybridStrategy::odTypeFor(const JobSizing& s)
 }
 
 MapTarget
-HybridStrategy::mapJob(const workload::Job& job, const JobSizing& s)
+HybridStrategy::mapJob(const workload::Job& job, const JobSizing& s,
+                       obs::DecisionReason* reason)
 {
     (void)job;
     const cloud::InstanceType& od_type =
@@ -61,14 +63,19 @@ HybridStrategy::mapJob(const workload::Job& job, const JobSizing& s)
         static_cast<double>(1 + reservedQueue_.size());
     in.largeSpinUpMedian = ctx_.provider.spinUp().median(largeType());
     in.rng = &rng_;
-    return decideMapping(ctx_.config.mappingPolicy, in);
+    return decideMapping(ctx_.config.mappingPolicy, in, reason);
 }
 
 void
 HybridStrategy::submit(workload::Job& job)
 {
     const JobSizing s = sizeJob(job);
-    switch (mapJob(job, s)) {
+    obs::DecisionReason why = obs::DecisionReason::PolicyStatic;
+    const MapTarget target = mapJob(job, s, &why);
+    ctx_.tracer.decision(ctx_.simulator.now(), why, job.id(),
+                         /*instance=*/0, cluster_.reservedUtilization(),
+                         toString(target));
+    switch (target) {
       case MapTarget::Reserved:
         if (!tryPlaceReserved(job, s)) {
             // Fragmentation can leave the pool unable to host the job
@@ -85,6 +92,11 @@ HybridStrategy::submit(workload::Job& job)
                     queueEstimator_.waitQuantile(largeType(), 0.90,
                                                  ctx_.simulator.now()) *
                     static_cast<double>(1 + reservedQueue_.size());
+                ctx_.tracer.decision(
+                    ctx_.simulator.now(),
+                    obs::DecisionReason::ReservedFragmented, job.id(),
+                    /*instance=*/0, cluster_.reservedUtilization(),
+                    od_type.name);
                 if (q90 > s.quality) {
                     submitOnDemand(job, s, /*forceLarge=*/false);
                 } else if (wait >
@@ -129,6 +141,9 @@ HybridStrategy::tick()
     for (workload::Job* job : reservedQueue_) {
         if (now - job->queuedAt > limit) {
             const JobSizing s = sizeJob(*job);
+            ctx_.tracer.decision(
+                now, obs::DecisionReason::QueueTimeoutEscape, job->id(),
+                /*instance=*/0, now - job->queuedAt);
             submitOnDemand(*job, s, /*forceLarge=*/true);
         } else {
             keep.push_back(job);

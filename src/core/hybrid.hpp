@@ -61,8 +61,12 @@ class HybridStrategy : public OnDemandStrategy
     bool packOnDemand() const override { return true; }
 
   private:
-    /** Decide where the job goes under the configured mapping policy. */
-    MapTarget mapJob(const workload::Job& job, const JobSizing& s);
+    /**
+     * Decide where the job goes under the configured mapping policy;
+     * @p reason receives why (traced as a Decision event by submit()).
+     */
+    MapTarget mapJob(const workload::Job& job, const JobSizing& s,
+                     obs::DecisionReason* reason);
 
     SoftLimitController softLimit_;
     int poolSize_ = 0;

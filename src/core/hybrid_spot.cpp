@@ -43,6 +43,8 @@ HybridSpotStrategy::submitSpot(workload::Job& job, const JobSizing& s)
             best = inst;
     }
     if (best) {
+        ctx_.tracer.decision(now, obs::DecisionReason::SpotEntry,
+                             job.id(), best->id(), s.cores, "packed");
         assignToInstance(job, best, s, /*reserved=*/false);
         return;
     }
@@ -57,6 +59,8 @@ HybridSpotStrategy::submitSpot(workload::Job& job, const JobSizing& s)
     (void)now;
     cluster_.addOnDemand(inst);
     ctx_.metrics.countAcquisition();
+    ctx_.tracer.decision(now, obs::DecisionReason::SpotEntry, job.id(),
+                         inst->id(), bid, inst->type().name);
     assignToInstance(job, inst, s, /*reserved=*/false);
 }
 

@@ -72,26 +72,40 @@ loadLimit(const MappingInputs& in, double limit)
  *    the large on-demand escape hatch.
  */
 MapTarget
-dynamicPolicy(const MappingInputs& in)
+dynamicPolicy(const MappingInputs& in, obs::DecisionReason* reason)
 {
     const bool od_satisfies = in.onDemandQ90 + 1e-12 > in.jobQuality;
-    if (in.reservedUtilization < in.softLimit)
+    if (in.reservedUtilization < in.softLimit) {
+        *reason = obs::DecisionReason::BelowSoftLimit;
         return MapTarget::Reserved;
+    }
     if (in.reservedUtilization < in.hardLimit) {
+        *reason = od_satisfies ? obs::DecisionReason::SoftLimitExceeded
+                               : obs::DecisionReason::QualityBelowQ90;
         return od_satisfies ? MapTarget::OnDemand : MapTarget::Reserved;
     }
-    if (od_satisfies)
+    if (od_satisfies) {
+        *reason = obs::DecisionReason::HardLimitExceeded;
         return MapTarget::OnDemand;
-    if (in.estimatedQueueWait > in.largeSpinUpMedian)
+    }
+    if (in.estimatedQueueWait > in.largeSpinUpMedian) {
+        *reason = obs::DecisionReason::QueueWaitExceeded;
         return MapTarget::OnDemandLarge;
+    }
+    *reason = obs::DecisionReason::QualityBelowQ90;
     return MapTarget::QueueReserved;
 }
 
 } // namespace
 
 MapTarget
-decideMapping(PolicyKind policy, const MappingInputs& in)
+decideMapping(PolicyKind policy, const MappingInputs& in,
+              obs::DecisionReason* reason)
 {
+    obs::DecisionReason scratch;
+    if (!reason)
+        reason = &scratch;
+    *reason = obs::DecisionReason::PolicyStatic;
     switch (policy) {
       case PolicyKind::P1Random:
         assert(in.rng && "P1 needs a random stream");
@@ -110,7 +124,7 @@ decideMapping(PolicyKind policy, const MappingInputs& in)
       case PolicyKind::P7Load90:
         return loadLimit(in, 0.90);
       case PolicyKind::P8Dynamic:
-        return dynamicPolicy(in);
+        return dynamicPolicy(in, reason);
     }
     return MapTarget::Reserved;
 }

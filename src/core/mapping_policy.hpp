@@ -13,6 +13,7 @@
 #define HCLOUD_CORE_MAPPING_POLICY_HPP
 
 #include "core/types.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 
@@ -50,8 +51,15 @@ struct MappingInputs
     sim::Rng* rng = nullptr;
 };
 
-/** Decide where to map a job under the given policy. */
-MapTarget decideMapping(PolicyKind policy, const MappingInputs& in);
+/**
+ * Decide where to map a job under the given policy.
+ *
+ * @param reason When non-null, receives why the branch was taken
+ *        (PolicyStatic for the mechanical P1-P7 policies; the dynamic
+ *        policy reports which limit/quality/wait test fired).
+ */
+MapTarget decideMapping(PolicyKind policy, const MappingInputs& in,
+                        obs::DecisionReason* reason = nullptr);
 
 } // namespace hcloud::core
 

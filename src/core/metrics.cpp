@@ -2,6 +2,19 @@
 
 namespace hcloud::core {
 
+MetricsCollector::MetricsCollector()
+    : acquisitions_(&registry_.counter("strategy.acquisitions")),
+      immediateReleases_(
+          &registry_.counter("strategy.immediate_releases")),
+      reschedules_(&registry_.counter("strategy.reschedules")),
+      spotInterruptions_(
+          &registry_.counter("strategy.spot_interruptions")),
+      queuedJobs_(&registry_.counter("strategy.queued_jobs")),
+      spinUpWaits_(&registry_.histogram("strategy.spin_up_wait_sec")),
+      queueWaits_(&registry_.histogram("strategy.queue_wait_sec"))
+{
+}
+
 void
 MetricsCollector::recordOutcome(const workload::Job& job)
 {
@@ -30,12 +43,16 @@ MetricsCollector::recordAllocation(sim::Time t, double reservedCores,
     reservedAllocated_.record(t, reservedCores);
     onDemandAllocated_.record(t, onDemandCores);
     onDemandUsed_.record(t, onDemandUsed);
+    registry_.gauge("cluster.reserved_cores").set(reservedCores);
+    registry_.gauge("cluster.on_demand_cores").set(onDemandCores);
+    registry_.gauge("cluster.on_demand_cores_used").set(onDemandUsed);
 }
 
 void
 MetricsCollector::recordReservedUtilization(sim::Time t, double utilization)
 {
     reservedUtilSeries_.record(t, utilization);
+    registry_.gauge("cluster.reserved_utilization").set(utilization);
 }
 
 void

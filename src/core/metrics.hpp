@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "cloud/billing.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/tracer.hpp"
 #include "sim/stats.hpp"
 #include "sim/timeseries.hpp"
 #include "sim/types.hpp"
@@ -51,10 +54,16 @@ struct InstanceTimeline
 
 /**
  * Collects samples and series during a run; finalized into a RunResult.
+ *
+ * The simple counters and wait distributions live in an obs registry
+ * (cached pointers keep the hot paths a single indirection); the named
+ * accessors below stay the API so existing call sites are unaffected.
  */
 class MetricsCollector
 {
   public:
+    MetricsCollector();
+
     // --- Job outcomes ----------------------------------------------------
     void recordOutcome(const workload::Job& job);
 
@@ -71,14 +80,14 @@ class MetricsCollector
     void recordBreakdown(sim::Time t, const std::string& group,
                          bool reserved, double cores);
 
-    // --- Counters ---------------------------------------------------------
-    void countAcquisition() { ++acquisitions_; }
-    void countImmediateRelease() { ++immediateReleases_; }
-    void countReschedule() { ++reschedules_; }
-    void countSpotInterruption() { ++spotInterruptions_; }
-    void countQueued() { ++queuedJobs_; }
-    void recordSpinUpWait(sim::Duration d) { spinUpWaits_.add(d); }
-    void recordQueueWait(sim::Duration d) { queueWaits_.add(d); }
+    // --- Counters (registry-backed) ---------------------------------------
+    void countAcquisition() { acquisitions_->inc(); }
+    void countImmediateRelease() { immediateReleases_->inc(); }
+    void countReschedule() { reschedules_->inc(); }
+    void countSpotInterruption() { spotInterruptions_->inc(); }
+    void countQueued() { queuedJobs_->inc(); }
+    void recordSpinUpWait(sim::Duration d) { spinUpWaits_->observe(d); }
+    void recordQueueWait(sim::Duration d) { queueWaits_->observe(d); }
 
     // --- Accessors used when building the RunResult ----------------------
     const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
@@ -103,15 +112,31 @@ class MetricsCollector
     {
         return breakdown_;
     }
-    std::size_t acquisitions() const { return acquisitions_; }
-    std::size_t immediateReleases() const { return immediateReleases_; }
-    std::size_t reschedules() const { return reschedules_; }
-    std::size_t spotInterruptions() const { return spotInterruptions_; }
-    std::size_t queuedJobs() const { return queuedJobs_; }
-    const sim::SampleSet& spinUpWaits() const { return spinUpWaits_; }
-    const sim::SampleSet& queueWaits() const { return queueWaits_; }
+    std::size_t acquisitions() const { return acquisitions_->value(); }
+    std::size_t immediateReleases() const
+    {
+        return immediateReleases_->value();
+    }
+    std::size_t reschedules() const { return reschedules_->value(); }
+    std::size_t spotInterruptions() const
+    {
+        return spotInterruptions_->value();
+    }
+    std::size_t queuedJobs() const { return queuedJobs_->value(); }
+    const sim::SampleSet& spinUpWaits() const
+    {
+        return spinUpWaits_->samples();
+    }
+    const sim::SampleSet& queueWaits() const
+    {
+        return queueWaits_->samples();
+    }
+
+    obs::MetricsRegistry& registry() { return registry_; }
+    const obs::MetricsRegistry& registry() const { return registry_; }
 
   private:
+    obs::MetricsRegistry registry_;
     std::vector<JobOutcome> outcomes_;
     sim::StepSeries reservedAllocated_;
     sim::StepSeries onDemandAllocated_;
@@ -119,13 +144,14 @@ class MetricsCollector
     sim::StepSeries reservedUtilSeries_;
     std::map<sim::InstanceId, InstanceTimeline> timelines_;
     std::map<std::string, sim::StepSeries> breakdown_;
-    std::size_t acquisitions_ = 0;
-    std::size_t immediateReleases_ = 0;
-    std::size_t reschedules_ = 0;
-    std::size_t spotInterruptions_ = 0;
-    std::size_t queuedJobs_ = 0;
-    sim::SampleSet spinUpWaits_;
-    sim::SampleSet queueWaits_;
+    // Cached registry entries for the hot counting paths.
+    obs::Counter* acquisitions_;
+    obs::Counter* immediateReleases_;
+    obs::Counter* reschedules_;
+    obs::Counter* spotInterruptions_;
+    obs::Counter* queuedJobs_;
+    obs::HistogramMetric* spinUpWaits_;
+    obs::HistogramMetric* queueWaits_;
 };
 
 /**
@@ -177,6 +203,14 @@ struct RunResult
     std::size_t queuedJobs = 0;
     sim::SampleSet spinUpWaits;
     sim::SampleSet queueWaits;
+
+    /** The structured event stream recorded by the run's obs::Tracer
+     *  (empty when tracing is disabled). */
+    obs::TraceBuffer trace;
+    /** Snapshot of every registered metric, sorted by name. */
+    obs::MetricsSnapshot metricsSnapshot;
+    /** Wall-clock phase profile (excluded from determinism digests). */
+    obs::RunTelemetry telemetry;
 
     /** Mean normalized performance across every job. */
     double meanPerfNorm() const;

@@ -9,13 +9,19 @@ QosMonitor::QosMonitor(int violationThreshold, int maxReschedules)
 
 QosAction
 QosMonitor::check(sim::JobId job, bool violating, bool canBoost,
-                  int reschedulesSoFar)
+                  int reschedulesSoFar, sim::Time now)
 {
     if (!violating) {
         streak_.erase(job);
         return QosAction::None;
     }
     int& count = streak_[job];
+    if (tracer_ && tracer_->enabled()) {
+        // Debug: one event per violating check, value = current streak.
+        tracer_->record({now, obs::EventKind::QosViolation,
+                         obs::Severity::Debug, obs::DecisionReason::None,
+                         job, 0, static_cast<double>(count + 1), {}});
+    }
     if (++count < threshold_)
         return QosAction::None;
     count = 0;

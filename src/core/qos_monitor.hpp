@@ -9,6 +9,7 @@
 
 #include <map>
 
+#include "obs/tracer.hpp"
 #include "sim/types.hpp"
 
 namespace hcloud::core {
@@ -42,12 +43,16 @@ class QosMonitor
      * @param violating True when the job currently misses its QoS.
      * @param canBoost True when the hosting instance has spare cores.
      * @param reschedulesSoFar How many times the job has been moved.
+     * @param now Simulated time, stamped on emitted trace events.
      */
     QosAction check(sim::JobId job, bool violating, bool canBoost,
-                    int reschedulesSoFar);
+                    int reschedulesSoFar, sim::Time now = 0.0);
 
     /** Drop state for a finished job. */
     void forget(sim::JobId job);
+
+    /** Emit QosViolation trace events through @p tracer (may be null). */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
     /** Number of jobs currently tracked as violating. */
     std::size_t tracked() const { return streak_.size(); }
@@ -56,6 +61,7 @@ class QosMonitor
     int threshold_;
     int maxReschedules_;
     std::map<sim::JobId, int> streak_;
+    obs::Tracer* tracer_ = nullptr;
 };
 
 } // namespace hcloud::core

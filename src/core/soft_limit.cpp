@@ -28,6 +28,7 @@ SoftLimitController::SoftLimitController()
 void
 SoftLimitController::update(std::size_t queueLength, sim::Time now)
 {
+    const double before = controller_.output();
     if (queueLength == 0) {
         // Recovery: after a sustained calm period, admit more work.
         if (++calmStreak_ >= 2) {
@@ -42,6 +43,12 @@ SoftLimitController::update(std::size_t queueLength, sim::Time now)
                            /*measurement=*/static_cast<double>(queueLength));
     }
     history_.record(now, controller_.output());
+    // Trace only actual movement; steady-state updates would flood the
+    // ring with no information.
+    if (tracer_ && controller_.output() != before) {
+        tracer_->controller(obs::EventKind::SoftLimitUpdate, now,
+                            controller_.output());
+    }
 }
 
 } // namespace hcloud::core

@@ -11,6 +11,7 @@
 #ifndef HCLOUD_CORE_SOFT_LIMIT_HPP
 #define HCLOUD_CORE_SOFT_LIMIT_HPP
 
+#include "obs/tracer.hpp"
 #include "sim/feedback.hpp"
 #include "sim/timeseries.hpp"
 #include "sim/types.hpp"
@@ -46,9 +47,13 @@ class SoftLimitController
     /** Soft-limit trajectory over the run. */
     const sim::StepSeries& history() const { return history_; }
 
+    /** Emit SoftLimitUpdate trace events on change (may be null). */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   private:
     sim::LinearFeedbackController controller_;
     sim::StepSeries history_;
+    obs::Tracer* tracer_ = nullptr;
     /** Consecutive empty-queue updates (drives the slow recovery). */
     std::size_t calmStreak_ = 0;
 };

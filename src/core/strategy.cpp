@@ -37,6 +37,7 @@ Strategy::Strategy(EngineContext& ctx)
       rng_(sim::Rng(ctx.config.seed).child("strategy")),
       large_(&ctx.catalog.byName("st16"))
 {
+    qosMonitor_.setTracer(&ctx.tracer);
 }
 
 JobSizing
@@ -99,6 +100,9 @@ Strategy::queueReserved(workload::Job& job)
         job.queuedAt = ctx_.simulator.now();
     reservedQueue_.push_back(&job);
     ctx_.metrics.countQueued();
+    ctx_.tracer.job(obs::EventKind::JobQueue, ctx_.simulator.now(),
+                    job.id(),
+                    static_cast<double>(reservedQueue_.size()));
 }
 
 void
@@ -230,6 +234,13 @@ Strategy::startJob(workload::Job& job)
         queueEstimator_.recordMeasuredWait(job.instance->type(), wait);
         job.queuedAt = sim::kTimeNever;
     }
+    if (ctx_.tracer.enabled()) {
+        ctx_.tracer.record({now, obs::EventKind::JobStart,
+                            obs::Severity::Info,
+                            obs::DecisionReason::None, job.id(),
+                            job.instance->id(), job.cores,
+                            job.instance->type().name});
+    }
     if (ctx_.onJobStarted)
         ctx_.onJobStarted(job);
 }
@@ -273,6 +284,9 @@ Strategy::jobCompleted(workload::Job& job)
         !retention_.retainWorthy(*inst, now)) {
         // Poorly-behaved instances are not worth retaining (Section 5.4).
         ctx_.metrics.countImmediateRelease();
+        ctx_.tracer.decision(now, obs::DecisionReason::LowQualityRelease,
+                             /*job=*/0, inst->id(),
+                             inst->baseQuality(now), inst->type().name);
         releaseInstance(inst);
     }
     drainReservedQueue();
@@ -287,8 +301,12 @@ Strategy::handleRetention()
         if (retention_.shouldRelease(*inst, ctx_.provider.spinUp(), now))
             to_release.push_back(inst);
     }
-    for (cloud::Instance* inst : to_release)
+    for (cloud::Instance* inst : to_release) {
+        ctx_.tracer.decision(now, obs::DecisionReason::RetentionExpired,
+                             /*job=*/0, inst->id(), /*value=*/0.0,
+                             inst->type().name);
         releaseInstance(inst);
+    }
 }
 
 void
@@ -321,18 +339,25 @@ Strategy::qosCheck(workload::Job& job, bool violating)
     const JobSizing& s = sizingOf(job);
     const bool can_boost =
         inst->coresFree() >= 1.0 && job.cores < 2.0 * s.cores;
-    const QosAction action =
-        qosMonitor_.check(job.id(), violating, can_boost, job.reschedules);
+    const sim::Time now = ctx_.simulator.now();
+    const QosAction action = qosMonitor_.check(
+        job.id(), violating, can_boost, job.reschedules, now);
     switch (action) {
       case QosAction::None:
         break;
       case QosAction::Boost:
         inst->resizeResident(job.id(), job.cores + 1.0);
         job.cores += 1.0;
+        ctx_.tracer.decision(now, obs::DecisionReason::QosViolationBoost,
+                             job.id(), inst->id(), job.cores);
         break;
       case QosAction::Reschedule: {
         ++job.reschedules;
         ctx_.metrics.countReschedule();
+        ctx_.tracer.decision(
+            now, obs::DecisionReason::QosViolationReschedule, job.id(),
+            inst->id(), static_cast<double>(job.reschedules), {},
+            obs::Severity::Warn);
         inst->removeResident(job.id(), ctx_.simulator.now());
         job.instance = nullptr;
         job.state = workload::JobState::Pending;

@@ -47,6 +47,9 @@ struct EngineContext
     const cloud::InstanceTypeCatalog& catalog;
     profiling::Quasar& quasar;
     MetricsCollector& metrics;
+    /** Structured event tracing for this run (always present; cheap
+     *  no-op when disabled). */
+    obs::Tracer& tracer;
     const EngineConfig& config;
     /** Invoked when a job transitions to Running. */
     std::function<void(workload::Job&)> onJobStarted;

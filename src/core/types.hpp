@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cloud/external_load.hpp"
+#include "obs/tracer.hpp"
 #include "sim/types.hpp"
 
 namespace hcloud::core {
@@ -93,6 +94,13 @@ struct EngineConfig
 
     /** Enable the QoS monitor (local boost, then reschedule). */
     bool qosMonitoring = true;
+
+    /**
+     * Structured event tracing (src/obs). Mode Auto defers to the
+     * HCLOUD_TRACE environment variable; the recorded stream lands in
+     * RunResult::trace.
+     */
+    obs::TraceConfig trace{};
 };
 
 } // namespace hcloud::core

@@ -1,0 +1,127 @@
+#include "exp/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "exp/report_json.hpp"
+#include "obs/tracer.hpp"
+
+namespace hcloud::exp {
+
+namespace {
+
+void
+printUsage(const char* prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [loadScale] [seed] [threads] "
+                 "[--json <path>] [--trace <path>]\n",
+                 prog);
+}
+
+} // namespace
+
+core::EngineConfig
+BenchCli::engineConfig() const
+{
+    core::EngineConfig cfg;
+    if (traceRequested)
+        cfg.trace.mode = obs::TraceConfig::Mode::On;
+    return cfg;
+}
+
+bool
+BenchCli::wantsArtifacts() const
+{
+    return !jsonPath.empty() || traceRequested || obs::envTraceEnabled();
+}
+
+std::string
+BenchCli::effectiveTracePath() const
+{
+    if (!tracePath.empty())
+        return tracePath;
+    return obs::envTracePath();
+}
+
+BenchCli
+parseBenchCli(int argc, char** argv)
+{
+    BenchCli cli;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0 ||
+            std::strcmp(arg, "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s requires a path\n", argv[0],
+                             arg);
+                printUsage(argv[0]);
+                cli.parseError = true;
+                return cli;
+            }
+            if (arg[2] == 'j') {
+                cli.jsonPath = argv[++i];
+            } else {
+                cli.tracePath = argv[++i];
+                cli.traceRequested = true;
+            }
+            continue;
+        }
+        if (arg[0] == '-' && arg[1] == '-') {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg);
+            printUsage(argv[0]);
+            cli.parseError = true;
+            return cli;
+        }
+        switch (positional++) {
+        case 0:
+            cli.options.loadScale = std::atof(arg);
+            break;
+        case 1:
+            cli.options.seed = std::strtoull(arg, nullptr, 10);
+            break;
+        case 2:
+            cli.options.threads = static_cast<std::size_t>(
+                std::strtoull(arg, nullptr, 10));
+            break;
+        default:
+            std::fprintf(stderr, "%s: too many arguments\n", argv[0]);
+            printUsage(argv[0]);
+            cli.parseError = true;
+            return cli;
+        }
+    }
+    return cli;
+}
+
+bool
+writeBenchArtifacts(const BenchCli& cli, const std::string& title,
+                    const Runner& runner)
+{
+    bool ok = true;
+    if (!cli.jsonPath.empty()) {
+        if (writeJsonReport(cli.jsonPath, title, runner)) {
+            std::printf("wrote JSON report: %s\n", cli.jsonPath.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write JSON report: %s\n",
+                         cli.jsonPath.c_str());
+            ok = false;
+        }
+    }
+    const std::string trace_path = cli.effectiveTracePath();
+    const bool tracing = cli.traceRequested || obs::envTraceEnabled();
+    if (tracing && !trace_path.empty()) {
+        if (writeTraceJsonl(trace_path, runner)) {
+            std::printf("wrote trace JSONL: %s\n", trace_path.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write trace JSONL: %s\n",
+                         trace_path.c_str());
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+} // namespace hcloud::exp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared command-line handling for the figure benches.
+ *
+ * Every bench accepts the same positional arguments plus the artifact
+ * flags, so the drivers stay one-screen mains:
+ *
+ *   bench_figNN [loadScale] [seed] [threads] [--json <path>]
+ *               [--trace <path>]
+ *
+ *  - `--json <path>` writes a machine-readable JSON report of every run
+ *    the bench executed (exp::writeJsonReport);
+ *  - `--trace <path>` forces tracing on (EngineConfig trace mode On,
+ *    overriding HCLOUD_TRACE) and writes the per-run event streams as
+ *    JSONL to the path;
+ *  - with no `--trace` flag, tracing follows the HCLOUD_TRACE environment
+ *    knob: unset/0/off disables it, 1/on enables it, and any other value
+ *    enables it AND names the default JSONL output path.
+ */
+
+#ifndef HCLOUD_EXP_CLI_HPP
+#define HCLOUD_EXP_CLI_HPP
+
+#include <string>
+
+#include "core/types.hpp"
+#include "exp/runner.hpp"
+
+namespace hcloud::exp {
+
+/** Parsed bench command line. */
+struct BenchCli
+{
+    ExperimentOptions options;
+    /** JSON report output path (empty = no report). */
+    std::string jsonPath;
+    /** Trace JSONL output path (empty = HCLOUD_TRACE default, if any). */
+    std::string tracePath;
+    /** True when --trace was given (forces tracing on). */
+    bool traceRequested = false;
+    /** True when an unknown flag or missing value was encountered. */
+    bool parseError = false;
+
+    /** Engine config with the trace mode implied by the flags. */
+    core::EngineConfig engineConfig() const;
+
+    /** True when any artifact will be written — benches use this to turn
+     *  on ad-hoc result recording (Runner::setRecordAdhoc) so uncached
+     *  sweep runs show up in the report too. */
+    bool wantsArtifacts() const;
+
+    /** Effective trace output path: --trace value or the HCLOUD_TRACE
+     *  named default; empty when tracing produces no file. */
+    std::string effectiveTracePath() const;
+};
+
+/**
+ * Parse `[loadScale] [seed] [threads] [--json p] [--trace p]`.
+ * On a malformed flag, prints usage to stderr and sets parseError.
+ */
+BenchCli parseBenchCli(int argc, char** argv);
+
+/**
+ * Write the artifacts requested by @p cli from @p runner's memoized
+ * matrix: the JSON report (--json) and the trace JSONL (--trace or the
+ * HCLOUD_TRACE named path). Prints one line per file written.
+ * @return false when any requested artifact failed to write.
+ */
+bool writeBenchArtifacts(const BenchCli& cli, const std::string& title,
+                         const Runner& runner);
+
+} // namespace hcloud::exp
+
+#endif // HCLOUD_EXP_CLI_HPP

@@ -404,8 +404,12 @@ policyRun(Runner& runner, core::StrategyKind strategy,
     core::EngineConfig cfg = runner.baseConfig();
     cfg.useProfiling = true;
     cfg.mappingPolicy = policy;
+    // Label carries the policy so ad-hoc report entries stay tellable
+    // apart (every sweep point shares scenario and strategy).
+    std::string label = "high_variability/";
+    label += toString(policy);
     return runner.runWith(workload::ScenarioKind::HighVariability,
-                          strategy, cfg);
+                          strategy, cfg, label);
 }
 
 } // namespace

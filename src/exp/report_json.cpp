@@ -1,0 +1,170 @@
+#include "exp/report_json.hpp"
+
+#include <fstream>
+
+#include "obs/tracer.hpp"
+
+namespace hcloud::exp {
+
+namespace {
+
+/** Five-number summary of a sample set (omitted when empty). */
+void
+sampleSetJson(obs::JsonWriter& w, std::string_view name,
+              const sim::SampleSet& samples)
+{
+    if (samples.empty())
+        return;
+    const sim::BoxplotSummary b = samples.boxplot();
+    w.key(name);
+    w.beginObject();
+    w.field("count", static_cast<std::uint64_t>(b.count));
+    w.field("mean", b.mean);
+    w.field("p5", b.p5);
+    w.field("p25", b.p25);
+    w.field("p75", b.p75);
+    w.field("p95", b.p95);
+    w.field("min", samples.min());
+    w.field("max", samples.max());
+    w.endObject();
+}
+
+/** Deterministic header line identifying one cell in a trace JSONL. */
+std::string
+runHeaderLine(const core::RunResult& result)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("run");
+    w.beginObject();
+    w.field("strategy", result.strategy);
+    w.field("scenario", result.scenario);
+    w.field("profiling", result.profiling);
+    w.field("events", result.trace.recorded);
+    w.field("dropped", result.trace.dropped);
+    w.endObject();
+    w.endObject();
+    return w.take();
+}
+
+} // namespace
+
+void
+runResultJson(obs::JsonWriter& w, const core::RunResult& result)
+{
+    w.beginObject();
+    w.field("strategy", result.strategy);
+    w.field("scenario", result.scenario);
+    w.field("profiling", result.profiling);
+    w.field("makespan_sec", result.makespan);
+    w.field("mean_perf_norm", result.meanPerfNorm());
+    w.field("reserved_utilization_avg", result.reservedUtilizationAvg);
+
+    w.key("counters");
+    w.beginObject();
+    w.field("jobs", static_cast<std::uint64_t>(result.jobCount));
+    w.field("failed_jobs", static_cast<std::uint64_t>(result.failedJobs));
+    w.field("acquisitions",
+            static_cast<std::uint64_t>(result.acquisitions));
+    w.field("immediate_releases",
+            static_cast<std::uint64_t>(result.immediateReleases));
+    w.field("reschedules", static_cast<std::uint64_t>(result.reschedules));
+    w.field("spot_interruptions",
+            static_cast<std::uint64_t>(result.spotInterruptions));
+    w.field("queued_jobs", static_cast<std::uint64_t>(result.queuedJobs));
+    w.endObject();
+
+    sampleSetJson(w, "batch_turnaround_min", result.batchTurnaroundMin);
+    sampleSetJson(w, "batch_perf_norm", result.batchPerfNorm);
+    sampleSetJson(w, "lc_latency_us", result.lcLatencyUs);
+    sampleSetJson(w, "lc_perf_norm", result.lcPerfNorm);
+    sampleSetJson(w, "perf_reserved", result.perfReserved);
+    sampleSetJson(w, "perf_on_demand", result.perfOnDemand);
+    sampleSetJson(w, "spin_up_waits_sec", result.spinUpWaits);
+    sampleSetJson(w, "queue_waits_sec", result.queueWaits);
+
+    w.key("trace");
+    w.beginObject();
+    w.field("recorded", result.trace.recorded);
+    w.field("dropped", result.trace.dropped);
+    w.field("retained",
+            static_cast<std::uint64_t>(result.trace.events.size()));
+    w.endObject();
+
+    w.key("metrics");
+    w.beginArray();
+    for (const obs::MetricSample& m : result.metricsSnapshot) {
+        w.beginObject();
+        w.field("name", m.name);
+        w.field("kind", obs::toString(m.kind));
+        w.field("value", m.value);
+        if (m.kind == obs::MetricSample::Kind::Histogram) {
+            w.field("count", static_cast<std::uint64_t>(m.count));
+            w.field("p50", m.p50);
+            w.field("p95", m.p95);
+            w.field("max", m.max);
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("telemetry");
+    w.beginObject();
+    w.field("trace_gen_sec", result.telemetry.traceGenSec);
+    w.field("setup_sec", result.telemetry.setupSec);
+    w.field("sim_loop_sec", result.telemetry.simLoopSec);
+    w.field("finalize_sec", result.telemetry.finalizeSec);
+    w.field("events_processed", result.telemetry.eventsProcessed);
+    w.field("events_per_sec", result.telemetry.eventsPerSec);
+    w.field("threads",
+            static_cast<std::uint64_t>(result.telemetry.threads));
+    w.endObject();
+
+    w.endObject();
+}
+
+bool
+writeJsonReport(const std::string& path, const std::string& title,
+                const Runner& runner)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("title", title);
+    w.field("load_scale", runner.options().loadScale);
+    w.field("seed", static_cast<std::uint64_t>(runner.options().seed));
+    w.key("runs");
+    w.beginArray();
+    for (const auto& [key, result] : runner.results()) {
+        (void)key;
+        runResultJson(w, result);
+    }
+    for (const core::RunResult& result : runner.adhocResults())
+        runResultJson(w, result);
+    w.endArray();
+    w.endObject();
+    out << w.str() << '\n';
+    return static_cast<bool>(out);
+}
+
+bool
+writeTraceJsonl(const std::string& path, const Runner& runner)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    for (const auto& [key, result] : runner.results()) {
+        (void)key;
+        out << runHeaderLine(result) << '\n';
+        obs::writeJsonl(out, result.trace);
+    }
+    for (const core::RunResult& result : runner.adhocResults()) {
+        out << runHeaderLine(result) << '\n';
+        obs::writeJsonl(out, result.trace);
+    }
+    return static_cast<bool>(out);
+}
+
+} // namespace hcloud::exp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Machine-readable run artifacts: JSON reports of a runner's memoized
+ * result matrix and JSONL dumps of the per-run trace streams.
+ *
+ * Two artifact kinds with different contracts:
+ *
+ *  - JSON report (writeJsonReport): summary statistics, counters, the
+ *    metrics-registry snapshot and wall-clock telemetry per cell. The
+ *    telemetry makes this file machine-comparable but NOT byte-stable
+ *    across runs.
+ *  - Trace JSONL (writeTraceJsonl): one `{"run":...}` header line per
+ *    cell followed by its trace events. Contains only simulation-derived
+ *    data, so for a fixed seed the file is byte-identical at any thread
+ *    count (the PR's determinism acceptance check diffs these files).
+ */
+
+#ifndef HCLOUD_EXP_REPORT_JSON_HPP
+#define HCLOUD_EXP_REPORT_JSON_HPP
+
+#include <string>
+
+#include "core/metrics.hpp"
+#include "exp/runner.hpp"
+#include "obs/json.hpp"
+
+namespace hcloud::exp {
+
+/** Serialize the summary view of one RunResult as a JSON object. */
+void runResultJson(obs::JsonWriter& w, const core::RunResult& result);
+
+/**
+ * Write a JSON report of every memoized cell in @p runner to @p path.
+ * @return false when the file cannot be opened.
+ */
+bool writeJsonReport(const std::string& path, const std::string& title,
+                     const Runner& runner);
+
+/**
+ * Write the trace streams of every memoized cell as JSONL: a
+ * `{"run":{...}}` header line per cell, then its events in order.
+ * Deterministic byte-for-byte for a fixed seed (see file comment).
+ * @return false when the file cannot be opened.
+ */
+bool writeTraceJsonl(const std::string& path, const Runner& runner);
+
+} // namespace hcloud::exp
+
+#endif // HCLOUD_EXP_REPORT_JSON_HPP

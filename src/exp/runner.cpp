@@ -1,6 +1,23 @@
 #include "exp/runner.hpp"
 
+#include <chrono>
+
+#include "obs/phase_profiler.hpp"
+
 namespace hcloud::exp {
+
+namespace {
+
+/** Seconds elapsed since @p start on the profiler clock. */
+double
+secondsSince(obs::PhaseProfiler::Clock::time_point start)
+{
+    return std::chrono::duration<double>(obs::PhaseProfiler::Clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
 
 Runner::Runner(ExperimentOptions options, core::EngineConfig baseConfig)
     : options_(options), baseConfig_(baseConfig)
@@ -18,16 +35,23 @@ Runner::scenarioConfig(workload::ScenarioKind scenario) const
     return cfg;
 }
 
+double
+Runner::traceGenSeconds(workload::ScenarioKind scenario) const
+{
+    auto it = traceGenSec_.find(scenario);
+    return it == traceGenSec_.end() ? 0.0 : it->second;
+}
+
 const workload::ArrivalTrace&
 Runner::trace(workload::ScenarioKind scenario)
 {
     auto it = traces_.find(scenario);
     if (it == traces_.end()) {
-        it = traces_
-                 .emplace(scenario,
-                          workload::generateScenario(
-                              scenarioConfig(scenario)))
-                 .first;
+        const auto start = obs::PhaseProfiler::Clock::now();
+        workload::ArrivalTrace generated =
+            workload::generateScenario(scenarioConfig(scenario));
+        traceGenSec_[scenario] = secondsSince(start);
+        it = traces_.emplace(scenario, std::move(generated)).first;
     }
     return it->second;
 }
@@ -42,10 +66,11 @@ Runner::run(workload::ScenarioKind scenario, core::StrategyKind strategy,
         core::EngineConfig cfg = baseConfig_;
         cfg.useProfiling = profiling;
         core::Engine engine(cfg);
-        it = results_
-                 .emplace(key, engine.run(trace(scenario), strategy,
-                                          workload::toString(scenario)))
-                 .first;
+        core::RunResult result = engine.run(trace(scenario), strategy,
+                                            workload::toString(scenario));
+        result.telemetry.traceGenSec = traceGenSeconds(scenario);
+        result.telemetry.threads = 1;
+        it = results_.emplace(key, std::move(result)).first;
     }
     return it->second;
 }
@@ -53,7 +78,8 @@ Runner::run(workload::ScenarioKind scenario, core::StrategyKind strategy,
 core::RunResult
 Runner::runWith(workload::ScenarioKind scenario,
                 core::StrategyKind strategy,
-                const core::EngineConfig& config)
+                const core::EngineConfig& config,
+                const std::string& label)
 {
     // Root-seed contract: runWith() used to run with whatever seed the
     // caller left in the config, silently diverging from the memoized
@@ -61,8 +87,14 @@ Runner::runWith(workload::ScenarioKind scenario,
     core::EngineConfig cfg = config;
     cfg.seed = options_.seed;
     core::Engine engine(cfg);
-    return engine.run(trace(scenario), strategy,
-                      workload::toString(scenario));
+    core::RunResult result = engine.run(
+        trace(scenario), strategy,
+        label.empty() ? std::string(workload::toString(scenario)) : label);
+    result.telemetry.traceGenSec = traceGenSeconds(scenario);
+    result.telemetry.threads = 1;
+    if (recordAdhoc_)
+        adhoc_.push_back(result);
+    return result;
 }
 
 std::vector<core::RunResult>
@@ -73,7 +105,12 @@ Runner::runBatch(const std::vector<RunSpec>& specs)
     for (const RunSpec& spec : specs) {
         const workload::ArrivalTrace* shared =
             spec.scenarioOverride ? nullptr : &trace(spec.scenario);
-        results.push_back(executeSpec(spec, shared));
+        core::RunResult result = executeSpec(spec, shared);
+        if (!spec.scenarioOverride)
+            result.telemetry.traceGenSec = traceGenSeconds(spec.scenario);
+        if (recordAdhoc_)
+            adhoc_.push_back(result);
+        results.push_back(std::move(result));
     }
     return results;
 }
@@ -101,11 +138,18 @@ Runner::executeSpec(const RunSpec& spec,
         ? std::string(workload::toString(spec.scenario))
         : spec.label;
     if (spec.scenarioOverride) {
+        const auto start = obs::PhaseProfiler::Clock::now();
         const workload::ArrivalTrace local =
             workload::generateScenario(*spec.scenarioOverride);
-        return engine.run(local, spec.strategy, label);
+        const double gen_sec = secondsSince(start);
+        core::RunResult result = engine.run(local, spec.strategy, label);
+        result.telemetry.traceGenSec = gen_sec;
+        result.telemetry.threads = 1;
+        return result;
     }
-    return engine.run(*sharedTrace, spec.strategy, label);
+    core::RunResult result = engine.run(*sharedTrace, spec.strategy, label);
+    result.telemetry.threads = 1;
+    return result;
 }
 
 } // namespace hcloud::exp

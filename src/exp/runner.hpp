@@ -89,6 +89,33 @@ class Runner
     const ExperimentOptions& options() const { return options_; }
     const core::EngineConfig& baseConfig() const { return baseConfig_; }
 
+    /** Key of one memoized cell. */
+    using CellKey =
+        std::tuple<workload::ScenarioKind, core::StrategyKind, bool>;
+
+    /**
+     * The memoized result matrix (cells executed so far), in sorted key
+     * order — the deterministic iteration order the JSON/JSONL report
+     * writers rely on. Do not call concurrently with cell execution.
+     */
+    const std::map<CellKey, core::RunResult>& results() const
+    {
+        return results_;
+    }
+
+    /**
+     * When enabled, runWith()/runBatch() results — normally returned
+     * without caching — are also copied into an ad-hoc list so the
+     * JSON/JSONL artifact writers can report sweep runs. Off by default:
+     * RunResult copies are not cheap. Not thread-safe to toggle while
+     * cells execute.
+     */
+    void setRecordAdhoc(bool record) { recordAdhoc_ = record; }
+    const std::vector<core::RunResult>& adhocResults() const
+    {
+        return adhoc_;
+    }
+
     /** Scenario-generation config prefilled with this runner's options. */
     workload::ScenarioConfig scenarioConfig(
         workload::ScenarioKind scenario) const;
@@ -110,7 +137,8 @@ class Runner
      */
     virtual core::RunResult runWith(workload::ScenarioKind scenario,
                                     core::StrategyKind strategy,
-                                    const core::EngineConfig& config);
+                                    const core::EngineConfig& config,
+                                    const std::string& label = {});
 
     /**
      * Execute a batch of uncached cells and return their results in spec
@@ -138,12 +166,17 @@ class Runner
                                 const workload::ArrivalTrace* sharedTrace)
         const;
 
+    /** Wall-clock spent generating a scenario's shared trace (telemetry;
+     *  attributed to every cell consuming the trace). */
+    double traceGenSeconds(workload::ScenarioKind scenario) const;
+
     ExperimentOptions options_;
     core::EngineConfig baseConfig_;
     std::map<workload::ScenarioKind, workload::ArrivalTrace> traces_;
-    std::map<std::tuple<workload::ScenarioKind, core::StrategyKind, bool>,
-             core::RunResult>
-        results_;
+    std::map<workload::ScenarioKind, double> traceGenSec_;
+    std::map<CellKey, core::RunResult> results_;
+    bool recordAdhoc_ = false;
+    std::vector<core::RunResult> adhoc_;
 };
 
 } // namespace hcloud::exp

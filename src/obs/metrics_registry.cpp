@@ -1,0 +1,93 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+
+namespace hcloud::obs {
+
+const char*
+toString(MetricSample::Kind kind)
+{
+    switch (kind) {
+      case MetricSample::Kind::Counter:
+        return "counter";
+      case MetricSample::Kind::Gauge:
+        return "gauge";
+      case MetricSample::Kind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+Counter&
+MetricsRegistry::counter(std::string_view name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(std::string(name), Counter{}).first;
+    return it->second;
+}
+
+Gauge&
+MetricsRegistry::gauge(std::string_view name)
+{
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(std::string(name), Gauge{}).first;
+    return it->second;
+}
+
+HistogramMetric&
+MetricsRegistry::histogram(std::string_view name)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string(name), HistogramMetric{})
+                 .first;
+    return it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot out;
+    out.reserve(size());
+    for (const auto& [name, c] : counters_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Counter;
+        s.count = c.value();
+        s.value = static_cast<double>(c.value());
+        out.push_back(std::move(s));
+    }
+    for (const auto& [name, g] : gauges_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Gauge;
+        s.value = g.value();
+        out.push_back(std::move(s));
+    }
+    for (const auto& [name, h] : histograms_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Histogram;
+        const sim::SampleSet& samples = h.samples();
+        s.count = samples.count();
+        if (!samples.empty()) {
+            s.value = samples.mean();
+            s.p50 = samples.quantile(0.50);
+            s.p95 = samples.quantile(0.95);
+            s.max = samples.quantile(1.0);
+        }
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                  if (a.name != b.name)
+                      return a.name < b.name;
+                  return static_cast<int>(a.kind) <
+                         static_cast<int>(b.kind);
+              });
+    return out;
+}
+
+} // namespace hcloud::obs

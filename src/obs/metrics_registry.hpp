@@ -1,0 +1,111 @@
+/**
+ * @file
+ * MetricsRegistry: named counters, gauges and histograms for one run.
+ *
+ * The registry replaces ad-hoc counter members scattered across
+ * collectors: call sites hold a pointer to a registered metric (stable —
+ * metrics live in node-based maps) and the end-of-run snapshot
+ * enumerates everything in sorted name order, so serialized output is
+ * deterministic by construction.
+ */
+
+#ifndef HCLOUD_OBS_METRICS_REGISTRY_HPP
+#define HCLOUD_OBS_METRICS_REGISTRY_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace hcloud::obs {
+
+/** Monotonically increasing count. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-write-wins scalar. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Sample distribution (SampleSet-backed: mean/quantiles/boxplot). */
+class HistogramMetric
+{
+  public:
+    void observe(double v) { samples_.add(v); }
+    const sim::SampleSet& samples() const { return samples_; }
+
+  private:
+    sim::SampleSet samples_;
+};
+
+/** One row of a registry snapshot. */
+struct MetricSample
+{
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    /** Counter/gauge value; histogram mean. */
+    double value = 0.0;
+    /** Counter value; histogram observation count. */
+    std::uint64_t count = 0;
+    // Histogram quantiles (0 otherwise).
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+};
+
+const char* toString(MetricSample::Kind kind);
+
+using MetricsSnapshot = std::vector<MetricSample>;
+
+/**
+ * Registry of named metrics. Lookup creates on first use; returned
+ * references stay valid for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    HistogramMetric& histogram(std::string_view name);
+
+    /** Every metric, sorted by (name, kind) — deterministic. */
+    MetricsSnapshot snapshot() const;
+
+    std::size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+  private:
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Gauge, std::less<>> gauges_;
+    std::map<std::string, HistogramMetric, std::less<>> histograms_;
+};
+
+} // namespace hcloud::obs
+
+#endif // HCLOUD_OBS_METRICS_REGISTRY_HPP

@@ -1,0 +1,22 @@
+#include "obs/phase_profiler.hpp"
+
+namespace hcloud::obs {
+
+void
+PhaseProfiler::add(std::string_view phase, double seconds)
+{
+    auto it = phases_.find(phase);
+    if (it == phases_.end())
+        phases_.emplace(std::string(phase), seconds);
+    else
+        it->second += seconds;
+}
+
+double
+PhaseProfiler::seconds(std::string_view phase) const
+{
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0.0 : it->second;
+}
+
+} // namespace hcloud::obs

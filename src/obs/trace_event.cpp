@@ -1,0 +1,165 @@
+#include "obs/trace_event.hpp"
+
+namespace hcloud::obs {
+
+Category
+categoryOf(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::JobSubmit:
+      case EventKind::JobQueue:
+      case EventKind::JobStart:
+      case EventKind::JobFinish:
+      case EventKind::JobFail:
+        return Category::Job;
+      case EventKind::InstanceRequest:
+      case EventKind::InstanceReady:
+      case EventKind::InstanceRelease:
+        return Category::Instance;
+      case EventKind::Decision:
+        return Category::Decision;
+      case EventKind::SoftLimitUpdate:
+      case EventKind::QosViolation:
+      case EventKind::MarketSpike:
+        return Category::Controller;
+    }
+    return Category::Controller;
+}
+
+const char*
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::JobSubmit:
+        return "job_submit";
+      case EventKind::JobQueue:
+        return "job_queue";
+      case EventKind::JobStart:
+        return "job_start";
+      case EventKind::JobFinish:
+        return "job_finish";
+      case EventKind::JobFail:
+        return "job_fail";
+      case EventKind::InstanceRequest:
+        return "instance_request";
+      case EventKind::InstanceReady:
+        return "instance_ready";
+      case EventKind::InstanceRelease:
+        return "instance_release";
+      case EventKind::Decision:
+        return "decision";
+      case EventKind::SoftLimitUpdate:
+        return "soft_limit_update";
+      case EventKind::QosViolation:
+        return "qos_violation";
+      case EventKind::MarketSpike:
+        return "market_spike";
+    }
+    return "?";
+}
+
+const char*
+toString(Category category)
+{
+    switch (category) {
+      case Category::Job:
+        return "job";
+      case Category::Instance:
+        return "instance";
+      case Category::Decision:
+        return "decision";
+      case Category::Controller:
+        return "controller";
+    }
+    return "?";
+}
+
+const char*
+toString(Severity severity)
+{
+    switch (severity) {
+      case Severity::Debug:
+        return "debug";
+      case Severity::Info:
+        return "info";
+      case Severity::Warn:
+        return "warn";
+    }
+    return "?";
+}
+
+const char*
+toString(DecisionReason reason)
+{
+    switch (reason) {
+      case DecisionReason::None:
+        return "none";
+      case DecisionReason::BelowSoftLimit:
+        return "below_soft_limit";
+      case DecisionReason::SoftLimitExceeded:
+        return "soft_limit_exceeded";
+      case DecisionReason::HardLimitExceeded:
+        return "hard_limit_exceeded";
+      case DecisionReason::QualityBelowQ90:
+        return "quality_below_q90";
+      case DecisionReason::QueueWaitExceeded:
+        return "queue_wait_exceeded";
+      case DecisionReason::QueueTimeoutEscape:
+        return "queue_timeout_escape";
+      case DecisionReason::ReservedFragmented:
+        return "reserved_fragmented";
+      case DecisionReason::PolicyStatic:
+        return "policy_static";
+      case DecisionReason::QosViolationBoost:
+        return "qos_violation_boost";
+      case DecisionReason::QosViolationReschedule:
+        return "qos_violation_reschedule";
+      case DecisionReason::RetentionExpired:
+        return "retention_expired";
+      case DecisionReason::LowQualityRelease:
+        return "low_quality_release";
+      case DecisionReason::SpotEntry:
+        return "spot_entry";
+      case DecisionReason::SpotInterruption:
+        return "spot_interruption";
+    }
+    return "?";
+}
+
+bool
+parseEventKind(const std::string& name, EventKind* out)
+{
+    for (EventKind kind : kAllEventKinds) {
+        if (name == toString(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseSeverity(const std::string& name, Severity* out)
+{
+    for (Severity sev : {Severity::Debug, Severity::Info, Severity::Warn}) {
+        if (name == toString(sev)) {
+            *out = sev;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseDecisionReason(const std::string& name, DecisionReason* out)
+{
+    for (DecisionReason reason : kAllDecisionReasons) {
+        if (name == toString(reason)) {
+            *out = reason;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace hcloud::obs

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Trace event taxonomy: the typed, timestamped records the obs::Tracer
+ * collects during a run.
+ *
+ * Three axes classify every event:
+ *  - EventKind: what happened (job lifecycle, instance lifecycle, a
+ *    provisioning decision, a controller update);
+ *  - Category: coarse grouping used for filter masks;
+ *  - Severity: Debug < Info < Warn, used for filtering.
+ *
+ * Provisioning decisions additionally carry a DecisionReason — the *why*
+ * behind the hybrid controller's mapping/queueing/release choices
+ * (soft-limit crossings, Q90 confidence checks, QoS escalations,
+ * spot-market interruptions; Section 4 of the paper).
+ */
+
+#ifndef HCLOUD_OBS_TRACE_EVENT_HPP
+#define HCLOUD_OBS_TRACE_EVENT_HPP
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace hcloud::obs {
+
+/** What happened. */
+enum class EventKind
+{
+    // Job lifecycle.
+    JobSubmit,  ///< job arrived and was handed to the strategy
+    JobQueue,   ///< job entered the reserved-capacity queue
+    JobStart,   ///< job transitioned to Running on an instance
+    JobFinish,  ///< job completed successfully
+    JobFail,    ///< job failed (fault, eviction, or runtime cap)
+    // Instance lifecycle.
+    InstanceRequest, ///< on-demand/spot instance requested (spin-up begins)
+    InstanceReady,   ///< instance became Running (value = sampled quality)
+    InstanceRelease, ///< instance returned to the provider
+    // Control plane.
+    Decision,        ///< provisioning decision with a DecisionReason
+    SoftLimitUpdate, ///< adaptive soft limit moved (value = new limit)
+    QosViolation,    ///< QoS check flagged a running job (value = streak)
+    MarketSpike,     ///< spot market entered a price spike
+};
+
+/** Coarse event grouping, used for category filter masks. */
+enum class Category
+{
+    Job,
+    Instance,
+    Decision,
+    Controller,
+};
+
+/** Bit for @p category in a TraceConfig::categoryMask. */
+constexpr unsigned
+categoryBit(Category category)
+{
+    return 1u << static_cast<unsigned>(category);
+}
+
+/** Mask accepting every category. */
+inline constexpr unsigned kAllCategories =
+    categoryBit(Category::Job) | categoryBit(Category::Instance) |
+    categoryBit(Category::Decision) | categoryBit(Category::Controller);
+
+/** The category an event kind belongs to. */
+Category categoryOf(EventKind kind);
+
+/** Event severity (ordered; filters keep >= minSeverity). */
+enum class Severity
+{
+    Debug,
+    Info,
+    Warn,
+};
+
+/**
+ * Why a provisioning decision went the way it did. One value per decision
+ * site in core/ and cloud/; test_obs asserts the coverage.
+ */
+enum class DecisionReason
+{
+    None,               ///< not a decision event
+    BelowSoftLimit,     ///< reserved utilization under the soft limit
+    SoftLimitExceeded,  ///< between soft and hard limit, overflow allowed
+    HardLimitExceeded,  ///< above the hard limit, overflow forced
+    QualityBelowQ90,    ///< on-demand Q90 confidence misses the target Q
+    QueueWaitExceeded,  ///< estimated wait beats a large-instance spin-up
+    QueueTimeoutEscape, ///< actual queueing time exceeded the escape limit
+    ReservedFragmented, ///< pool had capacity on paper but no single host
+    PolicyStatic,       ///< a static policy (P1-P7) decided mechanically
+    QosViolationBoost,  ///< QoS monitor grew the allocation in place
+    QosViolationReschedule, ///< QoS monitor moved the job (last resort)
+    RetentionExpired,   ///< idle instance outlived its retention window
+    LowQualityRelease,  ///< idle instance released for poor quality
+    SpotEntry,          ///< tolerant batch work sent to the spot market
+    SpotInterruption,   ///< market price rose above the bid
+};
+
+/** Every reason, for iteration in tests and the inspector. */
+inline constexpr DecisionReason kAllDecisionReasons[] = {
+    DecisionReason::None,
+    DecisionReason::BelowSoftLimit,
+    DecisionReason::SoftLimitExceeded,
+    DecisionReason::HardLimitExceeded,
+    DecisionReason::QualityBelowQ90,
+    DecisionReason::QueueWaitExceeded,
+    DecisionReason::QueueTimeoutEscape,
+    DecisionReason::ReservedFragmented,
+    DecisionReason::PolicyStatic,
+    DecisionReason::QosViolationBoost,
+    DecisionReason::QosViolationReschedule,
+    DecisionReason::RetentionExpired,
+    DecisionReason::LowQualityRelease,
+    DecisionReason::SpotEntry,
+    DecisionReason::SpotInterruption,
+};
+
+/** Every event kind, for iteration in tests and the inspector. */
+inline constexpr EventKind kAllEventKinds[] = {
+    EventKind::JobSubmit,      EventKind::JobQueue,
+    EventKind::JobStart,       EventKind::JobFinish,
+    EventKind::JobFail,        EventKind::InstanceRequest,
+    EventKind::InstanceReady,  EventKind::InstanceRelease,
+    EventKind::Decision,       EventKind::SoftLimitUpdate,
+    EventKind::QosViolation,   EventKind::MarketSpike,
+};
+
+const char* toString(EventKind kind);
+const char* toString(Category category);
+const char* toString(Severity severity);
+const char* toString(DecisionReason reason);
+
+/** Inverse of toString; returns false when @p name is unknown. */
+bool parseEventKind(const std::string& name, EventKind* out);
+bool parseSeverity(const std::string& name, Severity* out);
+bool parseDecisionReason(const std::string& name, DecisionReason* out);
+
+/**
+ * One trace record. Fields not meaningful for a kind stay at their
+ * defaults (0 / None / empty) and are omitted from the JSONL encoding.
+ */
+struct TraceEvent
+{
+    sim::Time time = 0.0;
+    EventKind kind = EventKind::JobSubmit;
+    Severity severity = Severity::Info;
+    DecisionReason reason = DecisionReason::None;
+    /** Subject job (0 = none). */
+    sim::JobId job = 0;
+    /** Subject instance (0 = none). */
+    sim::InstanceId instance = 0;
+    /** Kind-specific scalar (quality, limit, cores, wait seconds...). */
+    double value = 0.0;
+    /** Short free-form context (instance type name, map target...). */
+    std::string detail;
+};
+
+} // namespace hcloud::obs
+
+#endif // HCLOUD_OBS_TRACE_EVENT_HPP

@@ -1,0 +1,198 @@
+#include "obs/tracer.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace hcloud::obs {
+
+namespace {
+
+const char*
+envTraceValue()
+{
+    return std::getenv("HCLOUD_TRACE");
+}
+
+bool
+isOffToken(std::string_view v)
+{
+    return v.empty() || v == "0" || v == "off" || v == "false";
+}
+
+bool
+isOnToken(std::string_view v)
+{
+    return v == "1" || v == "on" || v == "true";
+}
+
+} // namespace
+
+bool
+envTraceEnabled()
+{
+    const char* v = envTraceValue();
+    return v && !isOffToken(v);
+}
+
+std::string
+envTracePath()
+{
+    const char* v = envTraceValue();
+    if (!v || isOffToken(v) || isOnToken(v))
+        return "";
+    return v;
+}
+
+bool
+TraceConfig::resolveEnabled() const
+{
+    switch (mode) {
+      case Mode::Off:
+        return false;
+      case Mode::On:
+        return true;
+      case Mode::Auto:
+        return envTraceEnabled();
+    }
+    return false;
+}
+
+Tracer::Tracer(TraceConfig config)
+    : config_(config), enabled_(config.resolveEnabled())
+{
+    if (config_.ringCapacity == 0)
+        config_.ringCapacity = 1;
+}
+
+void
+Tracer::emit(EventKind kind, Severity severity, DecisionReason reason,
+             sim::Time t, sim::JobId job, sim::InstanceId instance,
+             double value, std::string_view detail)
+{
+    TraceEvent ev;
+    ev.time = t;
+    ev.kind = kind;
+    ev.severity = severity;
+    ev.reason = reason;
+    ev.job = job;
+    ev.instance = instance;
+    ev.value = value;
+    ev.detail = std::string(detail);
+    record(std::move(ev));
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    if (!enabled_)
+        return;
+    if (event.severity < config_.minSeverity)
+        return;
+    if (!(config_.categoryMask & categoryBit(categoryOf(event.kind))))
+        return;
+    ++recorded_;
+    if (events_.size() < config_.ringCapacity) {
+        events_.push_back(std::move(event));
+        return;
+    }
+    // Ring full: overwrite the oldest slot.
+    events_[head_] = std::move(event);
+    head_ = (head_ + 1) % config_.ringCapacity;
+    ++dropped_;
+}
+
+TraceBuffer
+Tracer::take()
+{
+    TraceBuffer buffer;
+    buffer.recorded = recorded_;
+    buffer.dropped = dropped_;
+    if (head_ == 0) {
+        buffer.events = std::move(events_);
+    } else {
+        // Unwrap the ring into chronological order.
+        buffer.events.reserve(events_.size());
+        for (std::size_t i = 0; i < events_.size(); ++i) {
+            buffer.events.push_back(
+                std::move(events_[(head_ + i) % events_.size()]));
+        }
+    }
+    events_.clear();
+    head_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+    return buffer;
+}
+
+std::string
+toJson(const TraceEvent& event)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("t", event.time);
+    w.field("kind", toString(event.kind));
+    if (event.severity != Severity::Info)
+        w.field("sev", toString(event.severity));
+    if (event.reason != DecisionReason::None)
+        w.field("reason", toString(event.reason));
+    if (event.job != 0)
+        w.field("job", static_cast<std::uint64_t>(event.job));
+    if (event.instance != 0)
+        w.field("inst", static_cast<std::uint64_t>(event.instance));
+    if (event.value != 0.0)
+        w.field("value", event.value);
+    if (!event.detail.empty())
+        w.field("detail", event.detail);
+    w.endObject();
+    return w.take();
+}
+
+void
+writeJsonl(std::ostream& out, const TraceBuffer& buffer)
+{
+    for (const TraceEvent& ev : buffer.events)
+        out << toJson(ev) << '\n';
+}
+
+bool
+eventFromJsonLine(const std::string& line, TraceEvent* out)
+{
+    JsonValue v;
+    try {
+        v = parseJson(line);
+    } catch (const std::exception&) {
+        return false;
+    }
+    if (v.type != JsonValue::Type::Object)
+        return false;
+    const JsonValue* kind = v.find("kind");
+    if (!kind || kind->type != JsonValue::Type::String)
+        return false;
+    TraceEvent ev;
+    if (!parseEventKind(kind->string, &ev.kind))
+        return false;
+    if (const JsonValue* t = v.find("t"))
+        ev.time = t->numberOr(0.0);
+    if (const JsonValue* sev = v.find("sev")) {
+        if (!parseSeverity(sev->string, &ev.severity))
+            return false;
+    }
+    if (const JsonValue* reason = v.find("reason")) {
+        if (!parseDecisionReason(reason->string, &ev.reason))
+            return false;
+    }
+    if (const JsonValue* job = v.find("job"))
+        ev.job = static_cast<sim::JobId>(job->numberOr(0.0));
+    if (const JsonValue* inst = v.find("inst"))
+        ev.instance = static_cast<sim::InstanceId>(inst->numberOr(0.0));
+    if (const JsonValue* value = v.find("value"))
+        ev.value = value->numberOr(0.0);
+    if (const JsonValue* detail = v.find("detail"))
+        ev.detail = detail->stringOr("");
+    *out = std::move(ev);
+    return true;
+}
+
+} // namespace hcloud::obs

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tracer: bounded, filtered collection of TraceEvents during a run.
+ *
+ * Design constraints:
+ *  - near-zero cost when disabled: the emit helpers check one bool
+ *    before building an event, so a disabled tracer costs a predicted
+ *    branch per call site;
+ *  - bounded memory: a ring of `ringCapacity` events; once full, the
+ *    oldest event is dropped (and counted) per new event;
+ *  - deterministic: the tracer is owned by one engine run and recorded
+ *    from the single-threaded simulation loop, so for a fixed root seed
+ *    the event stream is bit-identical at any runner thread count —
+ *    wall-clock never enters an event.
+ *
+ * Enablement mirrors HCLOUD_THREADS: EngineConfig carries a TraceConfig
+ * whose Auto mode defers to the HCLOUD_TRACE environment variable
+ * (unset/"0"/"off" = disabled; "1"/"on"/"true" = enabled; any other
+ * value = enabled, and names a default JSONL output path for benches).
+ */
+
+#ifndef HCLOUD_OBS_TRACER_HPP
+#define HCLOUD_OBS_TRACER_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace hcloud::obs {
+
+/** Tracing knobs, embedded in core::EngineConfig. */
+struct TraceConfig
+{
+    enum class Mode
+    {
+        Auto, ///< follow the HCLOUD_TRACE environment variable
+        Off,
+        On,
+    };
+
+    Mode mode = Mode::Auto;
+    /** Ring size in events; the oldest event is dropped when full. */
+    std::size_t ringCapacity = 1u << 16;
+    /** Events below this severity are not recorded. */
+    Severity minSeverity = Severity::Debug;
+    /** Only categories whose bit is set are recorded. */
+    unsigned categoryMask = kAllCategories;
+
+    /** Resolve mode (consulting the environment under Auto). */
+    bool resolveEnabled() const;
+};
+
+/** True when HCLOUD_TRACE asks for tracing. */
+bool envTraceEnabled();
+
+/**
+ * JSONL output path carried by HCLOUD_TRACE, when its value is neither a
+ * boolean-ish token nor empty; "" otherwise.
+ */
+std::string envTracePath();
+
+/** The recorded stream plus bookkeeping, as stored in a RunResult. */
+struct TraceBuffer
+{
+    /** Retained events in chronological record order. */
+    std::vector<TraceEvent> events;
+    /** Events accepted by the filters (>= events.size()). */
+    std::uint64_t recorded = 0;
+    /** Events evicted by the ring bound. */
+    std::uint64_t dropped = 0;
+};
+
+/**
+ * Collects TraceEvents for one engine run. Not thread-safe; each run
+ * owns its own tracer (which is what makes parallel sweeps TSan-clean).
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(TraceConfig config = {});
+
+    bool enabled() const { return enabled_; }
+    const TraceConfig& config() const { return config_; }
+
+    /** Record one event (applies severity/category filters and the ring
+     *  bound). No-op when disabled. */
+    void record(TraceEvent event);
+
+    // Convenience emitters; each checks enabled() before building the
+    // event so disabled call sites stay cheap.
+    void job(EventKind kind, sim::Time t, sim::JobId id,
+             double value = 0.0, std::string_view detail = {},
+             Severity severity = Severity::Info)
+    {
+        if (!enabled_)
+            return;
+        emit(kind, severity, DecisionReason::None, t, id, 0, value,
+             detail);
+    }
+
+    void instance(EventKind kind, sim::Time t, sim::InstanceId id,
+                  double value = 0.0, std::string_view detail = {},
+                  Severity severity = Severity::Info)
+    {
+        if (!enabled_)
+            return;
+        emit(kind, severity, DecisionReason::None, t, 0, id, value,
+             detail);
+    }
+
+    void decision(sim::Time t, DecisionReason reason, sim::JobId job = 0,
+                  sim::InstanceId instance = 0, double value = 0.0,
+                  std::string_view detail = {},
+                  Severity severity = Severity::Info)
+    {
+        if (!enabled_)
+            return;
+        emit(EventKind::Decision, severity, reason, t, job, instance,
+             value, detail);
+    }
+
+    void controller(EventKind kind, sim::Time t, double value,
+                    std::string_view detail = {},
+                    Severity severity = Severity::Debug)
+    {
+        if (!enabled_)
+            return;
+        emit(kind, severity, DecisionReason::None, t, 0, 0, value,
+             detail);
+    }
+
+    /** Events retained so far (chronological). */
+    const std::vector<TraceEvent>& events() const { return events_; }
+    std::uint64_t recordedCount() const { return recorded_; }
+    std::uint64_t droppedCount() const { return dropped_; }
+
+    /** Move the collected stream out (the tracer is then empty). */
+    TraceBuffer take();
+
+  private:
+    void emit(EventKind kind, Severity severity, DecisionReason reason,
+              sim::Time t, sim::JobId job, sim::InstanceId instance,
+              double value, std::string_view detail);
+
+    TraceConfig config_;
+    bool enabled_;
+    std::vector<TraceEvent> events_;
+    /** Index of the chronologically-oldest event once the ring wrapped. */
+    std::size_t head_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/** Serialize @p event as a single JSON object (no trailing newline). */
+std::string toJson(const TraceEvent& event);
+
+/** Write one event per line. */
+void writeJsonl(std::ostream& out, const TraceBuffer& buffer);
+
+/**
+ * Parse @p line (as produced by toJson) back into an event.
+ * @return false when the line is not a trace event (e.g. a run header).
+ */
+bool eventFromJsonLine(const std::string& line, TraceEvent* out);
+
+} // namespace hcloud::obs
+
+#endif // HCLOUD_OBS_TRACER_HPP

@@ -1,6 +1,9 @@
 #include "runtime/parallel_runner.hpp"
 
+#include <chrono>
 #include <map>
+
+#include "obs/phase_profiler.hpp"
 
 namespace hcloud::runtime {
 
@@ -27,11 +30,14 @@ ParallelRunner::ensureTrace(workload::ScenarioKind scenario)
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = traces_.find(scenario);
     if (it == traces_.end()) {
-        it = traces_
-                 .emplace(scenario,
-                          workload::generateScenario(
-                              scenarioConfig(scenario)))
-                 .first;
+        const auto start = obs::PhaseProfiler::Clock::now();
+        workload::ArrivalTrace generated =
+            workload::generateScenario(scenarioConfig(scenario));
+        traceGenSec_[scenario] =
+            std::chrono::duration<double>(
+                obs::PhaseProfiler::Clock::now() - start)
+                .count();
+        it = traces_.emplace(scenario, std::move(generated)).first;
     }
     return it->second;
 }
@@ -56,6 +62,8 @@ ParallelRunner::run(workload::ScenarioKind scenario,
     core::RunResult result =
         engine.run(tr, strategy, workload::toString(scenario));
     std::lock_guard<std::mutex> lock(mutex_);
+    result.telemetry.traceGenSec = traceGenSeconds(scenario);
+    result.telemetry.threads = threads_;
     return results_.emplace(key, std::move(result)).first->second;
 }
 
@@ -71,9 +79,23 @@ ParallelRunner::runBatch(const std::vector<exp::RunSpec>& specs)
         if (!specs[i].scenarioOverride)
             shared[i] = &ensureTrace(specs[i].scenario);
     }
-    return parallelMap(pool_, specs.size(), [&](std::size_t i) {
-        return executeSpec(specs[i], shared[i]);
-    });
+    std::vector<core::RunResult> results =
+        parallelMap(pool_, specs.size(), [&](std::size_t i) {
+            return executeSpec(specs[i], shared[i]);
+        });
+    // Telemetry is per-runner, not per-engine: stamp the worker count and
+    // the shared-trace generation cost after the barrier. All trace
+    // generation finished before the map, so the reads are race-free.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        results[i].telemetry.threads = threads_;
+        if (!specs[i].scenarioOverride)
+            results[i].telemetry.traceGenSec =
+                traceGenSeconds(specs[i].scenario);
+        if (recordAdhoc_)
+            adhoc_.push_back(results[i]);
+    }
+    return results;
 }
 
 void
@@ -122,6 +144,8 @@ ParallelRunner::prewarm(bool includeUnprofiled)
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const Cell& c = cells[i];
+        results[i].telemetry.traceGenSec = traceGenSeconds(c.scenario);
+        results[i].telemetry.threads = threads_;
         results_.emplace(
             std::make_tuple(c.scenario, c.strategy, c.profiling),
             std::move(results[i]));
