@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "cloud/provider.hpp"
 #include "core/engine.hpp"
 #include "core/mapping_policy.hpp"
@@ -124,12 +126,15 @@ BM_QueueEstimator(benchmark::State& state)
 BENCHMARK(BM_QueueEstimator);
 
 /**
- * Full engine run with the tracer off (Arg 0) vs on (Arg 1).
+ * Full engine run with the tracer off (Arg 0), ring-only (Arg 1), or
+ * streaming to a TraceSink file (Arg 2).
  *
  * The disabled row is the observability tax every run pays: the tracer's
  * emit helpers early-return on a single bool, so the two off/on rows
  * should differ well under 2% when Arg(0) is compared against the
  * pre-obs baseline and by the event-construction cost when Arg(1) is.
+ * Arg(2) adds the serialize+write cost of a complete on-disk trace; it
+ * is the price of never truncating a long run to ringCapacity events.
  */
 void
 BM_EngineRunTrace(benchmark::State& state)
@@ -145,16 +150,21 @@ BM_EngineRunTrace(benchmark::State& state)
     cfg.trace.mode = state.range(0) != 0
         ? obs::TraceConfig::Mode::On
         : obs::TraceConfig::Mode::Off;
+    if (state.range(0) == 2)
+        cfg.trace.sinkPath = "/tmp/hcloud_bench_overheads.trace.part";
     for (auto _ : state) {
         core::Engine engine(cfg);
         core::RunResult result =
             engine.run(trace, core::StrategyKind::HM, "static");
         benchmark::DoNotOptimize(result.trace.recorded);
     }
+    if (state.range(0) == 2)
+        std::remove(cfg.trace.sinkPath.c_str());
 }
 BENCHMARK(BM_EngineRunTrace)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 /** Cost of one emit-helper call on a disabled tracer (the hot guard). */
@@ -190,6 +200,32 @@ BM_TracerRecord(benchmark::State& state)
     }
 }
 BENCHMARK(BM_TracerRecord);
+
+/**
+ * Cost of recording with a sink attached, amortizing serialize+write.
+ * The tiny ring forces a flush every 64 events, so the per-record cost
+ * here is the steady-state streaming cost, not ring-buffered recording.
+ */
+void
+BM_TracerRecordSink(benchmark::State& state)
+{
+    obs::TraceConfig cfg;
+    cfg.mode = obs::TraceConfig::Mode::On;
+    cfg.ringCapacity = 64;
+    cfg.sinkPath = "/tmp/hcloud_bench_overheads.sink.part";
+    obs::Tracer tracer(cfg);
+    sim::Time t = 0.0;
+    for (auto _ : state) {
+        t += 1.0;
+        tracer.decision(t, obs::DecisionReason::SoftLimitExceeded, 1, 2,
+                        0.5, "st16");
+        benchmark::DoNotOptimize(tracer.recordedCount());
+    }
+    std::remove(cfg.sinkPath.c_str());
+}
+// Fixed iteration count bounds the on-disk file the loop streams out
+// (adaptive timing could write GBs into /tmp before converging).
+BENCHMARK(BM_TracerRecordSink)->Iterations(1 << 18);
 
 /** Scenario generation (trace synthesis) at paper scale. */
 void

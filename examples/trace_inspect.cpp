@@ -4,6 +4,11 @@
  * the HCLOUD_TRACE environment knob): per-run event counts, per-job and
  * per-instance timelines, and a decision-reason summary.
  *
+ * The file is streamed line by line: per-run state is bounded aggregates
+ * (kind/reason histograms, distinct-id sets, and complete timelines for
+ * only the N smallest job/instance ids), never the full event vector, so
+ * sink-backed traces far larger than memory inspect fine.
+ *
  * Usage: trace_inspect <trace.jsonl> [--jobs N] [--instances N]
  *   --jobs / --instances bound how many per-entity timelines are printed
  *   (default 5 each; 0 suppresses the section).
@@ -14,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,10 +30,70 @@ namespace {
 
 using namespace hcloud;
 
-struct RunSection
+/**
+ * Complete timelines for the N smallest entity ids seen so far.
+ *
+ * An id is admitted at its FIRST event (when it is not yet in the seen
+ * set) and only if it is among the N smallest; admitting it may evict
+ * the current largest id. Eviction only ever shrinks the map's maximum,
+ * so an evicted id can never re-qualify — every timeline still in the
+ * map at end of stream is exact, identical to what a full in-memory
+ * grouping would print for the N smallest ids.
+ */
+template <typename Id>
+struct BoundedTimelines
+{
+    std::size_t capacity = 0;
+    std::set<Id> seen;
+    std::map<Id, std::vector<obs::TraceEvent>> timelines;
+
+    void add(Id id, const obs::TraceEvent& event)
+    {
+        auto it = timelines.find(id);
+        if (it != timelines.end()) {
+            it->second.push_back(event);
+            return;
+        }
+        if (!seen.insert(id).second || capacity == 0)
+            return; // already evicted (partial) or timelines suppressed
+        if (timelines.size() >= capacity) {
+            auto largest = std::prev(timelines.end());
+            if (id >= largest->first)
+                return;
+            timelines.erase(largest);
+        }
+        timelines[id].push_back(event);
+    }
+};
+
+struct RunSummary
 {
     std::string label;
-    std::vector<obs::TraceEvent> events;
+    std::size_t events = 0;
+    std::map<obs::EventKind, std::size_t> kinds;
+    std::map<obs::DecisionReason, std::size_t> reasons;
+    BoundedTimelines<sim::JobId> jobs;
+    BoundedTimelines<sim::InstanceId> instances;
+
+    explicit RunSummary(std::string runLabel, std::size_t maxJobs,
+                        std::size_t maxInstances)
+        : label(std::move(runLabel))
+    {
+        jobs.capacity = maxJobs;
+        instances.capacity = maxInstances;
+    }
+
+    void add(const obs::TraceEvent& event)
+    {
+        ++events;
+        ++kinds[event.kind];
+        if (event.reason != obs::DecisionReason::None)
+            ++reasons[event.reason];
+        if (event.job != 0)
+            jobs.add(event.job, event);
+        if (event.instance != 0)
+            instances.add(event.instance, event);
+    }
 };
 
 /** "strategy/scenario[, unprofiled]" from a {"run":{...}} header line. */
@@ -50,78 +116,53 @@ runLabel(const obs::JsonValue& header)
 
 void
 printTimeline(const char* kind, std::uint64_t id,
-              const std::vector<const obs::TraceEvent*>& events)
+              const std::vector<obs::TraceEvent>& events)
 {
     std::printf("  %s %llu:\n", kind,
                 static_cast<unsigned long long>(id));
-    for (const obs::TraceEvent* e : events) {
-        std::printf("    t=%10.2f  %-22s", e->time, toString(e->kind));
-        if (e->reason != obs::DecisionReason::None)
-            std::printf("  reason=%s", toString(e->reason));
-        if (e->value != 0.0)
-            std::printf("  value=%g", e->value);
-        if (!e->detail.empty())
-            std::printf("  (%s)", e->detail.c_str());
+    for (const obs::TraceEvent& e : events) {
+        std::printf("    t=%10.2f  %-22s", e.time, toString(e.kind));
+        if (e.reason != obs::DecisionReason::None)
+            std::printf("  reason=%s", toString(e.reason));
+        if (e.value != 0.0)
+            std::printf("  value=%g", e.value);
+        if (!e.detail.empty())
+            std::printf("  (%s)", e.detail.c_str());
         std::printf("\n");
     }
 }
 
 void
-summarizeRun(const RunSection& run, std::size_t maxJobs,
-             std::size_t maxInstances)
+summarizeRun(const RunSummary& run)
 {
     std::printf("\n== %s: %zu events ==\n", run.label.c_str(),
-                run.events.size());
-    if (run.events.empty())
+                run.events);
+    if (run.events == 0)
         return;
 
-    // Decision-reason histogram.
-    std::map<obs::DecisionReason, std::size_t> reasons;
-    std::map<obs::EventKind, std::size_t> kinds;
-    std::map<sim::JobId, std::vector<const obs::TraceEvent*>> byJob;
-    std::map<sim::InstanceId, std::vector<const obs::TraceEvent*>>
-        byInstance;
-    for (const obs::TraceEvent& e : run.events) {
-        ++kinds[e.kind];
-        if (e.reason != obs::DecisionReason::None)
-            ++reasons[e.reason];
-        if (e.job != 0)
-            byJob[e.job].push_back(&e);
-        if (e.instance != 0)
-            byInstance[e.instance].push_back(&e);
-    }
-
     std::printf(" event kinds:\n");
-    for (const auto& [kind, count] : kinds)
+    for (const auto& [kind, count] : run.kinds)
         std::printf("  %-22s %zu\n", toString(kind), count);
 
-    if (!reasons.empty()) {
+    if (!run.reasons.empty()) {
         std::printf(" decision reasons:\n");
-        for (const auto& [reason, count] : reasons)
+        for (const auto& [reason, count] : run.reasons)
             std::printf("  %-26s %zu\n", toString(reason), count);
     }
 
-    if (maxJobs > 0 && !byJob.empty()) {
+    if (run.jobs.capacity > 0 && !run.jobs.seen.empty()) {
         std::printf(" job timelines (%zu of %zu):\n",
-                    std::min(maxJobs, byJob.size()), byJob.size());
-        std::size_t shown = 0;
-        for (const auto& [id, events] : byJob) {
-            if (shown++ >= maxJobs)
-                break;
+                    run.jobs.timelines.size(), run.jobs.seen.size());
+        for (const auto& [id, events] : run.jobs.timelines)
             printTimeline("job", id, events);
-        }
     }
 
-    if (maxInstances > 0 && !byInstance.empty()) {
+    if (run.instances.capacity > 0 && !run.instances.seen.empty()) {
         std::printf(" instance timelines (%zu of %zu):\n",
-                    std::min(maxInstances, byInstance.size()),
-                    byInstance.size());
-        std::size_t shown = 0;
-        for (const auto& [id, events] : byInstance) {
-            if (shown++ >= maxInstances)
-                break;
+                    run.instances.timelines.size(),
+                    run.instances.seen.size());
+        for (const auto& [id, events] : run.instances.timelines)
             printTimeline("instance", id, events);
-        }
     }
 }
 
@@ -169,7 +210,7 @@ main(int argc, char** argv)
         return 1;
     }
 
-    std::vector<RunSection> runs;
+    std::vector<RunSummary> runs;
     std::string line;
     std::size_t line_no = 0;
     std::size_t bad_lines = 0;
@@ -180,15 +221,17 @@ main(int argc, char** argv)
         obs::TraceEvent event;
         if (obs::eventFromJsonLine(line, &event)) {
             if (runs.empty())
-                runs.push_back({"(unlabeled run)", {}});
-            runs.back().events.push_back(std::move(event));
+                runs.emplace_back("(unlabeled run)", max_jobs,
+                                  max_instances);
+            runs.back().add(event);
             continue;
         }
         // Not an event: a {"run":...} header starts a new section.
         try {
             const obs::JsonValue header = obs::parseJson(line);
             if (header.find("run")) {
-                runs.push_back({runLabel(header), {}});
+                runs.emplace_back(runLabel(header), max_jobs,
+                                  max_instances);
                 continue;
             }
         } catch (const std::exception&) {
@@ -199,8 +242,8 @@ main(int argc, char** argv)
     }
 
     std::printf("%s: %zu run(s)\n", path.c_str(), runs.size());
-    for (const RunSection& run : runs)
-        summarizeRun(run, max_jobs, max_instances);
+    for (const RunSummary& run : runs)
+        summarizeRun(run);
     if (bad_lines > 0)
         std::printf("\n%zu unrecognized line(s) skipped\n", bad_lines);
     return 0;

@@ -1,5 +1,7 @@
 #include "exp/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +22,58 @@ printUsage(const char* prog)
                  prog);
 }
 
+/**
+ * Parse @p arg as a finite, strictly-positive double consuming the whole
+ * token. Returns false (leaving @p out untouched) on any malformed or
+ * out-of-range input — the callers treat that as a CLI error instead of
+ * the old atof() behaviour of silently running with 0.0.
+ */
+bool
+parsePositiveDouble(const char* arg, double& out)
+{
+    if (arg == nullptr || *arg == '\0')
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(arg, &end);
+    if (end == arg || *end != '\0' || errno == ERANGE)
+        return false;
+    if (!std::isfinite(value) || value <= 0.0)
+        return false;
+    out = value;
+    return true;
+}
+
+/**
+ * Parse @p arg as a base-10 u64 consuming the whole token. Rejects empty
+ * tokens, signs (strtoull silently wraps "-1" to 2^64-1), trailing junk,
+ * and out-of-range values.
+ */
+bool
+parseU64(const char* arg, std::uint64_t& out)
+{
+    if (arg == nullptr || *arg == '\0' || *arg == '-' || *arg == '+')
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(arg, &end, 10);
+    if (end == arg || *end != '\0' || errno == ERANGE)
+        return false;
+    out = static_cast<std::uint64_t>(value);
+    return true;
+}
+
+/** Report a malformed positional: stderr + usage + BenchCli error state. */
+void
+positionalError(BenchCli& cli, const char* prog, const char* what,
+                const char* arg)
+{
+    cli.errorMessage = std::string(what) + ": '" + arg + "'";
+    std::fprintf(stderr, "%s: %s\n", prog, cli.errorMessage.c_str());
+    printUsage(prog);
+    cli.parseError = true;
+}
+
 } // namespace
 
 core::EngineConfig
@@ -28,6 +82,20 @@ BenchCli::engineConfig() const
     core::EngineConfig cfg;
     if (traceRequested)
         cfg.trace.mode = obs::TraceConfig::Mode::On;
+    // When tracing will produce a file, stream each run through a TraceSink
+    // part file derived from this stem so the on-disk trace is complete
+    // even when a run records more events than the ring holds.
+    const bool tracing = traceRequested || obs::envTraceEnabled();
+    const std::string trace_path = effectiveTracePath();
+    if (tracing && !trace_path.empty())
+        cfg.trace.sinkStem = trace_path;
+    // CI knob: shrink (or grow) the ring without recompiling. Consumed
+    // here at the CLI edge only, so the library stays env-independent.
+    if (const char* ring = std::getenv("HCLOUD_TRACE_RING")) {
+        std::uint64_t capacity = 0;
+        if (parseU64(ring, capacity) && capacity > 0)
+            cfg.trace.ringCapacity = static_cast<std::size_t>(capacity);
+    }
     return cfg;
 }
 
@@ -55,8 +123,9 @@ parseBenchCli(int argc, char** argv)
         if (std::strcmp(arg, "--json") == 0 ||
             std::strcmp(arg, "--trace") == 0) {
             if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: %s requires a path\n", argv[0],
-                             arg);
+                cli.errorMessage = std::string(arg) + " requires a path";
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             cli.errorMessage.c_str());
                 printUsage(argv[0]);
                 cli.parseError = true;
                 return cli;
@@ -70,24 +139,48 @@ parseBenchCli(int argc, char** argv)
             continue;
         }
         if (arg[0] == '-' && arg[1] == '-') {
-            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg);
+            cli.errorMessage = std::string("unknown flag ") + arg;
+            std::fprintf(stderr, "%s: %s\n", argv[0],
+                         cli.errorMessage.c_str());
             printUsage(argv[0]);
             cli.parseError = true;
             return cli;
         }
         switch (positional++) {
         case 0:
-            cli.options.loadScale = std::atof(arg);
+            if (!parsePositiveDouble(arg, cli.options.loadScale)) {
+                positionalError(cli, argv[0],
+                                "loadScale must be a finite number > 0",
+                                arg);
+                return cli;
+            }
             break;
-        case 1:
-            cli.options.seed = std::strtoull(arg, nullptr, 10);
+        case 1: {
+            std::uint64_t seed = 0;
+            if (!parseU64(arg, seed)) {
+                positionalError(cli, argv[0],
+                                "seed must be an unsigned 64-bit integer",
+                                arg);
+                return cli;
+            }
+            cli.options.seed = seed;
             break;
-        case 2:
-            cli.options.threads = static_cast<std::size_t>(
-                std::strtoull(arg, nullptr, 10));
+        }
+        case 2: {
+            std::uint64_t threads = 0;
+            if (!parseU64(arg, threads)) {
+                positionalError(
+                    cli, argv[0],
+                    "threads must be an unsigned integer", arg);
+                return cli;
+            }
+            cli.options.threads = static_cast<std::size_t>(threads);
             break;
+        }
         default:
-            std::fprintf(stderr, "%s: too many arguments\n", argv[0]);
+            cli.errorMessage = "too many arguments";
+            std::fprintf(stderr, "%s: %s\n", argv[0],
+                         cli.errorMessage.c_str());
             printUsage(argv[0]);
             cli.parseError = true;
             return cli;
@@ -113,7 +206,7 @@ writeBenchArtifacts(const BenchCli& cli, const std::string& title,
     const std::string trace_path = cli.effectiveTracePath();
     const bool tracing = cli.traceRequested || obs::envTraceEnabled();
     if (tracing && !trace_path.empty()) {
-        if (writeTraceJsonl(trace_path, runner)) {
+        if (writeTraceJsonl(trace_path, runner, /*removeParts=*/true)) {
             std::printf("wrote trace JSONL: %s\n", trace_path.c_str());
         } else {
             std::fprintf(stderr, "failed to write trace JSONL: %s\n",

@@ -12,10 +12,20 @@
  *    the bench executed (exp::writeJsonReport);
  *  - `--trace <path>` forces tracing on (EngineConfig trace mode On,
  *    overriding HCLOUD_TRACE) and writes the per-run event streams as
- *    JSONL to the path;
+ *    JSONL to the path. Tracing to a path streams through per-run
+ *    TraceSink files ("<path>.<tag>.part", merged into <path> and
+ *    removed at exit), so traces are complete regardless of
+ *    ringCapacity;
  *  - with no `--trace` flag, tracing follows the HCLOUD_TRACE environment
  *    knob: unset/0/off disables it, 1/on enables it, and any other value
- *    enables it AND names the default JSONL output path.
+ *    enables it AND names the default JSONL output path;
+ *  - HCLOUD_TRACE_RING overrides the tracer ring size in events (used by
+ *    CI to force ring wraps far below the default 64Ki and prove sink
+ *    completeness).
+ *
+ * Positional values are validated strictly (full-token numeric parses
+ * with range checks); a bad value sets BenchCli::parseError and
+ * errorMessage instead of silently running with a zeroed option.
  */
 
 #ifndef HCLOUD_EXP_CLI_HPP
@@ -38,10 +48,16 @@ struct BenchCli
     std::string tracePath;
     /** True when --trace was given (forces tracing on). */
     bool traceRequested = false;
-    /** True when an unknown flag or missing value was encountered. */
+    /** True when an unknown flag, missing value, or malformed positional
+     *  was encountered. */
     bool parseError = false;
+    /** Human-readable cause when parseError is set ("" otherwise). It is
+     *  also printed to stderr by parseBenchCli. */
+    std::string errorMessage;
 
-    /** Engine config with the trace mode implied by the flags. */
+    /** Engine config with the trace mode implied by the flags, the sink
+     *  stem implied by the effective trace path, and the ring override
+     *  from HCLOUD_TRACE_RING. */
     core::EngineConfig engineConfig() const;
 
     /** True when any artifact will be written — benches use this to turn

@@ -13,11 +13,24 @@
 
 #include "exp/runner.hpp"
 
+#include <string>
+#include <vector>
+
 namespace hcloud::exp {
 
 // Section 1 motivation.
 void fig01VariabilityBatch(const ExperimentOptions& opt);
 void fig02VariabilityMemcached(const ExperimentOptions& opt);
+
+/**
+ * Column headers for the fig02 boxplot table. Each cell aggregates one
+ * per-instance statistic — the p95-over-time of that instance's modeled
+ * p99 latency — across the 40 sampled instances, so the quantile in the
+ * header names the ACROSS-INSTANCE quantile of per-instance p99 tails
+ * (e.g. "p95(p99us)"), not a p95 of raw latencies. Exposed so the
+ * header/semantics stay pinned by a regression test.
+ */
+std::vector<std::string> fig02BoxplotHeader();
 
 // Workload characterization.
 void table1StrategyMatrix();

@@ -1,5 +1,6 @@
 #include "exp/report_json.hpp"
 
+#include <cstdio>
 #include <fstream>
 
 #include "obs/tracer.hpp"
@@ -45,6 +46,35 @@ runHeaderLine(const core::RunResult& result)
     w.endObject();
     w.endObject();
     return w.take();
+}
+
+/**
+ * Append one run's trace stream to @p out: spliced from its sink part
+ * file when the run streamed to disk, serialized from memory otherwise.
+ */
+bool
+appendRunTrace(std::ostream& out, const core::RunResult& result,
+               bool removeParts)
+{
+    if (!result.trace.sinkOk)
+        return false;
+    if (result.trace.sinkPath.empty()) {
+        obs::writeJsonl(out, result.trace);
+        return static_cast<bool>(out);
+    }
+    std::ifstream in(result.trace.sinkPath, std::ios::binary);
+    if (!in)
+        return false;
+    // Chunked copy (out << in.rdbuf() sets failbit on empty part files).
+    char chunk[1u << 16];
+    while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
+        out.write(chunk, in.gcount());
+    if (!out)
+        return false;
+    in.close();
+    if (removeParts)
+        std::remove(result.trace.sinkPath.c_str());
+    return true;
 }
 
 } // namespace
@@ -132,6 +162,7 @@ writeJsonReport(const std::string& path, const std::string& title,
         return false;
     obs::JsonWriter w;
     w.beginObject();
+    w.field("schemaVersion", kReportSchemaVersion);
     w.field("title", title);
     w.field("load_scale", runner.options().loadScale);
     w.field("seed", static_cast<std::uint64_t>(runner.options().seed));
@@ -150,21 +181,23 @@ writeJsonReport(const std::string& path, const std::string& title,
 }
 
 bool
-writeTraceJsonl(const std::string& path, const Runner& runner)
+writeTraceJsonl(const std::string& path, const Runner& runner,
+                bool removeParts)
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         return false;
+    bool ok = true;
     for (const auto& [key, result] : runner.results()) {
         (void)key;
         out << runHeaderLine(result) << '\n';
-        obs::writeJsonl(out, result.trace);
+        ok = appendRunTrace(out, result, removeParts) && ok;
     }
     for (const core::RunResult& result : runner.adhocResults()) {
         out << runHeaderLine(result) << '\n';
-        obs::writeJsonl(out, result.trace);
+        ok = appendRunTrace(out, result, removeParts) && ok;
     }
-    return static_cast<bool>(out);
+    return ok && static_cast<bool>(out);
 }
 
 } // namespace hcloud::exp

@@ -26,6 +26,13 @@
 
 namespace hcloud::exp {
 
+/**
+ * Version stamped as `schemaVersion` at the top of every JSON report.
+ * Bump it (and tests/golden/report_schema_v1.txt) whenever the report
+ * shape changes, so downstream tooling can rely on the layout.
+ */
+inline constexpr std::uint64_t kReportSchemaVersion = 1;
+
 /** Serialize the summary view of one RunResult as a JSON object. */
 void runResultJson(obs::JsonWriter& w, const core::RunResult& result);
 
@@ -39,10 +46,15 @@ bool writeJsonReport(const std::string& path, const std::string& title,
 /**
  * Write the trace streams of every memoized cell as JSONL: a
  * `{"run":{...}}` header line per cell, then its events in order.
- * Deterministic byte-for-byte for a fixed seed (see file comment).
- * @return false when the file cannot be opened.
+ * Runs that streamed to a TraceSink are spliced from their per-run part
+ * files (in the same deterministic result order); @p removeParts deletes
+ * each part file after a successful merge. Deterministic byte-for-byte
+ * for a fixed seed (see file comment).
+ * @return false when the file cannot be opened, a part file is missing,
+ * or any run reports a failed sink (its stream would be incomplete).
  */
-bool writeTraceJsonl(const std::string& path, const Runner& runner);
+bool writeTraceJsonl(const std::string& path, const Runner& runner,
+                     bool removeParts = false);
 
 } // namespace hcloud::exp
 

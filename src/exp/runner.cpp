@@ -56,6 +56,26 @@ Runner::trace(workload::ScenarioKind scenario)
     return it->second;
 }
 
+std::string
+Runner::cellSinkTag(workload::ScenarioKind scenario,
+                    core::StrategyKind strategy, bool profiling)
+{
+    std::string tag = workload::toString(scenario);
+    tag += '-';
+    tag += core::toString(strategy);
+    if (!profiling)
+        tag += "-unprofiled";
+    return tag;
+}
+
+void
+Runner::applySinkTag(core::EngineConfig& cfg, const std::string& tag)
+{
+    if (cfg.trace.sinkStem.empty())
+        return;
+    cfg.trace.sinkPath = cfg.trace.sinkStem + "." + tag + ".part";
+}
+
 const core::RunResult&
 Runner::run(workload::ScenarioKind scenario, core::StrategyKind strategy,
             bool profiling)
@@ -65,6 +85,7 @@ Runner::run(workload::ScenarioKind scenario, core::StrategyKind strategy,
     if (it == results_.end()) {
         core::EngineConfig cfg = baseConfig_;
         cfg.useProfiling = profiling;
+        applySinkTag(cfg, cellSinkTag(scenario, strategy, profiling));
         core::Engine engine(cfg);
         core::RunResult result = engine.run(trace(scenario), strategy,
                                             workload::toString(scenario));
@@ -86,6 +107,7 @@ Runner::runWith(workload::ScenarioKind scenario,
     // run() path whenever a call site forgot `cfg.seed = options().seed`.
     core::EngineConfig cfg = config;
     cfg.seed = options_.seed;
+    applySinkTag(cfg, "a" + std::to_string(nextSinkSeq()));
     core::Engine engine(cfg);
     core::RunResult result = engine.run(
         trace(scenario), strategy,
@@ -102,10 +124,13 @@ Runner::runBatch(const std::vector<RunSpec>& specs)
 {
     std::vector<core::RunResult> results;
     results.reserve(specs.size());
-    for (const RunSpec& spec : specs) {
+    const std::string batch = "b" + std::to_string(nextSinkSeq()) + "x";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec& spec = specs[i];
         const workload::ArrivalTrace* shared =
             spec.scenarioOverride ? nullptr : &trace(spec.scenario);
-        core::RunResult result = executeSpec(spec, shared);
+        core::RunResult result =
+            executeSpec(spec, shared, batch + std::to_string(i));
         if (!spec.scenarioOverride)
             result.telemetry.traceGenSec = traceGenSeconds(spec.scenario);
         if (recordAdhoc_)
@@ -129,10 +154,12 @@ Runner::prewarm(bool includeUnprofiled)
 
 core::RunResult
 Runner::executeSpec(const RunSpec& spec,
-                    const workload::ArrivalTrace* sharedTrace) const
+                    const workload::ArrivalTrace* sharedTrace,
+                    const std::string& sinkTag) const
 {
     core::EngineConfig cfg = spec.config;
     cfg.seed = spec.seedOverride.value_or(options_.seed);
+    applySinkTag(cfg, sinkTag);
     core::Engine engine(cfg);
     const std::string label = spec.label.empty()
         ? std::string(workload::toString(spec.scenario))

@@ -17,11 +17,24 @@
  * execute nor the thread they execute on can perturb any draw. This is
  * what makes the parallel runtime (runtime::ParallelRunner) bit-identical
  * to serial execution.
+ *
+ * ## Streaming trace sinks
+ *
+ * When the base config's TraceConfig carries a `sinkStem`, every run a
+ * runner executes derives a private sink file ("<stem>.<tag>.part") so
+ * concurrent runs never share a file descriptor and on-disk traces are
+ * never ring-truncated. exp::writeTraceJsonl merges the per-run files in
+ * deterministic result order, which keeps the merged artifact
+ * byte-identical across thread counts. Tags: matrix cells use
+ * "<scenario>-<strategy>[-unprofiled]"; batch/ad-hoc runs use a per-runner
+ * sequence number (their identity lives in the merged header lines, not
+ * the file name).
  */
 
 #ifndef HCLOUD_EXP_RUNNER_HPP
 #define HCLOUD_EXP_RUNNER_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -160,11 +173,25 @@ class Runner
      * Run one spec exactly as the serial paths do: private trace if the
      * spec overrides the scenario, @p sharedTrace otherwise. Both the
      * serial and the parallel runBatch() funnel through this so the two
-     * paths cannot diverge.
+     * paths cannot diverge. @p sinkTag names the spec's private sink
+     * file when the spec's config carries a sinkStem (see class docs).
      */
     core::RunResult executeSpec(const RunSpec& spec,
-                                const workload::ArrivalTrace* sharedTrace)
-        const;
+                                const workload::ArrivalTrace* sharedTrace,
+                                const std::string& sinkTag) const;
+
+    /** Sink tag of a memoized matrix cell ("static-HM[-unprofiled]"). */
+    static std::string cellSinkTag(workload::ScenarioKind scenario,
+                                   core::StrategyKind strategy,
+                                   bool profiling);
+
+    /** Derive cfg.trace.sinkPath from its sinkStem + @p tag (no-op when
+     *  the stem is empty). */
+    static void applySinkTag(core::EngineConfig& cfg,
+                             const std::string& tag);
+
+    /** Process-unique tag for uncached runs ("a<N>", "b<N>x<i>"). */
+    std::uint64_t nextSinkSeq() { return sinkSeq_++; }
 
     /** Wall-clock spent generating a scenario's shared trace (telemetry;
      *  attributed to every cell consuming the trace). */
@@ -177,6 +204,9 @@ class Runner
     std::map<CellKey, core::RunResult> results_;
     bool recordAdhoc_ = false;
     std::vector<core::RunResult> adhoc_;
+    /** Uncached-run sink-file sequence (atomic: runWith() may be called
+     *  from concurrent caller threads under ParallelRunner). */
+    std::atomic<std::uint64_t> sinkSeq_{0};
 };
 
 } // namespace hcloud::exp

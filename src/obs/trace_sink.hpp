@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TraceSink: incremental, fd-backed JSONL persistence for trace events.
+ *
+ * The sink exists so traces of long runs are bounded only by disk, never
+ * by the tracer's ringCapacity: the owning obs::Tracer drains its ring
+ * into the sink whenever the ring would wrap (and once more at take()),
+ * so `dropped` stays 0 for the whole run while in-memory cost stays at
+ * ringCapacity events.
+ *
+ * Contracts:
+ *  - one sink file per run (the tracer that opens it is single-threaded,
+ *    so the sink needs no locking);
+ *  - append() serializes with toJson(), whose deterministic number
+ *    formatting keeps sink files byte-identical across thread counts for
+ *    a fixed seed;
+ *  - writes are buffered in memory and pushed through the file
+ *    descriptor in large chunks; any short write or I/O error latches
+ *    ok() to false, after which the tracer falls back to plain
+ *    ring-eviction semantics (and reports the failure in TraceBuffer).
+ */
+
+#ifndef HCLOUD_OBS_TRACE_SINK_HPP
+#define HCLOUD_OBS_TRACE_SINK_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace_event.hpp"
+
+namespace hcloud::obs {
+
+/** Streams TraceEvents to a JSONL file, one line per event. */
+class TraceSink
+{
+  public:
+    /** Opens (creates/truncates) @p path; check ok() afterwards. */
+    explicit TraceSink(std::string path);
+    ~TraceSink();
+
+    TraceSink(const TraceSink&) = delete;
+    TraceSink& operator=(const TraceSink&) = delete;
+
+    /** False once the file failed to open or a write failed. */
+    bool ok() const { return fd_ >= 0 && !failed_; }
+    const std::string& path() const { return path_; }
+
+    /** Serialize @p event and buffer it for writing.
+     *  @return false when the sink is (or just became) broken. */
+    bool append(const TraceEvent& event);
+
+    /** Drain the in-memory buffer through the descriptor. */
+    bool flush();
+
+    /** Events successfully handed to append(). */
+    std::uint64_t written() const { return written_; }
+
+  private:
+    bool drain();
+
+    std::string path_;
+    int fd_ = -1;
+    std::string buffer_;
+    std::uint64_t written_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace hcloud::obs
+
+#endif // HCLOUD_OBS_TRACE_SINK_HPP

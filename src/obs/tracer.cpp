@@ -1,9 +1,12 @@
 #include "obs/tracer.hpp"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace hcloud::obs {
 
@@ -60,11 +63,22 @@ TraceConfig::resolveEnabled() const
 }
 
 Tracer::Tracer(TraceConfig config)
-    : config_(config), enabled_(config.resolveEnabled())
+    : config_(std::move(config)), enabled_(config_.resolveEnabled())
 {
     if (config_.ringCapacity == 0)
         config_.ringCapacity = 1;
+    if (enabled_ && !config_.sinkPath.empty()) {
+        sink_ = std::make_unique<TraceSink>(config_.sinkPath);
+        if (!sink_->ok()) {
+            // Unopenable sink: fall back to the in-memory ring so the
+            // run still traces; take() reports the failure.
+            sink_.reset();
+            sinkFailed_ = true;
+        }
+    }
 }
+
+Tracer::~Tracer() = default;
 
 void
 Tracer::emit(EventKind kind, Severity severity, DecisionReason reason,
@@ -97,10 +111,46 @@ Tracer::record(TraceEvent event)
         events_.push_back(std::move(event));
         return;
     }
+    if (sink_) {
+        // Ring wrap with a sink attached: drain the ring to disk instead
+        // of evicting, so the on-disk stream stays complete.
+        flushRingToSink();
+        if (events_.empty()) {
+            events_.push_back(std::move(event));
+            return;
+        }
+        // The flush failed mid-write; fall through to ring eviction.
+    }
     // Ring full: overwrite the oldest slot.
     events_[head_] = std::move(event);
     head_ = (head_ + 1) % config_.ringCapacity;
     ++dropped_;
+}
+
+void
+Tracer::flushRingToSink()
+{
+    // With a healthy sink the ring never wraps (head_ == 0), but flush in
+    // chronological order anyway so a mid-run fallback stays consistent.
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent& ev = events_[(head_ + i) % events_.size()];
+        if (!sink_->append(ev)) {
+            // Keep the unflushed tail: rotate it to the front and resume
+            // ring semantics from there.
+            std::vector<TraceEvent> tail;
+            tail.reserve(events_.size() - i);
+            for (std::size_t j = i; j < events_.size(); ++j)
+                tail.push_back(
+                    std::move(events_[(head_ + j) % events_.size()]));
+            events_ = std::move(tail);
+            head_ = 0;
+            sink_.reset();
+            sinkFailed_ = true;
+            return;
+        }
+    }
+    events_.clear();
+    head_ = 0;
 }
 
 TraceBuffer
@@ -109,6 +159,27 @@ Tracer::take()
     TraceBuffer buffer;
     buffer.recorded = recorded_;
     buffer.dropped = dropped_;
+    buffer.sinkOk = !sinkFailed_;
+    if (sink_) {
+        // Final drain: the on-disk stream must hold every recorded
+        // event before the buffer advertises the sink path.
+        flushRingToSink();
+        if (sink_ && sink_->flush()) {
+            buffer.sinkPath = config_.sinkPath;
+            buffer.flushed = sink_->written();
+            sink_.reset();
+            head_ = 0;
+            recorded_ = 0;
+            dropped_ = 0;
+            events_.clear();
+            return buffer;
+        }
+        // The drain or flush broke the sink; report the ring fallback.
+        buffer.sinkOk = false;
+        buffer.dropped = dropped_;
+        sink_.reset();
+        sinkFailed_ = true;
+    }
     if (head_ == 0) {
         buffer.events = std::move(events_);
     } else {
@@ -141,8 +212,15 @@ toJson(const TraceEvent& event)
         w.field("job", static_cast<std::uint64_t>(event.job));
     if (event.instance != 0)
         w.field("inst", static_cast<std::uint64_t>(event.instance));
-    if (event.value != 0.0)
+    if (std::isnan(event.value)) {
+        // JSON has no NaN/Inf literals; encode them as tagged strings so
+        // the round trip preserves them instead of collapsing to 0.
+        w.field("value", "NaN");
+    } else if (std::isinf(event.value)) {
+        w.field("value", event.value > 0.0 ? "Infinity" : "-Infinity");
+    } else if (event.value != 0.0) {
         w.field("value", event.value);
+    }
     if (!event.detail.empty())
         w.field("detail", event.detail);
     w.endObject();
@@ -187,8 +265,31 @@ eventFromJsonLine(const std::string& line, TraceEvent* out)
         ev.job = static_cast<sim::JobId>(job->numberOr(0.0));
     if (const JsonValue* inst = v.find("inst"))
         ev.instance = static_cast<sim::InstanceId>(inst->numberOr(0.0));
-    if (const JsonValue* value = v.find("value"))
-        ev.value = value->numberOr(0.0);
+    if (const JsonValue* value = v.find("value")) {
+        switch (value->type) {
+          case JsonValue::Type::Number:
+            ev.value = value->number;
+            break;
+          case JsonValue::Type::String:
+            // Inverse of the non-finite encoding above; any other string
+            // is a malformed value, not silently 0.
+            if (value->string == "NaN")
+                ev.value = std::nan("");
+            else if (value->string == "Infinity")
+                ev.value = std::numeric_limits<double>::infinity();
+            else if (value->string == "-Infinity")
+                ev.value = -std::numeric_limits<double>::infinity();
+            else
+                return false;
+            break;
+          case JsonValue::Type::Null:
+            // Legacy writers emitted null for any non-finite value.
+            ev.value = std::nan("");
+            break;
+          default:
+            return false;
+        }
+    }
     if (const JsonValue* detail = v.find("detail"))
         ev.detail = detail->stringOr("");
     *out = std::move(ev);

@@ -7,7 +7,10 @@
  *    before building an event, so a disabled tracer costs a predicted
  *    branch per call site;
  *  - bounded memory: a ring of `ringCapacity` events; once full, the
- *    oldest event is dropped (and counted) per new event;
+ *    oldest event is dropped (and counted) per new event — unless a
+ *    TraceSink is attached (TraceConfig::sinkPath), in which case the
+ *    ring is drained to the sink on wrap (and at take()) so the on-disk
+ *    stream is complete and `dropped` stays 0;
  *  - deterministic: the tracer is owned by one engine run and recorded
  *    from the single-threaded simulation loop, so for a fixed root seed
  *    the event stream is bit-identical at any runner thread count —
@@ -24,6 +27,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +35,8 @@
 #include "obs/trace_event.hpp"
 
 namespace hcloud::obs {
+
+class TraceSink;
 
 /** Tracing knobs, embedded in core::EngineConfig. */
 struct TraceConfig
@@ -50,6 +56,21 @@ struct TraceConfig
     /** Only categories whose bit is set are recorded. */
     unsigned categoryMask = kAllCategories;
 
+    /**
+     * When non-empty, this run's events stream to a JSONL TraceSink at
+     * exactly this path: the ring becomes a flush buffer and `dropped`
+     * stays 0, so traces are bounded only by disk. One run must own the
+     * path exclusively — for runner-driven sweeps use sinkStem instead.
+     */
+    std::string sinkPath;
+    /**
+     * Per-run sink derivation stem for exp::Runner sweeps: each run the
+     * runner executes derives its own sinkPath ("<stem>.<tag>.part"),
+     * and exp::writeTraceJsonl merges the parts in deterministic result
+     * order. Ignored by the tracer itself when sinkPath is empty.
+     */
+    std::string sinkStem;
+
     /** Resolve mode (consulting the environment under Auto). */
     bool resolveEnabled() const;
 };
@@ -66,12 +87,20 @@ std::string envTracePath();
 /** The recorded stream plus bookkeeping, as stored in a RunResult. */
 struct TraceBuffer
 {
-    /** Retained events in chronological record order. */
+    /** Retained in-memory events in chronological record order (empty
+     *  when the full stream went to a sink file instead). */
     std::vector<TraceEvent> events;
     /** Events accepted by the filters (>= events.size()). */
     std::uint64_t recorded = 0;
-    /** Events evicted by the ring bound. */
+    /** Events evicted by the ring bound (0 whenever a sink is healthy). */
     std::uint64_t dropped = 0;
+    /** Sink file holding the complete stream ("" = ring-only run). */
+    std::string sinkPath;
+    /** Events flushed to the sink (== recorded while sinkOk). */
+    std::uint64_t flushed = 0;
+    /** False when a sink was requested but opening/writing it failed —
+     *  the events above then hold the ring-bounded fallback. */
+    bool sinkOk = true;
 };
 
 /**
@@ -82,9 +111,14 @@ class Tracer
 {
   public:
     explicit Tracer(TraceConfig config = {});
+    ~Tracer();
 
     bool enabled() const { return enabled_; }
     const TraceConfig& config() const { return config_; }
+
+    /** The attached sink, or nullptr (disabled, none configured, or the
+     *  sink broke and the tracer fell back to ring eviction). */
+    const TraceSink* sink() const { return sink_.get(); }
 
     /** Record one event (applies severity/category filters and the ring
      *  bound). No-op when disabled. */
@@ -138,13 +172,21 @@ class Tracer
     std::uint64_t recordedCount() const { return recorded_; }
     std::uint64_t droppedCount() const { return dropped_; }
 
-    /** Move the collected stream out (the tracer is then empty). */
+    /**
+     * Move the collected stream out (the tracer is then empty). With a
+     * sink attached, the remaining ring contents are flushed first and
+     * the sink file is closed; the returned buffer then carries the sink
+     * path instead of in-memory events.
+     */
     TraceBuffer take();
 
   private:
     void emit(EventKind kind, Severity severity, DecisionReason reason,
               sim::Time t, sim::JobId job, sim::InstanceId instance,
               double value, std::string_view detail);
+    /** Drain the ring (chronological order) into the sink; on failure
+     *  drops the sink and latches sinkFailed_. */
+    void flushRingToSink();
 
     TraceConfig config_;
     bool enabled_;
@@ -153,6 +195,9 @@ class Tracer
     std::size_t head_ = 0;
     std::uint64_t recorded_ = 0;
     std::uint64_t dropped_ = 0;
+    std::unique_ptr<TraceSink> sink_;
+    /** A sink was requested but could not be opened or written. */
+    bool sinkFailed_ = false;
 };
 
 /** Serialize @p event as a single JSON object (no trailing newline). */

@@ -58,6 +58,12 @@ ParallelRunner::run(workload::ScenarioKind scenario,
     const workload::ArrivalTrace& tr = ensureTrace(scenario);
     core::EngineConfig cfg = baseConfig_;
     cfg.useProfiling = profiling;
+    // The sink tag carries a sequence number so two threads racing the
+    // same cell never write the same file; the loser's part file is
+    // orphaned along with its discarded result. Merged artifacts stay
+    // byte-identical because file names never appear in the stream.
+    applySinkTag(cfg, cellSinkTag(scenario, strategy, profiling) + "." +
+                          std::to_string(nextSinkSeq()));
     core::Engine engine(cfg);
     core::RunResult result =
         engine.run(tr, strategy, workload::toString(scenario));
@@ -79,9 +85,11 @@ ParallelRunner::runBatch(const std::vector<exp::RunSpec>& specs)
         if (!specs[i].scenarioOverride)
             shared[i] = &ensureTrace(specs[i].scenario);
     }
+    const std::string batch = "b" + std::to_string(nextSinkSeq()) + "x";
     std::vector<core::RunResult> results =
         parallelMap(pool_, specs.size(), [&](std::size_t i) {
-            return executeSpec(specs[i], shared[i]);
+            return executeSpec(specs[i], shared[i],
+                               batch + std::to_string(i));
         });
     // Telemetry is per-runner, not per-engine: stamp the worker count and
     // the shared-trace generation cost after the barrier. All trace
@@ -136,6 +144,10 @@ ParallelRunner::prewarm(bool includeUnprofiled)
             const Cell& c = cells[i];
             core::EngineConfig cfg = baseConfig_;
             cfg.useProfiling = c.profiling;
+            // Cells are unique here (collected under the lock), so the
+            // serial Runner's deterministic cell tags are collision-free.
+            applySinkTag(cfg,
+                         cellSinkTag(c.scenario, c.strategy, c.profiling));
             core::Engine engine(cfg);
             return engine.run(*shared.at(c.scenario), c.strategy,
                               workload::toString(c.scenario));

@@ -124,7 +124,11 @@ SampleSet::ensureSorted() const
 double
 SampleSet::quantile(double q) const
 {
-    assert(!samples_.empty() && "quantile of empty sample set");
+    // Empty sets return 0.0 like min()/max(): the old assert-only guard
+    // compiled out under NDEBUG and indexed sorted_[-0u] on release
+    // builds fed an all-failed cell.
+    if (samples_.empty())
+        return 0.0;
     ensureSorted();
     q = std::clamp(q, 0.0, 1.0);
     const double pos = q * static_cast<double>(sorted_.size() - 1);

@@ -91,7 +91,7 @@ class SampleSet
 
     /**
      * Quantile in [0, 1] with linear interpolation.
-     * @pre !empty()
+     * Returns 0.0 on an empty set, matching min()/max().
      */
     double quantile(double q) const;
 

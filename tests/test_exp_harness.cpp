@@ -1,13 +1,26 @@
 /**
  * @file
- * Tests for the experiment harness: reporter formatting and the
- * memoized run matrix.
+ * Tests for the experiment harness: reporter formatting, the memoized
+ * run matrix, the shared bench CLI (strict positional validation and the
+ * trace-sink/env wiring), figure-table semantics, and the JSON report
+ * schema (version stamp + golden key-path file).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/cli.hpp"
+#include "exp/figures.hpp"
 #include "exp/report.hpp"
+#include "exp/report_json.hpp"
 #include "exp/runner.hpp"
+#include "obs/json.hpp"
 
 namespace hcloud::exp {
 namespace {
@@ -87,6 +100,193 @@ TEST(Runner, RunWithCustomConfigIsIndependent)
         workload::ScenarioKind::Static, core::StrategyKind::HM, cfg);
     EXPECT_DOUBLE_EQ(a.meanPerfNorm(), b.meanPerfNorm())
         << "custom runs stay deterministic";
+}
+
+// ---------------------------------------------------------------------------
+// Shared bench CLI
+
+/** Run parseBenchCli over {"bench", args...}. */
+BenchCli
+parseArgs(std::vector<std::string> args)
+{
+    std::vector<char*> argv;
+    static std::string prog = "bench";
+    argv.push_back(prog.data());
+    for (std::string& a : args)
+        argv.push_back(a.data());
+    return parseBenchCli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchCliParse, ValidPositionalsAndFlags)
+{
+    const BenchCli cli =
+        parseArgs({"0.25", "42", "4", "--json", "r.json", "--trace",
+                   "t.jsonl"});
+    EXPECT_FALSE(cli.parseError);
+    EXPECT_EQ(cli.errorMessage, "");
+    EXPECT_DOUBLE_EQ(cli.options.loadScale, 0.25);
+    EXPECT_EQ(cli.options.seed, 42u);
+    EXPECT_EQ(cli.options.threads, 4u);
+    EXPECT_EQ(cli.jsonPath, "r.json");
+    EXPECT_EQ(cli.tracePath, "t.jsonl");
+    EXPECT_TRUE(cli.traceRequested);
+}
+
+TEST(BenchCliParse, MalformedPositionalsAreErrorsNotZeros)
+{
+    // Regression: these went through bare atof/strtoull, so "abc" ran
+    // the whole bench with loadScale 0.0 instead of failing.
+    for (const char* bad : {"abc", "", "0", "-0.1", "nan", "inf", "1e999",
+                            "0.5x"}) {
+        const BenchCli cli = parseArgs({bad});
+        EXPECT_TRUE(cli.parseError) << "loadScale '" << bad << "'";
+        EXPECT_FALSE(cli.errorMessage.empty()) << "loadScale '" << bad
+                                               << "'";
+    }
+    for (const char* bad :
+         {"-1", "+1", "abc", "42x", "", "99999999999999999999"}) {
+        const BenchCli cli = parseArgs({"0.25", bad});
+        EXPECT_TRUE(cli.parseError) << "seed '" << bad << "'";
+    }
+    const BenchCli threads = parseArgs({"0.25", "42", "two"});
+    EXPECT_TRUE(threads.parseError);
+    const BenchCli missing = parseArgs({"--trace"});
+    EXPECT_TRUE(missing.parseError);
+    EXPECT_EQ(missing.errorMessage, "--trace requires a path");
+    const BenchCli extra = parseArgs({"0.25", "42", "4", "5"});
+    EXPECT_TRUE(extra.parseError);
+    EXPECT_EQ(extra.errorMessage, "too many arguments");
+}
+
+TEST(BenchCliParse, EngineConfigWiresSinkStemAndRingOverride)
+{
+    const char* saved = std::getenv("HCLOUD_TRACE_RING");
+    const std::string saved_value = saved ? saved : "";
+
+    ::unsetenv("HCLOUD_TRACE_RING");
+    const BenchCli cli = parseArgs({"--trace", "/tmp/t.jsonl"});
+    core::EngineConfig cfg = cli.engineConfig();
+    EXPECT_EQ(cfg.trace.mode, obs::TraceConfig::Mode::On);
+    EXPECT_EQ(cfg.trace.sinkStem, "/tmp/t.jsonl")
+        << "tracing to a path must stream through per-run sinks";
+    EXPECT_EQ(cfg.trace.ringCapacity, std::size_t{1} << 16);
+
+    ::setenv("HCLOUD_TRACE_RING", "1024", 1);
+    cfg = cli.engineConfig();
+    EXPECT_EQ(cfg.trace.ringCapacity, 1024u);
+
+    // Malformed or zero overrides are ignored, not applied as 0.
+    ::setenv("HCLOUD_TRACE_RING", "abc", 1);
+    EXPECT_EQ(cli.engineConfig().trace.ringCapacity,
+              std::size_t{1} << 16);
+    ::setenv("HCLOUD_TRACE_RING", "0", 1);
+    EXPECT_EQ(cli.engineConfig().trace.ringCapacity,
+              std::size_t{1} << 16);
+
+    // Without tracing there is no sink stem to derive.
+    ::unsetenv("HCLOUD_TRACE_RING");
+    const char* saved_trace = std::getenv("HCLOUD_TRACE");
+    const std::string saved_trace_value = saved_trace ? saved_trace : "";
+    ::unsetenv("HCLOUD_TRACE");
+    const BenchCli plain = parseArgs({"0.25"});
+    EXPECT_EQ(plain.engineConfig().trace.sinkStem, "");
+    if (saved_trace)
+        ::setenv("HCLOUD_TRACE", saved_trace_value.c_str(), 1);
+
+    if (saved)
+        ::setenv("HCLOUD_TRACE_RING", saved_value.c_str(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Figure-table semantics
+
+TEST(Figures, Fig02HeaderNamesTheInnerP99Statistic)
+{
+    // Regression: the header used to read plain "p95", implying a p95 of
+    // raw latencies; each cell is an across-instance quantile of the
+    // per-instance p99 tail.
+    const std::vector<std::string> header = fig02BoxplotHeader();
+    ASSERT_EQ(header.size(), 6u);
+    EXPECT_EQ(header[0], "provider/type");
+    for (std::size_t i = 1; i < header.size(); ++i)
+        EXPECT_NE(header[i].find("(p99us)"), std::string::npos)
+            << header[i];
+    EXPECT_EQ(header[5], "p95(p99us)");
+}
+
+// ---------------------------------------------------------------------------
+// JSON report schema
+
+/** Collect every key path in @p v ("runs[].counters.jobs") into @p out. */
+void
+collectKeyPaths(const obs::JsonValue& v, const std::string& prefix,
+                std::set<std::string>& out)
+{
+    if (v.type == obs::JsonValue::Type::Object) {
+        for (const auto& [key, child] : v.object) {
+            const std::string path =
+                prefix.empty() ? key : prefix + "." + key;
+            out.insert(path);
+            collectKeyPaths(child, path, out);
+        }
+    } else if (v.type == obs::JsonValue::Type::Array) {
+        for (const obs::JsonValue& child : v.array)
+            collectKeyPaths(child, prefix + "[]", out);
+    }
+}
+
+TEST(ReportSchema, VersionStampedFirstAndKeyPathsMatchGolden)
+{
+    // Pinned config: every optional report section below is deterministic
+    // for this cell, so the key-path set is stable.
+    ExperimentOptions opt;
+    opt.loadScale = 0.05;
+    opt.seed = 42;
+    core::EngineConfig base;
+    base.trace.mode = obs::TraceConfig::Mode::On;
+    Runner runner{opt, base};
+    runner.run(workload::ScenarioKind::Static, core::StrategyKind::HM);
+
+    const std::string path = ::testing::TempDir() + "schema_report.json";
+    ASSERT_TRUE(writeJsonReport(path, "schema-test", runner));
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream text;
+    text << in.rdbuf();
+    const obs::JsonValue report = obs::parseJson(text.str());
+
+    // The stamp leads the document so consumers can dispatch on it
+    // before reading anything else.
+    ASSERT_EQ(report.type, obs::JsonValue::Type::Object);
+    ASSERT_FALSE(report.object.empty());
+    EXPECT_EQ(report.object.front().first, "schemaVersion");
+    EXPECT_EQ(report.find("schemaVersion")->numberOr(0),
+              static_cast<double>(kReportSchemaVersion));
+
+    std::set<std::string> paths;
+    collectKeyPaths(report, "", paths);
+    const std::string golden_path = std::string(HCLOUD_GOLDEN_DIR) +
+        "/report_schema_v" + std::to_string(kReportSchemaVersion) +
+        ".txt";
+    if (std::getenv("HCLOUD_UPDATE_GOLDEN")) {
+        std::ofstream golden_out(golden_path, std::ios::trunc);
+        for (const std::string& p : paths)
+            golden_out << p << '\n';
+        ASSERT_TRUE(golden_out) << "cannot update " << golden_path;
+        GTEST_SKIP() << "golden file regenerated: " << golden_path;
+    }
+    std::ifstream golden_in(golden_path);
+    ASSERT_TRUE(golden_in)
+        << golden_path
+        << " missing; regenerate with HCLOUD_UPDATE_GOLDEN=1";
+    std::set<std::string> golden;
+    std::string line;
+    while (std::getline(golden_in, line))
+        if (!line.empty())
+            golden.insert(line);
+    EXPECT_EQ(paths, golden)
+        << "report shape changed: bump kReportSchemaVersion, regenerate "
+           "the golden file (HCLOUD_UPDATE_GOLDEN=1), and note the bump "
+           "in EXPERIMENTS.md";
 }
 
 } // namespace

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -23,6 +26,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/phase_profiler.hpp"
+#include "obs/trace_sink.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "workload/scenario.hpp"
@@ -247,6 +251,119 @@ TEST(ObsTracer, JsonlRoundTripPreservesEveryField)
     EXPECT_FALSE(obs::eventFromJsonLine(
         "{\"run\":{\"strategy\":\"HM\"}}", &back));
     EXPECT_FALSE(obs::eventFromJsonLine("not json", &back));
+}
+
+TEST(ObsTracer, NonFiniteValuesSurviveTheJsonRoundTrip)
+{
+    obs::TraceEvent event;
+    event.time = 1.0;
+    event.kind = obs::EventKind::Decision;
+    event.reason = obs::DecisionReason::SoftLimitExceeded;
+
+    obs::TraceEvent back;
+    event.value = std::nan("");
+    ASSERT_TRUE(obs::eventFromJsonLine(toJson(event), &back));
+    EXPECT_TRUE(std::isnan(back.value));
+    EXPECT_NE(toJson(event).find("\"value\":\"NaN\""), std::string::npos);
+
+    event.value = std::numeric_limits<double>::infinity();
+    ASSERT_TRUE(obs::eventFromJsonLine(toJson(event), &back));
+    EXPECT_EQ(back.value, std::numeric_limits<double>::infinity());
+
+    event.value = -std::numeric_limits<double>::infinity();
+    ASSERT_TRUE(obs::eventFromJsonLine(toJson(event), &back));
+    EXPECT_EQ(back.value, -std::numeric_limits<double>::infinity());
+
+    // Legacy writers emitted "value":null for any non-finite double; that
+    // used to silently parse back as 0.0. It now maps to NaN.
+    ASSERT_TRUE(obs::eventFromJsonLine(
+        "{\"t\":1,\"kind\":\"decision\",\"reason\":\"soft_limit_exceeded\","
+        "\"value\":null}",
+        &back));
+    EXPECT_TRUE(std::isnan(back.value));
+
+    // Unknown string payloads are malformed, not silently zero.
+    EXPECT_FALSE(obs::eventFromJsonLine(
+        "{\"t\":1,\"kind\":\"decision\",\"reason\":\"soft_limit_exceeded\","
+        "\"value\":\"bogus\"}",
+        &back));
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink (the tentpole): complete on-disk streams past ringCapacity
+
+std::vector<std::string>
+fileLines(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(ObsTraceSink, SinkKeepsCompleteStreamPastRingCapacity)
+{
+    const std::string path = ::testing::TempDir() + "obs_sink.jsonl.part";
+    obs::TraceConfig cfg;
+    cfg.mode = obs::TraceConfig::Mode::On;
+    cfg.ringCapacity = 8;
+    cfg.sinkPath = path;
+    obs::Tracer tracer(cfg);
+    ASSERT_NE(tracer.sink(), nullptr);
+    for (int i = 0; i < 100; ++i)
+        tracer.job(obs::EventKind::JobSubmit, static_cast<double>(i),
+                   static_cast<sim::JobId>(i + 1));
+
+    // Recording 12.5 rings' worth drops nothing: wraps drain to disk.
+    EXPECT_EQ(tracer.recordedCount(), 100u);
+    EXPECT_EQ(tracer.droppedCount(), 0u);
+
+    const obs::TraceBuffer buffer = tracer.take();
+    EXPECT_EQ(buffer.recorded, 100u);
+    EXPECT_EQ(buffer.dropped, 0u);
+    EXPECT_TRUE(buffer.sinkOk);
+    EXPECT_EQ(buffer.sinkPath, path);
+    EXPECT_EQ(buffer.flushed, 100u);
+    EXPECT_TRUE(buffer.events.empty())
+        << "a sink-backed buffer advertises the file, not ring leftovers";
+
+    // The file holds every event, in record order, parseable.
+    const std::vector<std::string> lines = fileLines(path);
+    ASSERT_EQ(lines.size(), 100u);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        obs::TraceEvent event;
+        ASSERT_TRUE(obs::eventFromJsonLine(lines[i], &event)) << lines[i];
+        EXPECT_EQ(event.time, static_cast<double>(i));
+        EXPECT_EQ(event.job, static_cast<sim::JobId>(i + 1));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ObsTraceSink, UnopenableSinkFallsBackToBoundedRing)
+{
+    obs::TraceConfig cfg;
+    cfg.mode = obs::TraceConfig::Mode::On;
+    cfg.ringCapacity = 4;
+    cfg.sinkPath =
+        ::testing::TempDir() + "no_such_dir_xyz/obs_sink.jsonl.part";
+    obs::Tracer tracer(cfg);
+    EXPECT_EQ(tracer.sink(), nullptr);
+    for (int i = 0; i < 10; ++i)
+        tracer.job(obs::EventKind::JobSubmit, static_cast<double>(i),
+                   static_cast<sim::JobId>(i + 1));
+    const obs::TraceBuffer buffer = tracer.take();
+    // The run still traces — ring semantics — but flags the broken sink
+    // so writeTraceJsonl reports the stream incomplete instead of
+    // silently writing a truncated artifact.
+    EXPECT_FALSE(buffer.sinkOk);
+    EXPECT_TRUE(buffer.sinkPath.empty());
+    EXPECT_EQ(buffer.recorded, 10u);
+    EXPECT_EQ(buffer.dropped, 6u);
+    ASSERT_EQ(buffer.events.size(), 4u);
+    EXPECT_EQ(buffer.events.front().time, 6.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -497,6 +614,95 @@ TEST(ObsDeterminism, TraceJsonlByteIdenticalAcrossThreadCounts)
             << workload::toString(cell.scenario) << "/"
             << core::toString(cell.strategy);
     }
+}
+
+/**
+ * Run the three determinism cells through a sink-backed ParallelRunner
+ * at @p threads workers, merge the part files, and return the merged
+ * bytes. Asserts the tentpole sink contract on every cell: dropped == 0
+ * and a complete on-disk stream even though the ring (256) is far below
+ * the event count.
+ */
+std::string
+mergedSinkTrace(std::size_t threads, std::uint64_t* recordedSum)
+{
+    exp::ExperimentOptions opt;
+    opt.loadScale = 0.1;
+    opt.seed = 42;
+    opt.threads = threads;
+    core::EngineConfig base;
+    base.trace.mode = obs::TraceConfig::Mode::On;
+    base.trace.ringCapacity = 256;
+    const std::string stem = ::testing::TempDir() + "obs_sink_t" +
+        std::to_string(threads) + ".jsonl";
+    base.trace.sinkStem = stem;
+
+    runtime::ParallelRunner runner{opt, base};
+    *recordedSum = 0;
+    const struct
+    {
+        workload::ScenarioKind scenario;
+        core::StrategyKind strategy;
+    } cells[] = {
+        {workload::ScenarioKind::Static, core::StrategyKind::SR},
+        {workload::ScenarioKind::HighVariability, core::StrategyKind::HM},
+        {workload::ScenarioKind::HighVariability, core::StrategyKind::HF},
+    };
+    for (const auto& cell : cells) {
+        const core::RunResult& r =
+            runner.run(cell.scenario, cell.strategy);
+        EXPECT_TRUE(r.trace.sinkOk);
+        EXPECT_FALSE(r.trace.sinkPath.empty());
+        EXPECT_EQ(r.trace.dropped, 0u)
+            << "sink-backed runs must never evict";
+        EXPECT_GT(r.trace.recorded, base.trace.ringCapacity)
+            << "cell too small to exercise ring wraps; shrink the ring";
+        EXPECT_EQ(r.trace.flushed, r.trace.recorded);
+        *recordedSum += r.trace.recorded;
+    }
+    const std::string merged = stem + ".merged";
+    EXPECT_TRUE(exp::writeTraceJsonl(merged, runner,
+                                     /*removeParts=*/true));
+    std::ifstream in(merged, std::ios::binary);
+    std::stringstream text;
+    text << in.rdbuf();
+    std::remove(merged.c_str());
+    return text.str();
+}
+
+TEST(ObsDeterminism, SinkMergedTraceByteIdenticalAcrossThreadCounts)
+{
+    std::uint64_t recorded1 = 0;
+    std::uint64_t recorded2 = 0;
+    std::uint64_t recorded4 = 0;
+    const std::string t1 = mergedSinkTrace(1, &recorded1);
+    const std::string t2 = mergedSinkTrace(2, &recorded2);
+    const std::string t4 = mergedSinkTrace(4, &recorded4);
+    ASSERT_FALSE(t1.empty());
+    EXPECT_EQ(recorded1, recorded2);
+    EXPECT_TRUE(t1 == t2) << "threads=1 vs threads=2 merged traces differ";
+    EXPECT_TRUE(t1 == t4) << "threads=1 vs threads=4 merged traces differ";
+
+    // The merged stream is complete: every recorded event is a line, plus
+    // one header per cell, and nothing else.
+    std::istringstream in(t1);
+    std::string line;
+    std::uint64_t events = 0;
+    std::uint64_t headers = 0;
+    while (std::getline(in, line)) {
+        obs::TraceEvent event;
+        if (obs::eventFromJsonLine(line, &event)) {
+            ++events;
+            continue;
+        }
+        const obs::JsonValue header = obs::parseJson(line);
+        const obs::JsonValue* run = header.find("run");
+        ASSERT_NE(run, nullptr) << line;
+        EXPECT_EQ(run->find("dropped")->numberOr(-1.0), 0.0);
+        ++headers;
+    }
+    EXPECT_EQ(headers, 3u);
+    EXPECT_EQ(events, recorded1);
 }
 
 // ---------------------------------------------------------------------------

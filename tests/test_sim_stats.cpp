@@ -66,6 +66,21 @@ TEST(SampleSet, QuantilesInterpolateLikeNumpy)
     EXPECT_DOUBLE_EQ(s.percentile(75.0), 3.25);
 }
 
+TEST(SampleSet, EmptyQuantileReturnsZeroLikeMinMax)
+{
+    // Regression: this used to be an assert-only guard, so NDEBUG builds
+    // indexed past the end of an empty sorted vector (fig01-style cells
+    // where every job was killed hit it via boxplot()).
+    const SampleSet s;
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(95.0), 0.0);
+    const BoxplotSummary b = s.boxplot();
+    EXPECT_EQ(b.count, 0u);
+    EXPECT_DOUBLE_EQ(b.p95, 0.0);
+}
+
 TEST(SampleSet, SingleSampleQuantiles)
 {
     SampleSet s;
