@@ -4,6 +4,7 @@
  *
  * Usage: bench_fig04_baseline_perf [loadScale] [seed] [threads]
  *                                  [--json <path>] [--trace <path>]
+ *                                  [--metrics-port <port>]
  *   loadScale scales the scenario load curves (default 1.0 = paper scale);
  *   seed selects the deterministic random seed (default 42);
  *   --json writes a machine-readable report of every run;
@@ -20,6 +21,9 @@ main(int argc, char** argv)
     hcloud::exp::BenchCli cli = hcloud::exp::parseBenchCli(argc, argv);
     if (cli.parseError)
         return 2;
+    hcloud::exp::ScopedMetricsServer metrics(cli);
+    if (metrics.failed())
+        return 1;
     hcloud::exp::Runner runner(cli.options, cli.engineConfig());
     runner.setRecordAdhoc(cli.wantsArtifacts());
     hcloud::exp::fig04BaselinePerf(runner);

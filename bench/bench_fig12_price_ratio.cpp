@@ -4,6 +4,7 @@
  *
  * Usage: bench_fig12_price_ratio [loadScale] [seed] [threads]
  *                                [--json <path>] [--trace <path>]
+ *                                [--metrics-port <port>]
  *   loadScale scales the scenario load curves (default 1.0 = paper scale);
  *   seed selects the deterministic random seed (default 42);
  *   threads sets the worker count (default: HCLOUD_THREADS env var or
@@ -12,7 +13,9 @@
  *   --json writes a machine-readable report of every run;
  *   --trace forces tracing on and writes the event streams as JSONL
  *   (without it, the HCLOUD_TRACE environment knob decides). The JSONL
- *   is byte-identical for any HCLOUD_THREADS value at a fixed seed.
+ *   is byte-identical for any HCLOUD_THREADS value at a fixed seed;
+ *   --metrics-port serves live Prometheus metrics on 127.0.0.1 for the
+ *   lifetime of the sweep (0 = ephemeral port, printed at startup).
  */
 
 #include "exp/cli.hpp"
@@ -25,6 +28,9 @@ main(int argc, char** argv)
     hcloud::exp::BenchCli cli = hcloud::exp::parseBenchCli(argc, argv);
     if (cli.parseError)
         return 2;
+    hcloud::exp::ScopedMetricsServer metrics(cli);
+    if (metrics.failed())
+        return 1;
     hcloud::runtime::ParallelRunner runner(cli.options,
                                            cli.engineConfig());
     runner.setRecordAdhoc(cli.wantsArtifacts());

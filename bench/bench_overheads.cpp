@@ -12,12 +12,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "cloud/provider.hpp"
 #include "core/engine.hpp"
 #include "core/mapping_policy.hpp"
 #include "core/placement.hpp"
 #include "core/queue_estimator.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/prom_text.hpp"
 #include "obs/tracer.hpp"
 #include "profiling/quasar.hpp"
 #include "sim/simulator.hpp"
@@ -226,6 +229,38 @@ BM_TracerRecordSink(benchmark::State& state)
 // Fixed iteration count bounds the on-disk file the loop streams out
 // (adaptive timing could write GBs into /tmp before converging).
 BENCHMARK(BM_TracerRecordSink)->Iterations(1 << 18);
+
+/**
+ * Prometheus text rendering of a ~200-series registry — the cost of one
+ * /metrics scrape. It runs on the server's accept thread, so it must be
+ * cheap enough that a 1 s scrape interval is invisible next to a sweep.
+ */
+void
+BM_PromTextRender(benchmark::State& state)
+{
+    obs::ProcessMetrics pm;
+    for (int i = 0; i < 80; ++i) {
+        pm.counter("bench_counter_total", "counter fleet",
+                   {{"idx", std::to_string(i)}})
+            .inc(static_cast<double>(i) * 1.5);
+        pm.gauge("bench_gauge", "gauge fleet",
+                 {{"idx", std::to_string(i)}})
+            .set(static_cast<double>(i) * 0.25);
+    }
+    // 40 histogram series; each default ladder renders ~16 bucket lines.
+    for (int i = 0; i < 40; ++i) {
+        obs::ProcessHistogram& h =
+            pm.histogram("bench_latency_seconds", "histogram fleet",
+                         {{"idx", std::to_string(i)}});
+        for (int j = 0; j < 8; ++j)
+            h.observe(0.001 * static_cast<double>(1 << j));
+    }
+    for (auto _ : state) {
+        std::string page = obs::renderPromText(pm);
+        benchmark::DoNotOptimize(page.data());
+    }
+}
+BENCHMARK(BM_PromTextRender)->Unit(benchmark::kMicrosecond);
 
 /** Scenario generation (trace synthesis) at paper scale. */
 void

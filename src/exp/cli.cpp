@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "exp/report_json.hpp"
+#include "obs/process_metrics.hpp"
 #include "obs/tracer.hpp"
 
 namespace hcloud::exp {
@@ -18,7 +19,8 @@ printUsage(const char* prog)
 {
     std::fprintf(stderr,
                  "usage: %s [loadScale] [seed] [threads] "
-                 "[--json <path>] [--trace <path>]\n",
+                 "[--json <path>] [--trace <path>] "
+                 "[--metrics-port <port>]\n",
                  prog);
 }
 
@@ -113,6 +115,19 @@ BenchCli::effectiveTracePath() const
     return obs::envTracePath();
 }
 
+std::optional<std::uint16_t>
+BenchCli::effectiveMetricsPort() const
+{
+    if (metricsRequested)
+        return metricsPort;
+    if (const char* env = std::getenv("HCLOUD_METRICS_PORT")) {
+        std::uint64_t port = 0;
+        if (parseU64(env, port) && port <= 65535)
+            return static_cast<std::uint16_t>(port);
+    }
+    return std::nullopt;
+}
+
 BenchCli
 parseBenchCli(int argc, char** argv)
 {
@@ -136,6 +151,27 @@ parseBenchCli(int argc, char** argv)
                 cli.tracePath = argv[++i];
                 cli.traceRequested = true;
             }
+            continue;
+        }
+        if (std::strcmp(arg, "--metrics-port") == 0) {
+            if (i + 1 >= argc) {
+                cli.errorMessage = "--metrics-port requires a port";
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             cli.errorMessage.c_str());
+                printUsage(argv[0]);
+                cli.parseError = true;
+                return cli;
+            }
+            std::uint64_t port = 0;
+            if (!parseU64(argv[i + 1], port) || port > 65535) {
+                positionalError(cli, argv[0],
+                                "--metrics-port must be 0..65535",
+                                argv[i + 1]);
+                return cli;
+            }
+            cli.metricsPort = static_cast<std::uint16_t>(port);
+            cli.metricsRequested = true;
+            ++i;
             continue;
         }
         if (arg[0] == '-' && arg[1] == '-') {
@@ -215,6 +251,36 @@ writeBenchArtifacts(const BenchCli& cli, const std::string& title,
         }
     }
     return ok;
+}
+
+ScopedMetricsServer::ScopedMetricsServer(const BenchCli& cli)
+{
+    const std::optional<std::uint16_t> port = cli.effectiveMetricsPort();
+    if (!port)
+        return;
+    // Scrapers poll this counter for progress; registering it up front
+    // makes the very first scrape see it at 0 instead of a missing
+    // series (publication only starts when the first run finishes).
+    obs::ProcessMetrics::instance().counter(
+        "hcloud_run_completed_total",
+        "Engine runs completed by experiment runners");
+    std::string error;
+    if (!server_.start(*port, &error)) {
+        std::fprintf(stderr, "metrics server failed to start: %s\n",
+                     error.c_str());
+        failed_ = true;
+        return;
+    }
+    std::printf("metrics: serving http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(server_.boundPort()));
+    // The port line is how scripts discover an ephemeral port; flush past
+    // stdio's block buffering so a pipe reader sees it before the sweep.
+    std::fflush(stdout);
+}
+
+ScopedMetricsServer::~ScopedMetricsServer()
+{
+    server_.stop();
 }
 
 } // namespace hcloud::exp

@@ -6,7 +6,7 @@
  * flags, so the drivers stay one-screen mains:
  *
  *   bench_figNN [loadScale] [seed] [threads] [--json <path>]
- *               [--trace <path>]
+ *               [--trace <path>] [--metrics-port <port>]
  *
  *  - `--json <path>` writes a machine-readable JSON report of every run
  *    the bench executed (exp::writeJsonReport);
@@ -21,7 +21,12 @@
  *    enables it AND names the default JSONL output path;
  *  - HCLOUD_TRACE_RING overrides the tracer ring size in events (used by
  *    CI to force ring wraps far below the default 64Ki and prove sink
- *    completeness).
+ *    completeness);
+ *  - `--metrics-port <port>` serves the process metrics registry as
+ *    Prometheus text on 127.0.0.1:<port> for the lifetime of the bench
+ *    (port 0 binds an ephemeral port; the bound port is printed). The
+ *    HCLOUD_METRICS_PORT environment variable supplies a default when
+ *    the flag is absent. Off by default; serving never affects results.
  *
  * Positional values are validated strictly (full-token numeric parses
  * with range checks); a bad value sets BenchCli::parseError and
@@ -31,10 +36,13 @@
 #ifndef HCLOUD_EXP_CLI_HPP
 #define HCLOUD_EXP_CLI_HPP
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/types.hpp"
 #include "exp/runner.hpp"
+#include "obs/metrics_http.hpp"
 
 namespace hcloud::exp {
 
@@ -48,6 +56,11 @@ struct BenchCli
     std::string tracePath;
     /** True when --trace was given (forces tracing on). */
     bool traceRequested = false;
+    /** True when --metrics-port was given. */
+    bool metricsRequested = false;
+    /** Port from --metrics-port (0 = bind an ephemeral port). Only
+     *  meaningful when metricsRequested is set. */
+    std::uint16_t metricsPort = 0;
     /** True when an unknown flag, missing value, or malformed positional
      *  was encountered. */
     bool parseError = false;
@@ -68,6 +81,14 @@ struct BenchCli
     /** Effective trace output path: --trace value or the HCLOUD_TRACE
      *  named default; empty when tracing produces no file. */
     std::string effectiveTracePath() const;
+
+    /**
+     * Port to serve live metrics on, if any: the --metrics-port value
+     * when the flag was given, else HCLOUD_METRICS_PORT when it parses
+     * as a port (malformed values are ignored, mirroring the
+     * HCLOUD_TRACE_RING convention). nullopt = do not serve.
+     */
+    std::optional<std::uint16_t> effectiveMetricsPort() const;
 };
 
 /**
@@ -84,6 +105,37 @@ BenchCli parseBenchCli(int argc, char** argv);
  */
 bool writeBenchArtifacts(const BenchCli& cli, const std::string& title,
                          const Runner& runner);
+
+/**
+ * RAII wrapper a bench main drops on its stack: starts the metrics HTTP
+ * server when the CLI asked for one (effectiveMetricsPort()), prints the
+ * scrape URL, and stops the server on destruction. When no port was
+ * requested this is a no-op, so benches need no conditional.
+ *
+ * Startup pre-registers `hcloud_run_completed_total` so scrapers polling
+ * for progress see the counter at 0 before the first run lands instead
+ * of a missing series. A bind failure is reported on stderr and exposed
+ * via failed(); benches treat it as a CLI-level error.
+ */
+class ScopedMetricsServer
+{
+  public:
+    explicit ScopedMetricsServer(const BenchCli& cli);
+    ~ScopedMetricsServer();
+
+    ScopedMetricsServer(const ScopedMetricsServer&) = delete;
+    ScopedMetricsServer& operator=(const ScopedMetricsServer&) = delete;
+
+    /** True when a server was requested but could not start. */
+    bool failed() const { return failed_; }
+
+    /** Bound port while serving, 0 otherwise. */
+    std::uint16_t port() const { return server_.boundPort(); }
+
+  private:
+    obs::MetricsHttpServer server_;
+    bool failed_ = false;
+};
 
 } // namespace hcloud::exp
 

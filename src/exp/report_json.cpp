@@ -132,6 +132,7 @@ runResultJson(obs::JsonWriter& w, const core::RunResult& result)
             w.field("count", static_cast<std::uint64_t>(m.count));
             w.field("p50", m.p50);
             w.field("p95", m.p95);
+            w.field("p99", m.p99);
             w.field("max", m.max);
         }
         w.endObject();

@@ -28,10 +28,11 @@ namespace hcloud::exp {
 
 /**
  * Version stamped as `schemaVersion` at the top of every JSON report.
- * Bump it (and tests/golden/report_schema_v1.txt) whenever the report
+ * Bump it (and tests/golden/report_schema_v<N>.txt) whenever the report
  * shape changes, so downstream tooling can rely on the layout.
+ * History: v2 added `p99` to the histogram rows of `runs[].metrics`.
  */
-inline constexpr std::uint64_t kReportSchemaVersion = 1;
+inline constexpr std::uint64_t kReportSchemaVersion = 2;
 
 /** Serialize the summary view of one RunResult as a JSON object. */
 void runResultJson(obs::JsonWriter& w, const core::RunResult& result);

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/phase_profiler.hpp"
+#include "obs/process_metrics.hpp"
 
 namespace hcloud::exp {
 
@@ -18,6 +19,76 @@ secondsSince(obs::PhaseProfiler::Clock::time_point start)
 }
 
 } // namespace
+
+void
+Runner::publishRunCompleted(const core::RunResult& result)
+{
+    obs::ProcessMetrics& pm = obs::ProcessMetrics::instance();
+    pm.counter("hcloud_run_completed_total",
+               "Engine runs completed by experiment runners")
+        .inc();
+    pm.counter("hcloud_run_sim_events_total",
+               "Simulator events processed across all runs")
+        .inc(static_cast<double>(result.telemetry.eventsProcessed));
+    pm.gauge("hcloud_run_last_events_per_sec",
+             "Sim-loop throughput of the most recently finished run")
+        .set(result.telemetry.eventsPerSec);
+
+    // Per-phase wall-clock from the phase profiler, as one labeled
+    // counter family (seconds are floats; the counter CAS-adds them).
+    static constexpr const char* kPhaseHelp =
+        "Wall-clock seconds per run phase, accumulated across runs";
+    pm.counter("hcloud_phase_seconds_total", kPhaseHelp,
+               {{"phase", "setup"}})
+        .inc(result.telemetry.setupSec);
+    pm.counter("hcloud_phase_seconds_total", kPhaseHelp,
+               {{"phase", "sim_loop"}})
+        .inc(result.telemetry.simLoopSec);
+    pm.counter("hcloud_phase_seconds_total", kPhaseHelp,
+               {{"phase", "finalize"}})
+        .inc(result.telemetry.finalizeSec);
+
+    // The run's registry snapshot folds into three labeled families —
+    // names become label values, so cardinality stays one series per
+    // per-run metric instead of one family each.
+    for (const obs::MetricSample& m : result.metricsSnapshot) {
+        switch (m.kind) {
+          case obs::MetricSample::Kind::Counter:
+            pm.counter("hcloud_run_counter_total",
+                       "Per-run registry counters summed across runs",
+                       {{"metric", m.name}})
+                .inc(m.value);
+            break;
+          case obs::MetricSample::Kind::Gauge:
+            pm.gauge("hcloud_run_gauge",
+                     "Per-run registry gauges (last finished run wins)",
+                     {{"metric", m.name}})
+                .set(m.value);
+            break;
+          case obs::MetricSample::Kind::Histogram:
+            pm.counter(
+                  "hcloud_run_histogram_observations_total",
+                  "Per-run registry histogram observations across runs",
+                  {{"metric", m.name}})
+                .inc(static_cast<double>(m.count));
+            pm.gauge("hcloud_run_histogram_mean",
+                     "Per-run registry histogram mean of the last "
+                     "finished run",
+                     {{"metric", m.name}})
+                .set(m.value);
+            break;
+        }
+    }
+}
+
+void
+Runner::publishCellCompleted()
+{
+    obs::ProcessMetrics::instance()
+        .counter("hcloud_cell_completed_total",
+                 "Memoized run-matrix cells filled")
+        .inc();
+}
 
 Runner::Runner(ExperimentOptions options, core::EngineConfig baseConfig)
     : options_(options), baseConfig_(baseConfig)
@@ -91,6 +162,8 @@ Runner::run(workload::ScenarioKind scenario, core::StrategyKind strategy,
                                             workload::toString(scenario));
         result.telemetry.traceGenSec = traceGenSeconds(scenario);
         result.telemetry.threads = 1;
+        publishRunCompleted(result);
+        publishCellCompleted();
         it = results_.emplace(key, std::move(result)).first;
     }
     return it->second;
@@ -114,6 +187,7 @@ Runner::runWith(workload::ScenarioKind scenario,
         label.empty() ? std::string(workload::toString(scenario)) : label);
     result.telemetry.traceGenSec = traceGenSeconds(scenario);
     result.telemetry.threads = 1;
+    publishRunCompleted(result);
     if (recordAdhoc_)
         adhoc_.push_back(result);
     return result;
@@ -172,10 +246,12 @@ Runner::executeSpec(const RunSpec& spec,
         core::RunResult result = engine.run(local, spec.strategy, label);
         result.telemetry.traceGenSec = gen_sec;
         result.telemetry.threads = 1;
+        publishRunCompleted(result);
         return result;
     }
     core::RunResult result = engine.run(*sharedTrace, spec.strategy, label);
     result.telemetry.threads = 1;
+    publishRunCompleted(result);
     return result;
 }
 

@@ -180,6 +180,21 @@ class Runner
                                 const workload::ArrivalTrace* sharedTrace,
                                 const std::string& sinkTag) const;
 
+    /**
+     * Fold one finished run into the process-wide metrics registry
+     * (obs::ProcessMetrics::instance(), `hcloud_run_*` namespace): the
+     * run-completion counter, per-phase wall-clock from the phase
+     * profiler, and the run's own registry snapshot as labeled families.
+     * Called by every execution path, serial and parallel alike; safe
+     * from concurrent tasks (the process registry is thread-safe) and
+     * invisible to the simulation, so determinism contracts hold.
+     */
+    static void publishRunCompleted(const core::RunResult& result);
+
+    /** Count one memoized matrix cell landing in the cache
+     *  (`hcloud_cell_completed_total`). */
+    static void publishCellCompleted();
+
     /** Sink tag of a memoized matrix cell ("static-HM[-unprofiled]"). */
     static std::string cellSinkTag(workload::ScenarioKind scenario,
                                    core::StrategyKind strategy,

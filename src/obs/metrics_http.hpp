@@ -1,0 +1,87 @@
+/**
+ * @file
+ * MetricsHttpServer: minimal blocking HTTP/1.1 endpoint for live scrapes.
+ *
+ * One POSIX listening socket on 127.0.0.1 plus a single accept thread —
+ * scrapes are rare (seconds apart) and tiny, so concurrency would only
+ * add failure modes. Design constraints:
+ *
+ *  - `GET /metrics` renders the registry at scrape time (Prometheus text
+ *    exposition 0.0.4); `GET /healthz` answers `ok` for liveness probes;
+ *    anything else is 404/405. Connections close after one response;
+ *  - request reads are bounded (8 KiB, 2 s receive timeout) so a stuck
+ *    or malicious client cannot wedge the accept loop;
+ *  - all socket calls are EINTR-safe, and responses are written with
+ *    MSG_NOSIGNAL so a client hanging up early cannot SIGPIPE the bench;
+ *  - shutdown is deterministic via the self-pipe trick: stop() writes
+ *    one byte to a pipe the accept loop polls alongside the listening
+ *    socket, then joins the thread — no leaked thread, no race with an
+ *    in-flight accept (asserted TSan-clean in tests/test_obs_prom.cpp);
+ *  - port 0 binds an ephemeral port; boundPort() reports the real one.
+ *
+ * The server never touches simulation state: it only snapshots the
+ * (thread-safe) ProcessMetrics registry, so serving scrapes mid-sweep
+ * cannot perturb determinism contracts.
+ */
+
+#ifndef HCLOUD_OBS_METRICS_HTTP_HPP
+#define HCLOUD_OBS_METRICS_HTTP_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/process_metrics.hpp"
+
+namespace hcloud::obs {
+
+/** Serves ProcessMetrics over HTTP until stopped or destroyed. */
+class MetricsHttpServer
+{
+  public:
+    explicit MetricsHttpServer(
+        ProcessMetrics& metrics = ProcessMetrics::instance());
+
+    /** Stops the server if still running. */
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer&) = delete;
+    MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral), start the accept thread.
+     * @return false (with @p error filled when non-null) on any socket
+     * failure; the server is then inert and safe to destroy.
+     */
+    bool start(std::uint16_t port, std::string* error = nullptr);
+
+    /** Accept thread is live. */
+    bool running() const { return running_; }
+
+    /** Actual bound port (resolves port 0); 0 when not running. */
+    std::uint16_t boundPort() const { return port_; }
+
+    /** Scrapes served so far (also exported as
+     *  `hcloud_exposition_scrapes_total`). */
+    std::uint64_t scrapeCount() const { return scrapes_; }
+
+    /** Idempotent: wake the accept loop, join, close all descriptors. */
+    void stop();
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    ProcessMetrics& metrics_;
+    int listenFd_ = -1;
+    int wakeFd_[2] = {-1, -1}; ///< self-pipe: [0] polled, [1] written
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+};
+
+} // namespace hcloud::obs
+
+#endif // HCLOUD_OBS_METRICS_HTTP_HPP

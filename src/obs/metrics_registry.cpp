@@ -4,6 +4,87 @@
 
 namespace hcloud::obs {
 
+namespace {
+
+bool
+validFirstChar(char c, bool allowColon)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           (allowColon && c == ':');
+}
+
+bool
+validChar(char c, bool allowColon)
+{
+    return validFirstChar(c, allowColon) || (c >= '0' && c <= '9');
+}
+
+bool
+isValidName(std::string_view name, bool allowColon)
+{
+    if (name.empty() || !validFirstChar(name.front(), allowColon))
+        return false;
+    for (char c : name)
+        if (!validChar(c, allowColon))
+            return false;
+    return true;
+}
+
+std::string
+sanitizeName(std::string_view name, bool allowColon)
+{
+    if (name.empty())
+        return "_";
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (!validFirstChar(name.front(), allowColon) &&
+        validChar(name.front(), allowColon))
+        out += '_'; // leading digit: prefix instead of erasing it
+    for (char c : name)
+        out += validChar(c, allowColon) ? c : '_';
+    return out;
+}
+
+/** Sanitized lookup shared by the three metric maps. */
+template <typename Map>
+typename Map::mapped_type&
+getOrCreate(Map& map, std::string_view name)
+{
+    if (isValidName(name, /*allowColon=*/true)) {
+        auto it = map.find(name);
+        if (it == map.end())
+            it = map.emplace(std::string(name),
+                             typename Map::mapped_type{})
+                     .first;
+        return it->second;
+    }
+    const std::string sanitized = sanitizeName(name, /*allowColon=*/true);
+    auto it = map.find(sanitized);
+    if (it == map.end())
+        it = map.emplace(sanitized, typename Map::mapped_type{}).first;
+    return it->second;
+}
+
+} // namespace
+
+bool
+isValidMetricName(std::string_view name)
+{
+    return isValidName(name, /*allowColon=*/true);
+}
+
+std::string
+sanitizeMetricName(std::string_view name)
+{
+    return sanitizeName(name, /*allowColon=*/true);
+}
+
+std::string
+sanitizeLabelName(std::string_view name)
+{
+    return sanitizeName(name, /*allowColon=*/false);
+}
+
 const char*
 toString(MetricSample::Kind kind)
 {
@@ -21,29 +102,19 @@ toString(MetricSample::Kind kind)
 Counter&
 MetricsRegistry::counter(std::string_view name)
 {
-    auto it = counters_.find(name);
-    if (it == counters_.end())
-        it = counters_.emplace(std::string(name), Counter{}).first;
-    return it->second;
+    return getOrCreate(counters_, name);
 }
 
 Gauge&
 MetricsRegistry::gauge(std::string_view name)
 {
-    auto it = gauges_.find(name);
-    if (it == gauges_.end())
-        it = gauges_.emplace(std::string(name), Gauge{}).first;
-    return it->second;
+    return getOrCreate(gauges_, name);
 }
 
 HistogramMetric&
 MetricsRegistry::histogram(std::string_view name)
 {
-    auto it = histograms_.find(name);
-    if (it == histograms_.end())
-        it = histograms_.emplace(std::string(name), HistogramMetric{})
-                 .first;
-    return it->second;
+    return getOrCreate(histograms_, name);
 }
 
 MetricsSnapshot
@@ -76,6 +147,7 @@ MetricsRegistry::snapshot() const
             s.value = samples.mean();
             s.p50 = samples.quantile(0.50);
             s.p95 = samples.quantile(0.95);
+            s.p99 = samples.quantile(0.99);
             s.max = samples.quantile(1.0);
         }
         out.push_back(std::move(s));

@@ -22,6 +22,20 @@
 
 namespace hcloud::obs {
 
+/** True when @p name matches Prometheus `[a-zA-Z_:][a-zA-Z0-9_:]*`. */
+bool isValidMetricName(std::string_view name);
+
+/**
+ * Deterministic Prometheus-legal form of @p name: illegal characters
+ * become '_', a leading digit gains a '_' prefix, and the empty name
+ * becomes "_". Valid names (the common case) pass through unchanged, so
+ * callers using legal names never pay an allocation beyond the copy.
+ */
+std::string sanitizeMetricName(std::string_view name);
+
+/** Like sanitizeMetricName but for label names (colons are illegal). */
+std::string sanitizeLabelName(std::string_view name);
+
 /** Monotonically increasing count. */
 class Counter
 {
@@ -74,6 +88,7 @@ struct MetricSample
     // Histogram quantiles (0 otherwise).
     double p50 = 0.0;
     double p95 = 0.0;
+    double p99 = 0.0;
     double max = 0.0;
 };
 
@@ -84,6 +99,11 @@ using MetricsSnapshot = std::vector<MetricSample>;
 /**
  * Registry of named metrics. Lookup creates on first use; returned
  * references stay valid for the registry's lifetime.
+ *
+ * Names are sanitized through sanitizeMetricName() before lookup, so a
+ * registry can never hold an empty or Prometheus-illegal name: lookups
+ * of "strategy acquisitions" and "strategy_acquisitions" deterministically
+ * resolve to the same metric. Valid names skip the sanitation allocation.
  */
 class MetricsRegistry
 {

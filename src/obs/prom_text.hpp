@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Prometheus text exposition (format version 0.0.4) for ProcessMetrics.
+ *
+ * The renderer is deliberately a pure function of a registry snapshot:
+ * the HTTP server calls it per scrape, benches measure it in isolation
+ * (BM_PromTextRender), and tests feed it hand-built registries. Output
+ * is deterministic — families sorted by name, series by label
+ * signature, numbers through the same shortest-round-trip formatter the
+ * JSON artifacts use — with full escaping:
+ *
+ *  - label values escape `\` -> `\\`, `"` -> `\"` and newline -> `\n`;
+ *  - HELP text escapes `\` and newline;
+ *  - non-finite values render as the exposition literals `NaN`, `+Inf`
+ *    and `-Inf` (the text-format counterpart of the tagged JSON strings
+ *    the trace writer uses).
+ *
+ * An empty registry renders an empty (but valid) page: the format is
+ * line-oriented with no required preamble, so zero families mean zero
+ * lines.
+ */
+
+#ifndef HCLOUD_OBS_PROM_TEXT_HPP
+#define HCLOUD_OBS_PROM_TEXT_HPP
+
+#include <string>
+#include <string_view>
+
+#include "obs/process_metrics.hpp"
+
+namespace hcloud::obs {
+
+/** @p s with label-value escapes applied (no surrounding quotes). */
+std::string promEscapeLabelValue(std::string_view s);
+
+/** @p s with HELP-text escapes applied. */
+std::string promEscapeHelp(std::string_view s);
+
+/** Exposition form of @p v: NaN / +Inf / -Inf, else shortest decimal. */
+std::string promFormatValue(double v);
+
+/** Render one snapshot (HELP/TYPE headers + series lines). */
+std::string renderPromText(
+    const std::vector<ProcessMetrics::FamilySample>& families);
+
+/** Snapshot @p metrics and render it. */
+std::string renderPromText(const ProcessMetrics& metrics);
+
+} // namespace hcloud::obs
+
+#endif // HCLOUD_OBS_PROM_TEXT_HPP

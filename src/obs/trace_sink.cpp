@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/process_metrics.hpp"
 #include "obs/tracer.hpp"
 
 namespace hcloud::obs {
@@ -62,11 +63,20 @@ TraceSink::drain()
             if (errno == EINTR)
                 continue;
             failed_ = true;
+            ProcessMetrics::instance()
+                .counter("hcloud_trace_sink_failures_total",
+                         "Trace sink drains aborted by a write error")
+                .inc();
             return false;
         }
         data += n;
         remaining -= static_cast<std::size_t>(n);
     }
+    if (!buffer_.empty())
+        ProcessMetrics::instance()
+            .counter("hcloud_trace_flushed_bytes_total",
+                     "Bytes of trace JSONL written to streaming sinks")
+            .inc(static_cast<double>(buffer_.size()));
     buffer_.clear();
     return true;
 }

@@ -6,11 +6,35 @@
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "obs/process_metrics.hpp"
 #include "obs/trace_sink.hpp"
 
 namespace hcloud::obs {
 
 namespace {
+
+/**
+ * Fold one harvested trace buffer into the process registry. Publishing
+ * happens at take(), not per record(): the record path runs once per sim
+ * event and must stay free of shared-cache traffic.
+ */
+void
+publishTraceBuffer(const TraceBuffer& buffer)
+{
+    ProcessMetrics& pm = ProcessMetrics::instance();
+    pm.counter("hcloud_trace_events_recorded_total",
+               "Trace events accepted past severity/category filters")
+        .inc(static_cast<double>(buffer.recorded));
+    pm.counter("hcloud_trace_events_dropped_total",
+               "Trace events evicted from a full ring (no sink)")
+        .inc(static_cast<double>(buffer.dropped));
+    pm.gauge("hcloud_trace_ring_occupancy",
+             "In-memory events in the most recently harvested ring")
+        .set(static_cast<double>(buffer.events.size()));
+    pm.gauge("hcloud_trace_sink_ok",
+             "1 when the last harvested tracer's sink was healthy")
+        .set(buffer.sinkOk ? 1.0 : 0.0);
+}
 
 const char*
 envTraceValue()
@@ -172,6 +196,7 @@ Tracer::take()
             recorded_ = 0;
             dropped_ = 0;
             events_.clear();
+            publishTraceBuffer(buffer);
             return buffer;
         }
         // The drain or flush broke the sink; report the ring fallback.
@@ -194,6 +219,8 @@ Tracer::take()
     head_ = 0;
     recorded_ = 0;
     dropped_ = 0;
+    if (enabled_)
+        publishTraceBuffer(buffer);
     return buffer;
 }
 

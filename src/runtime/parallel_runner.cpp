@@ -67,10 +67,16 @@ ParallelRunner::run(workload::ScenarioKind scenario,
     core::Engine engine(cfg);
     core::RunResult result =
         engine.run(tr, strategy, workload::toString(scenario));
+    // Publish before the lock: the process registry is thread-safe and
+    // live scrapes should see the run the moment it finishes.
+    publishRunCompleted(result);
     std::lock_guard<std::mutex> lock(mutex_);
     result.telemetry.traceGenSec = traceGenSeconds(scenario);
     result.telemetry.threads = threads_;
-    return results_.emplace(key, std::move(result)).first->second;
+    const auto [it, inserted] = results_.emplace(key, std::move(result));
+    if (inserted)
+        publishCellCompleted();
+    return it->second;
 }
 
 std::vector<core::RunResult>
@@ -149,8 +155,13 @@ ParallelRunner::prewarm(bool includeUnprofiled)
             applySinkTag(cfg,
                          cellSinkTag(c.scenario, c.strategy, c.profiling));
             core::Engine engine(cfg);
-            return engine.run(*shared.at(c.scenario), c.strategy,
-                              workload::toString(c.scenario));
+            core::RunResult result = engine.run(
+                *shared.at(c.scenario), c.strategy,
+                workload::toString(c.scenario));
+            // Published from the worker, not the merge barrier, so a
+            // mid-prewarm scrape watches cells complete one by one.
+            publishRunCompleted(result);
+            return result;
         });
     // Deterministic, submission-ordered merge into the memo cache.
     std::lock_guard<std::mutex> lock(mutex_);
@@ -158,9 +169,12 @@ ParallelRunner::prewarm(bool includeUnprofiled)
         const Cell& c = cells[i];
         results[i].telemetry.traceGenSec = traceGenSeconds(c.scenario);
         results[i].telemetry.threads = threads_;
-        results_.emplace(
-            std::make_tuple(c.scenario, c.strategy, c.profiling),
-            std::move(results[i]));
+        if (results_
+                .emplace(
+                    std::make_tuple(c.scenario, c.strategy, c.profiling),
+                    std::move(results[i]))
+                .second)
+            publishCellCompleted();
     }
 }
 

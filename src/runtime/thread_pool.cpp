@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/process_metrics.hpp"
+
 namespace hcloud::runtime {
 
 std::size_t
@@ -26,6 +28,16 @@ defaultThreadCount()
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
+    obs::ProcessMetrics& pm = obs::ProcessMetrics::instance();
+    queueDepth_ = &pm.gauge("hcloud_pool_queue_depth",
+                            "Tasks queued but not yet picked up, summed "
+                            "over all live pools");
+    inflight_ = &pm.gauge("hcloud_pool_inflight_tasks",
+                          "Tasks currently executing on pool workers");
+    completed_ = &pm.counter("hcloud_pool_tasks_completed_total",
+                             "Pool tasks finished without an exception");
+    failed_ = &pm.counter("hcloud_pool_tasks_failed_total",
+                          "Pool tasks that raised an exception");
     if (threads == 0)
         threads = defaultThreadCount();
     // One thread means "run on the caller": spawning a single worker would
@@ -54,12 +66,16 @@ ThreadPool::submit(std::function<void()> task)
     if (serial()) {
         // Serial path: execute inline. Exceptions are captured so that
         // submit()/wait() semantics match the threaded pool.
+        inflight_->add(1.0);
         try {
             task();
+            completed_->inc();
         } catch (...) {
+            failed_->inc();
             if (!error_)
                 error_ = std::current_exception();
         }
+        inflight_->add(-1.0);
         return;
     }
     {
@@ -67,6 +83,7 @@ ThreadPool::submit(std::function<void()> task)
         queue_.push_back(std::move(task));
         ++pending_;
     }
+    queueDepth_->add(1.0);
     workCv_.notify_one();
 }
 
@@ -96,12 +113,16 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        queueDepth_->add(-1.0);
+        inflight_->add(1.0);
         std::exception_ptr error;
         try {
             task();
         } catch (...) {
             error = std::current_exception();
         }
+        inflight_->add(-1.0);
+        (error ? failed_ : completed_)->inc();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (error && !error_)

@@ -31,6 +31,11 @@
 #include <thread>
 #include <vector>
 
+namespace hcloud::obs {
+class ProcessCounter;
+class ProcessGauge;
+} // namespace hcloud::obs
+
 namespace hcloud::runtime {
 
 /** std::thread::hardware_concurrency(), never less than 1. */
@@ -94,6 +99,15 @@ class ThreadPool
     std::size_t pending_ = 0;        ///< queued + currently executing
     std::exception_ptr error_;       ///< first task exception since wait()
     bool stop_ = false;
+
+    // Process-wide observability (obs::ProcessMetrics::instance()):
+    // queue depth and in-flight move via atomic add so several pools
+    // compose, completed/failed count per task. Pointers cached at
+    // construction; updates are one atomic op each.
+    obs::ProcessGauge* queueDepth_;
+    obs::ProcessGauge* inflight_;
+    obs::ProcessCounter* completed_;
+    obs::ProcessCounter* failed_;
 };
 
 namespace detail {

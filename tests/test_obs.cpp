@@ -383,14 +383,52 @@ TEST(ObsMetricsRegistry, StableRefsAndSortedSnapshot)
 
     const obs::MetricsSnapshot snapshot = registry.snapshot();
     ASSERT_EQ(snapshot.size(), 3u);
-    EXPECT_EQ(snapshot[0].name, "a.gauge");
+    // Dotted registry names sanitize to Prometheus-legal underscores so
+    // per-run snapshots fold into the process registry unchanged.
+    EXPECT_EQ(snapshot[0].name, "a_gauge");
     EXPECT_EQ(snapshot[0].value, 0.5);
-    EXPECT_EQ(snapshot[1].name, "b.count");
+    EXPECT_EQ(snapshot[1].name, "b_count");
     EXPECT_EQ(snapshot[1].value, 4.0);
-    EXPECT_EQ(snapshot[2].name, "c.hist");
+    EXPECT_EQ(snapshot[2].name, "c_hist");
     EXPECT_EQ(snapshot[2].count, 4u);
     EXPECT_EQ(snapshot[2].max, 4.0);
     EXPECT_EQ(snapshot[2].kind, obs::MetricSample::Kind::Histogram);
+}
+
+TEST(ObsMetricsRegistry, SanitizesNamesAndRejectsNothingSilently)
+{
+    obs::MetricsRegistry registry;
+    // Dotted and illegal-charactered names collapse deterministically to
+    // the same sanitized series.
+    obs::Counter& dotted = registry.counter("queue.wait-sec");
+    EXPECT_EQ(&registry.counter("queue_wait_sec"), &dotted);
+    // Empty and digit-leading names become legal instead of UB.
+    registry.gauge("").set(1.0);
+    registry.gauge("9lives").set(2.0);
+    dotted.inc();
+
+    const obs::MetricsSnapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.size(), 3u);
+    EXPECT_EQ(snapshot[0].name, "_");
+    EXPECT_EQ(snapshot[1].name, "_9lives");
+    EXPECT_EQ(snapshot[2].name, "queue_wait_sec");
+    for (const obs::MetricSample& m : snapshot)
+        EXPECT_TRUE(obs::isValidMetricName(m.name)) << m.name;
+}
+
+TEST(ObsMetricsRegistry, HistogramSnapshotReportsOrderedQuantiles)
+{
+    obs::MetricsRegistry registry;
+    obs::HistogramMetric& h = registry.histogram("lat");
+    for (int i = 1; i <= 1000; ++i)
+        h.observe(static_cast<double>(i));
+    const obs::MetricsSnapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.size(), 1u);
+    const obs::MetricSample& m = snapshot[0];
+    EXPECT_GT(m.p99, 0.0);
+    EXPECT_LE(m.p50, m.p95);
+    EXPECT_LE(m.p95, m.p99);
+    EXPECT_LE(m.p99, m.max);
 }
 
 TEST(ObsPhaseProfiler, ScopesAccumulate)
@@ -538,7 +576,7 @@ TEST(ObsEngineTrace, EventStreamAgreesWithRunCounters)
     // The registry snapshot mirrors the flat counters.
     bool saw_acquisitions = false;
     for (const obs::MetricSample& m : r.metricsSnapshot) {
-        if (m.name == "strategy.acquisitions") {
+        if (m.name == "strategy_acquisitions") {
             saw_acquisitions = true;
             EXPECT_EQ(m.value, static_cast<double>(r.acquisitions));
         }
