@@ -262,6 +262,61 @@ BM_PromTextRender(benchmark::State& state)
 }
 BENCHMARK(BM_PromTextRender)->Unit(benchmark::kMicrosecond);
 
+/**
+ * DES kernel hot path: schedule + fire one event with an engine-sized
+ * capture (56 bytes — inside kEventCallbackCapacity, so the allocation-
+ * free slab/inline path). Before the InlineFunction/slab kernel this
+ * cycle cost two heap allocations (std::function spill + shared handle
+ * state); now it is a slab-slot reuse plus a heap push/pop.
+ */
+void
+BM_EventQueuePushPop(benchmark::State& state)
+{
+    sim::EventQueue q;
+    struct
+    {
+        double a[6] = {1, 2, 3, 4, 5, 6};
+        std::uint64_t n = 0;
+    } payload;
+    sim::Time t = 0.0;
+    for (auto _ : state) {
+        t += 1.0;
+        q.push(t, [payload]() mutable { ++payload.n; });
+        q.pop().second();
+    }
+    if (q.heapCallbacks() != 0)
+        state.SkipWithError("capture unexpectedly spilled to the heap");
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+/**
+ * Quality-path cost per effectiveQuality() call on a loaded instance.
+ * Arg(0): repeated queries at one tick — the tick-coherent cache path
+ * the engine hits when many jobs share an instance. Arg(1): each query
+ * advances the clock — the uncached recompute (OU advance + O(residents)
+ * pressure sum) paid once per (instance, tick).
+ */
+void
+BM_EffectiveQuality(benchmark::State& state)
+{
+    const bool advance = state.range(0) != 0;
+    const cloud::ProviderProfile gce = cloud::ProviderProfile::gce();
+    cloud::Machine host(1, true, {}, sim::Rng(3));
+    host.allocate(16);
+    const auto& st16 =
+        cloud::InstanceTypeCatalog::defaultCatalog().byName("st16");
+    cloud::Instance inst(1, st16, gce, &host, false, sim::Rng(9), 0.0);
+    for (sim::JobId job = 1; job <= 6; ++job)
+        inst.addResident(job, {2.0, 0.1 * static_cast<double>(job)}, 0.0);
+    sim::Time t = 1.0;
+    for (auto _ : state) {
+        if (advance)
+            t += 1.0;
+        benchmark::DoNotOptimize(inst.effectiveQuality(t, 0.6, 1));
+    }
+}
+BENCHMARK(BM_EffectiveQuality)->Arg(0)->Arg(1);
+
 /** Scenario generation (trace synthesis) at paper scale. */
 void
 BM_ScenarioGeneration(benchmark::State& state)

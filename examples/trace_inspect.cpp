@@ -12,6 +12,15 @@
  * Usage: trace_inspect <trace.jsonl> [--jobs N] [--instances N]
  *   --jobs / --instances bound how many per-entity timelines are printed
  *   (default 5 each; 0 suppresses the section).
+ *
+ * Cross-run diff mode: trace_inspect --diff <a.jsonl> <b.jsonl>
+ *   Streams both files in lockstep and reports the first divergent event
+ *   (index, time, kind, ids, reason on each side) plus per-reason
+ *   histogram deltas over the complete files. Exit status: 0 when the
+ *   event streams are identical, 1 when they diverge, 2 on usage or I/O
+ *   errors. Intended for pinpointing where two supposedly-deterministic
+ *   runs (different thread counts, before/after a kernel change) first
+ *   disagree.
  */
 
 #include <cstdio>
@@ -166,11 +175,176 @@ summarizeRun(const RunSummary& run)
     }
 }
 
+// --- Cross-run diff -----------------------------------------------------
+
+/**
+ * Streams trace events from one JSONL file, skipping run headers and
+ * unrecognized lines (counted, like the summary path).
+ */
+struct EventReader
+{
+    std::ifstream in;
+    std::string path;
+    std::size_t lineNo = 0;
+    std::size_t badLines = 0;
+
+    explicit EventReader(const std::string& file)
+        : in(file, std::ios::binary), path(file)
+    {
+    }
+
+    bool ok() const { return static_cast<bool>(in); }
+
+    /** Next event, or false at end of file. */
+    bool next(obs::TraceEvent* out)
+    {
+        std::string line;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            if (line.empty())
+                continue;
+            if (obs::eventFromJsonLine(line, out))
+                return true;
+            try {
+                const obs::JsonValue header = obs::parseJson(line);
+                if (header.find("run"))
+                    continue; // section header, not an event
+            } catch (const std::exception&) {
+            }
+            ++badLines;
+        }
+        return false;
+    }
+};
+
+bool
+sameEvent(const obs::TraceEvent& a, const obs::TraceEvent& b)
+{
+    return a.time == b.time && a.kind == b.kind &&
+           a.severity == b.severity && a.reason == b.reason &&
+           a.job == b.job && a.instance == b.instance &&
+           a.value == b.value && a.detail == b.detail;
+}
+
+void
+printDiffEvent(const char* side, const obs::TraceEvent& e)
+{
+    std::printf("  %s: t=%.6f  %-22s job=%llu instance=%llu", side, e.time,
+                toString(e.kind), static_cast<unsigned long long>(e.job),
+                static_cast<unsigned long long>(e.instance));
+    if (e.reason != obs::DecisionReason::None)
+        std::printf("  reason=%s", toString(e.reason));
+    if (e.value != 0.0)
+        std::printf("  value=%g", e.value);
+    if (!e.detail.empty())
+        std::printf("  (%s)", e.detail.c_str());
+    std::printf("\n");
+}
+
+/** @return the diff-mode process exit status (0 / 1 / 2). */
+int
+diffTraces(const std::string& pathA, const std::string& pathB)
+{
+    EventReader a(pathA);
+    EventReader b(pathB);
+    if (!a.ok() || !b.ok()) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     (!a.ok() ? pathA : pathB).c_str());
+        return 2;
+    }
+
+    std::map<obs::DecisionReason, std::size_t> reasonsA;
+    std::map<obs::DecisionReason, std::size_t> reasonsB;
+    std::size_t index = 0;
+    bool diverged = false;
+    std::size_t divergedAt = 0;
+    obs::TraceEvent firstA, firstB;
+    bool haveA = false, haveB = false;
+
+    for (;;) {
+        obs::TraceEvent ea, eb;
+        const bool gotA = a.next(&ea);
+        const bool gotB = b.next(&eb);
+        if (gotA && ea.reason != obs::DecisionReason::None)
+            ++reasonsA[ea.reason];
+        if (gotB && eb.reason != obs::DecisionReason::None)
+            ++reasonsB[eb.reason];
+        if (!gotA && !gotB)
+            break;
+        if (!diverged && (!gotA || !gotB || !sameEvent(ea, eb))) {
+            diverged = true;
+            divergedAt = index;
+            haveA = gotA;
+            haveB = gotB;
+            if (gotA)
+                firstA = ea;
+            if (gotB)
+                firstB = eb;
+            // Keep draining both files so the histogram deltas below
+            // cover the complete runs, not just the shared prefix.
+        }
+        ++index;
+    }
+
+    if (!diverged) {
+        std::printf("identical: %zu events\n", index);
+        return 0;
+    }
+
+    std::printf("diverged at event %zu:\n", divergedAt);
+    if (haveA)
+        printDiffEvent("a", firstA);
+    else
+        std::printf("  a: <end of %s>\n", pathA.c_str());
+    if (haveB)
+        printDiffEvent("b", firstB);
+    else
+        std::printf("  b: <end of %s>\n", pathB.c_str());
+
+    // Per-reason histogram deltas over the full files.
+    std::set<obs::DecisionReason> all_reasons;
+    for (const auto& [reason, count] : reasonsA)
+        all_reasons.insert(reason);
+    for (const auto& [reason, count] : reasonsB)
+        all_reasons.insert(reason);
+    bool any_delta = false;
+    for (obs::DecisionReason reason : all_reasons) {
+        const std::size_t ca = reasonsA.count(reason) ? reasonsA[reason]
+                                                      : 0;
+        const std::size_t cb = reasonsB.count(reason) ? reasonsB[reason]
+                                                      : 0;
+        if (ca == cb)
+            continue;
+        if (!any_delta) {
+            std::printf(" decision-reason deltas (a -> b):\n");
+            any_delta = true;
+        }
+        std::printf("  %-26s %zu -> %zu (%+lld)\n", toString(reason), ca,
+                    cb,
+                    static_cast<long long>(cb) - static_cast<long long>(ca));
+    }
+    if (!any_delta)
+        std::printf(" decision-reason histograms match\n");
+    if (a.badLines + b.badLines > 0) {
+        std::printf(" %zu unrecognized line(s) skipped\n",
+                    a.badLines + b.badLines);
+    }
+    return 1;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "--diff") == 0) {
+        if (argc != 4) {
+            std::fprintf(stderr, "usage: %s --diff <a.jsonl> <b.jsonl>\n",
+                         argv[0]);
+            return 2;
+        }
+        return diffTraces(argv[2], argv[3]);
+    }
     std::string path;
     std::size_t max_jobs = 5;
     std::size_t max_instances = 5;

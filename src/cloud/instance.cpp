@@ -53,13 +53,21 @@ Instance::Instance(sim::InstanceId id, const InstanceType& type,
 double
 Instance::baseQuality(sim::Time t)
 {
+    if (t == baseQualityT_)
+        return baseQualityCached_;
     const double q = spatialQuality_ + temporal_.advanceTo(t);
-    return std::clamp(q, kQualityFloor, 1.0);
+    baseQualityT_ = t;
+    baseQualityCached_ = std::clamp(q, kQualityFloor, 1.0);
+    return baseQualityCached_;
 }
 
 double
 Instance::interferencePressure(sim::Time t, std::optional<sim::JobId> self)
 {
+    if (t == pressureT_ && residentsVersion_ == pressureVersion_ &&
+        self == pressureSelf_) {
+        return pressureCached_;
+    }
     double external = 0.0;
     if (host_) {
         const double u = host_->externalUtilization(t);
@@ -71,22 +79,35 @@ Instance::interferencePressure(sim::Time t, std::optional<sim::JobId> self)
             continue;
         internal += r.pressure * (r.cores / coresTotal());
     }
-    return std::clamp(kExternalImpact * external +
-                          kInternalImpact * internal,
-                      0.0, 1.0);
+    pressureT_ = t;
+    pressureVersion_ = residentsVersion_;
+    pressureSelf_ = self;
+    pressureCached_ = std::clamp(kExternalImpact * external +
+                                     kInternalImpact * internal,
+                                 0.0, 1.0);
+    return pressureCached_;
 }
 
 double
 Instance::effectiveQuality(sim::Time t, double sensitivity,
                            std::optional<sim::JobId> self)
 {
+    if (t == effQualityT_ && residentsVersion_ == effQualityVersion_ &&
+        sensitivity == effQualitySens_ && self == effQualitySelf_) {
+        return effQualityCached_;
+    }
     const double base = baseQuality(t);
     const double pressure = interferencePressure(t, self);
     // Even interference-tolerant jobs lose raw capacity to neighbours
     // (CPU stealing); sensitivity scales the part beyond that.
     const double factor = 0.25 + 0.75 * std::clamp(sensitivity, 0.0, 1.0);
     const double loss = std::min(1.0, factor * pressure);
-    return std::clamp(base * (1.0 - loss), kQualityFloor, 1.0);
+    effQualityT_ = t;
+    effQualityVersion_ = residentsVersion_;
+    effQualitySens_ = sensitivity;
+    effQualitySelf_ = self;
+    effQualityCached_ = std::clamp(base * (1.0 - loss), kQualityFloor, 1.0);
+    return effQualityCached_;
 }
 
 bool
@@ -96,6 +117,7 @@ Instance::addResident(sim::JobId job, const Resident& r, sim::Time now)
     if (r.cores > coresFree() + 1e-9)
         return false;
     residents_.emplace(job, r);
+    ++residentsVersion_;
     coresUsed_ += r.cores;
     idleSince_ = sim::kTimeNever;
     (void)now;
@@ -109,6 +131,7 @@ Instance::resizeResident(sim::JobId job, double cores)
     assert(it != residents_.end());
     coresUsed_ += cores - it->second.cores;
     it->second.cores = cores;
+    ++residentsVersion_;
 }
 
 void
@@ -119,6 +142,7 @@ Instance::removeResident(sim::JobId job, sim::Time now)
         return;
     coresUsed_ -= it->second.cores;
     residents_.erase(it);
+    ++residentsVersion_;
     if (residents_.empty()) {
         coresUsed_ = 0.0; // kill accumulated floating-point drift
         idleSince_ = now;

@@ -17,6 +17,7 @@
 #ifndef HCLOUD_CLOUD_INSTANCE_HPP
 #define HCLOUD_CLOUD_INSTANCE_HPP
 
+#include <cstdint>
 #include <map>
 #include <optional>
 
@@ -103,6 +104,11 @@ class Instance
     /**
      * Base quality at time @p t: spatial component plus temporal noise,
      * clamped to [0.02, 1].
+     *
+     * Tick-coherent: memoized per exact @p t. The temporal OU process is
+     * idempotent at fixed t (the RNG draw happens only when the clock
+     * advances), so repeated same-tick callers get the cached value with
+     * identical bits and identical RNG state.
      */
     double baseQuality(sim::Time t);
 
@@ -110,13 +116,19 @@ class Instance
      * Sensitivity-weighted interference pressure a job would feel here at
      * time @p t: external-tenant pressure plus pressure from co-resident
      * jobs other than @p self.
+     *
+     * Tick-coherent: memoized per exact (t, self, resident set). Any
+     * resident add/resize/remove bumps an internal version, so mid-tick
+     * placement changes invalidate the cache and the O(residents) sum is
+     * recomputed with the original arithmetic (same bits as uncached).
      */
     double interferencePressure(sim::Time t,
                                 std::optional<sim::JobId> self);
 
     /**
      * Capacity multiplier for a job with the given interference
-     * sensitivity, in [0.02, 1].
+     * sensitivity, in [0.02, 1]. Memoized per exact
+     * (t, sensitivity, self, resident set), like interferencePressure.
      */
     double effectiveQuality(sim::Time t, double sensitivity,
                             std::optional<sim::JobId> self);
@@ -168,6 +180,26 @@ class Instance
 
     double coresUsed_ = 0.0;
     std::map<sim::JobId, Resident> residents_;
+
+    // --- Tick-coherent memoization ---------------------------------------
+    // Caches are keyed on the exact query time (plus self/sensitivity and
+    // the resident-set version where those are inputs); they only skip
+    // *repeat* evaluations within one tick and never change which tick
+    // first advances the underlying stochastic processes. Any new
+    // time-dependent model input must join the key or bump the version.
+    /** Bumped by addResident/resizeResident/removeResident. */
+    std::uint64_t residentsVersion_ = 0;
+    sim::Time baseQualityT_ = -1.0;
+    double baseQualityCached_ = 0.0;
+    sim::Time pressureT_ = -1.0;
+    std::uint64_t pressureVersion_ = 0;
+    std::optional<sim::JobId> pressureSelf_;
+    double pressureCached_ = 0.0;
+    sim::Time effQualityT_ = -1.0;
+    std::uint64_t effQualityVersion_ = 0;
+    double effQualitySens_ = 0.0;
+    std::optional<sim::JobId> effQualitySelf_;
+    double effQualityCached_ = 0.0;
 };
 
 } // namespace hcloud::cloud

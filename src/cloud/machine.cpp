@@ -29,9 +29,13 @@ Machine::free(int vcpus)
 double
 Machine::externalUtilization(sim::Time t)
 {
+    if (t == cachedLoadT_)
+        return cachedLoad_;
     const double u = load_.utilization(t);
     // Dedicated hosts see only the network component of neighbour load.
-    return shared_ ? u : u * 0.5;
+    cachedLoadT_ = t;
+    cachedLoad_ = shared_ ? u : u * 0.5;
+    return cachedLoad_;
 }
 
 } // namespace hcloud::cloud

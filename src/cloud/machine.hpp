@@ -54,6 +54,11 @@ class Machine
      * External utilization by other tenants at time @p t. Dedicated
      * machines report only residual network load (a fraction of the
      * configured process).
+     *
+     * Tick-coherent: the result is memoized per exact @p t, so the many
+     * resident instances sharing this host sample the load process once
+     * per tick instead of once per resident. The underlying OU process
+     * is idempotent at fixed t, so the cache is purely a recompute skip.
      */
     double externalUtilization(sim::Time t);
 
@@ -62,6 +67,8 @@ class Machine
     bool shared_;
     int usedVcpus_ = 0;
     ExternalLoadModel load_;
+    sim::Time cachedLoadT_ = -1.0;
+    double cachedLoad_ = 0.0;
 };
 
 } // namespace hcloud::cloud

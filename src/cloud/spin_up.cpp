@@ -16,7 +16,15 @@ SpinUpModel::median(const InstanceType& type) const
 {
     if (fixed_)
         return *fixed_;
-    return medianCurve_.at(type.vcpus) * scale_;
+    const int v = type.vcpus;
+    if (v >= 0 && v <= kMaxVcpus) {
+        if (!medianValid_[v]) {
+            medianCache_[v] = medianCurve_.at(v) * scale_;
+            medianValid_[v] = true;
+        }
+        return medianCache_[v];
+    }
+    return medianCurve_.at(v) * scale_;
 }
 
 sim::Duration

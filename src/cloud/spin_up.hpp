@@ -11,6 +11,7 @@
 #ifndef HCLOUD_CLOUD_SPIN_UP_HPP
 #define HCLOUD_CLOUD_SPIN_UP_HPP
 
+#include <array>
 #include <optional>
 
 #include "cloud/instance_type.hpp"
@@ -39,7 +40,11 @@ class SpinUpModel
     sim::Duration median(const InstanceType& type) const;
 
     /** Multiply all spin-up times by @p scale (Figure 14a sweep). */
-    void setScale(double scale) { scale_ = scale; }
+    void setScale(double scale)
+    {
+        scale_ = scale;
+        medianValid_.fill(false);
+    }
     double scale() const { return scale_; }
 
     /**
@@ -49,14 +54,23 @@ class SpinUpModel
     void setFixedOverride(std::optional<sim::Duration> mean)
     {
         fixed_ = mean;
+        medianValid_.fill(false);
     }
 
   private:
+    /** Largest vcpus count a SizeCurve is indexed by. */
+    static constexpr int kMaxVcpus = 16;
+
     SizeCurve medianCurve_;
     double tailRatio_;
     double scale_ = 1.0;
     std::optional<sim::Duration> fixed_;
     sim::Rng rng_;
+    // Per-size memo of the scaled median: the curve interpolation and
+    // scale multiply are pure per (vcpus, scale, fixed), and median() is
+    // queried on every sizing evaluation. Invalidated by the two setters.
+    mutable std::array<double, kMaxVcpus + 1> medianCache_{};
+    mutable std::array<bool, kMaxVcpus + 1> medianValid_{};
 };
 
 } // namespace hcloud::cloud

@@ -18,22 +18,34 @@ namespace hcloud::core {
 
 namespace {
 
+/** Figure 21 application groups, indexable for per-group accumulators. */
+enum AppGroup : int
+{
+    kGroupHadoop = 0,
+    kGroupSpark = 1,
+    kGroupMemcached = 2,
+    kGroupCount = 3,
+};
+
+constexpr const char* kGroupNames[kGroupCount] = {"hadoop", "spark",
+                                                  "memcached"};
+
 /** Figure 21 grouping of application kinds. */
-const char*
+constexpr AppGroup
 groupOf(workload::AppKind kind)
 {
     switch (kind) {
       case workload::AppKind::HadoopRecommender:
       case workload::AppKind::HadoopSvm:
       case workload::AppKind::HadoopMatFac:
-        return "hadoop";
+        return kGroupHadoop;
       case workload::AppKind::SparkAnalytics:
       case workload::AppKind::SparkRealtime:
-        return "spark";
+        return kGroupSpark;
       case workload::AppKind::Memcached:
-        return "memcached";
+        return kGroupMemcached;
     }
-    return "?";
+    return kGroupHadoop;
 }
 
 } // namespace
@@ -102,8 +114,10 @@ Engine::run(const workload::ArrivalTrace& trace,
 
     std::size_t finished = 0;
     std::vector<workload::Job*> active;
+    active.reserve(jobs.size());
     /** Arrived latency-critical services (for unserved-latency samples). */
     std::vector<workload::Job*> lc_jobs;
+    lc_jobs.reserve(jobs.size());
 
     auto finish_job = [&](workload::Job& job, sim::Time when,
                           bool failed) {
@@ -190,7 +204,7 @@ Engine::run(const workload::ArrivalTrace& trace,
             return;
         const workload::JobSpec& spec = job.spec();
         cloud::Instance* inst = job.instance;
-        const double sens = spec.sensitivityScalar();
+        const double sens = job.sensitivityScalar();
         const double q = inst->effectiveQuality(t, sens, job.id());
         // Without profiling, jobs run with user-default framework
         // parameters (Section 3.4: 64KB block size, 1GB heaps, default
@@ -252,35 +266,38 @@ Engine::run(const workload::ArrivalTrace& trace,
         for (cloud::Instance* inst : cluster.onDemand())
             record_instance(inst);
         // Figure 21 breakdown: allocated cores by app group and side.
-        static const char* kGroups[] = {"hadoop", "spark", "memcached"};
-        double cores[3][2] = {{0, 0}, {0, 0}, {0, 0}};
+        double cores[kGroupCount][2] = {{0, 0}, {0, 0}, {0, 0}};
         for (const workload::Job* job : active) {
             if (job->state != workload::JobState::Running &&
                 job->state != workload::JobState::Waiting) {
                 continue;
             }
-            const char* g = groupOf(job->spec().kind);
-            for (int gi = 0; gi < 3; ++gi) {
-                if (g == kGroups[gi]) {
-                    cores[gi][job->onReserved ? 0 : 1] += job->cores;
-                    break;
-                }
-            }
+            cores[groupOf(job->spec().kind)][job->onReserved ? 0 : 1] +=
+                job->cores;
         }
-        for (int gi = 0; gi < 3; ++gi) {
-            metrics.recordBreakdown(t, kGroups[gi], true, cores[gi][0]);
-            metrics.recordBreakdown(t, kGroups[gi], false, cores[gi][1]);
+        for (int gi = 0; gi < kGroupCount; ++gi) {
+            metrics.recordBreakdown(t, kGroupNames[gi], true, cores[gi][0]);
+            metrics.recordBreakdown(t, kGroupNames[gi], false,
+                                    cores[gi][1]);
         }
     };
 
     // Main tick: progress, QoS, strategy housekeeping, sampling.
+    std::size_t compacted_at_finished = 0;
     simulator.every(config_.tick, [&]() -> bool {
         const sim::Time t = simulator.now();
         for (std::size_t i = 0; i < active.size(); ++i)
             advance(*active[i], t);
         // Services without serving capacity record unserved latency once
-        // the client-ramp grace period is exhausted.
-        for (workload::Job* job : lc_jobs) {
+        // the client-ramp grace period is exhausted. Completed/failed
+        // services are compacted away in the same pass.
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < lc_jobs.size(); ++i) {
+            workload::Job* job = lc_jobs[i];
+            if (job->state == workload::JobState::Completed ||
+                job->state == workload::JobState::Failed) {
+                continue;
+            }
             if (job->state == workload::JobState::Pending ||
                 job->state == workload::JobState::Queued ||
                 job->state == workload::JobState::Waiting) {
@@ -294,15 +311,18 @@ Engine::run(const workload::ArrivalTrace& trace,
                         workload::latency_model::kUnservedP99Us);
                 }
             }
+            lc_jobs[keep++] = job;
         }
-        std::erase_if(lc_jobs, [](const workload::Job* j) {
-            return j->state == workload::JobState::Completed ||
-                   j->state == workload::JobState::Failed;
-        });
-        std::erase_if(active, [](const workload::Job* j) {
-            return j->state == workload::JobState::Completed ||
-                   j->state == workload::JobState::Failed;
-        });
+        lc_jobs.resize(keep);
+        // Jobs only leave `active` by finishing, so skip the compaction
+        // scan on the (common) ticks where nothing finished.
+        if (finished != compacted_at_finished) {
+            std::erase_if(active, [](const workload::Job* j) {
+                return j->state == workload::JobState::Completed ||
+                       j->state == workload::JobState::Failed;
+            });
+            compacted_at_finished = finished;
+        }
         strategy->tick();
         if (t >= next_sample) {
             sample(t);
@@ -398,6 +418,7 @@ Engine::run(const workload::ArrivalTrace& trace,
     result.telemetry.simLoopSec = phases.seconds("sim-loop");
     result.telemetry.finalizeSec = phases.seconds("finalize");
     result.telemetry.eventsProcessed = simulator.eventsRun();
+    result.telemetry.callbackHeapAllocs = simulator.callbackHeapAllocs();
     result.telemetry.eventsPerSec = result.telemetry.simLoopSec > 0.0
         ? static_cast<double>(result.telemetry.eventsProcessed) /
             result.telemetry.simLoopSec

@@ -7,7 +7,7 @@
 #ifndef HCLOUD_CORE_QOS_MONITOR_HPP
 #define HCLOUD_CORE_QOS_MONITOR_HPP
 
-#include <map>
+#include <unordered_map>
 
 #include "obs/tracer.hpp"
 #include "sim/types.hpp"
@@ -60,7 +60,8 @@ class QosMonitor
   private:
     int threshold_;
     int maxReschedules_;
-    std::map<sim::JobId, int> streak_;
+    /** Never iterated, so hash ordering cannot affect determinism. */
+    std::unordered_map<sim::JobId, int> streak_;
     obs::Tracer* tracer_ = nullptr;
 };
 

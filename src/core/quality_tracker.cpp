@@ -36,15 +36,20 @@ QualityTracker::record(const cloud::InstanceType& type, double quality)
     s.window.push_back(std::clamp(quality, 0.0, 1.0));
     if (s.window.size() > kMaxSamples)
         s.window.pop_front();
+    s.dirty = true;
 }
 
 double
 QualityTracker::qualityAtConfidence(const cloud::InstanceType& type,
                                     double confidence) const
 {
-    const TypeState& s = stateFor(type);
-    std::vector<double> sorted(s.window.begin(), s.window.end());
-    std::sort(sorted.begin(), sorted.end());
+    TypeState& s = stateFor(type);
+    if (s.dirty) {
+        s.sorted.assign(s.window.begin(), s.window.end());
+        std::sort(s.sorted.begin(), s.sorted.end());
+        s.dirty = false;
+    }
+    const std::vector<double>& sorted = s.sorted;
     const double q = std::clamp(1.0 - confidence, 0.0, 1.0);
     const double pos = q * static_cast<double>(sorted.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(pos);

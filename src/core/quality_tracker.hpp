@@ -15,6 +15,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "cloud/instance_type.hpp"
 #include "cloud/provider_profile.hpp"
@@ -58,6 +59,14 @@ class QualityTracker
     struct TypeState
     {
         std::deque<double> window;
+        /**
+         * Sorted copy of @c window, rebuilt lazily. record() marks it
+         * dirty; qualityAtConfidence() re-sorts only when the window
+         * actually changed, so the many same-tick quantile queries share
+         * one sort instead of copying and sorting per call.
+         */
+        std::vector<double> sorted;
+        bool dirty = true;
     };
 
     TypeState& stateFor(const cloud::InstanceType& type) const;

@@ -15,9 +15,9 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cloud/provider.hpp"
@@ -171,11 +171,15 @@ class Strategy
     sim::Rng rng_;
 
     std::deque<workload::Job*> reservedQueue_;
+    // Hash maps: these indexes are looked up per tick / per placement but
+    // never iterated, so unordered iteration order cannot leak into any
+    // simulated decision.
     /** Jobs bound to an instance that is still spinning up. */
-    std::map<sim::InstanceId, std::vector<workload::Job*>> pending_;
-    std::map<sim::JobId, JobSizing> sizings_;
+    std::unordered_map<sim::InstanceId, std::vector<workload::Job*>>
+        pending_;
+    std::unordered_map<sim::JobId, JobSizing> sizings_;
     /** All live jobs this strategy has seen, for eviction handling. */
-    std::map<sim::JobId, workload::Job*> jobIndex_;
+    std::unordered_map<sim::JobId, workload::Job*> jobIndex_;
 
   private:
     void handleRetention();

@@ -83,6 +83,9 @@ struct RunTelemetry
     double finalizeSec = 0.0;
     /** Simulator events processed by the sim loop. */
     std::uint64_t eventsProcessed = 0;
+    /** Scheduled callbacks that spilled to the heap (oversized capture).
+     *  Not serialized into reports; tests pin this to zero. */
+    std::uint64_t callbackHeapAllocs = 0;
     /** eventsProcessed / simLoopSec (0 when the loop was too fast to
      *  time). */
     double eventsPerSec = 0.0;

@@ -1,47 +1,78 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace hcloud::sim {
 
-bool
-EventHandle::cancel()
-{
-    if (!pending())
-        return false;
-    state_->done = true;
-    if (state_->live)
-        --(*state_->live);
-    return true;
-}
-
-EventQueue::EventQueue()
-    : live_(std::make_shared<std::size_t>(0))
-{
-}
-
 EventHandle
 EventQueue::push(Time when, EventCallback cb)
 {
-    auto state = std::make_shared<EventHandle::State>();
-    state->live = live_;
-    heap_.push(Entry{when, nextSeq_++, std::move(cb), state});
-    ++(*live_);
-    return EventHandle(std::move(state));
+    if (cb.onHeap())
+        ++heapCallbacks_;
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+    }
+    Record& record = slab_[slot];
+    record.cb = std::move(cb);
+    record.live = true;
+    heap_.push_back(Entry{when, nextSeq_++, slot, record.gen});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+    ++live_;
+    return EventHandle(this, slot, record.gen);
+}
+
+bool
+EventQueue::slotPending(std::uint32_t slot, std::uint32_t gen) const
+{
+    return slot < slab_.size() && slab_[slot].gen == gen &&
+        slab_[slot].live;
+}
+
+bool
+EventQueue::cancelSlot(std::uint32_t slot, std::uint32_t gen)
+{
+    if (!slotPending(slot, gen))
+        return false;
+    // The heap entry stays behind; freeing bumps the generation, so the
+    // stale entry is skipped lazily once it reaches the top.
+    freeSlot(slot);
+    --live_;
+    return true;
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Record& record = slab_[slot];
+    record.cb = EventCallback();
+    record.live = false;
+    ++record.gen;
+    freeSlots_.push_back(slot);
 }
 
 void
 EventQueue::skipDead() const
 {
-    while (!heap_.empty() && heap_.top().state->done)
-        heap_.pop();
+    while (!heap_.empty()) {
+        const Entry& top = heap_.front();
+        if (slab_[top.slot].gen == top.gen)
+            break;
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        heap_.pop_back();
+    }
 }
 
 Time
 EventQueue::nextTime() const
 {
     skipDead();
-    return heap_.empty() ? kTimeNever : heap_.top().when;
+    return heap_.empty() ? kTimeNever : heap_.front().when;
 }
 
 std::pair<Time, EventCallback>
@@ -49,25 +80,27 @@ EventQueue::pop()
 {
     skipDead();
     assert(!heap_.empty() && "pop() on empty event queue");
-    // priority_queue::top() is const; the entry is moved out via const_cast,
-    // which is safe because the element is popped immediately afterwards.
-    Entry& top = const_cast<Entry&>(heap_.top());
-    Time when = top.when;
-    EventCallback cb = std::move(top.cb);
-    top.state->done = true;
-    --(*live_);
-    heap_.pop();
-    return {when, std::move(cb)};
+    const Entry top = heap_.front();
+    Record& record = slab_[top.slot];
+    assert(record.live);
+    EventCallback cb = std::move(record.cb);
+    freeSlot(top.slot);
+    --live_;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    return {top.when, std::move(cb)};
 }
 
 void
 EventQueue::clear()
 {
-    while (!heap_.empty()) {
-        heap_.top().state->done = true;
-        heap_.pop();
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(slab_.size()); ++slot) {
+        if (slab_[slot].live)
+            freeSlot(slot);
     }
-    *live_ = 0;
+    heap_.clear();
+    live_ = 0;
 }
 
 } // namespace hcloud::sim

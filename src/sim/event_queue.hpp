@@ -2,35 +2,53 @@
  * @file
  * Pending-event set for the discrete-event simulation kernel.
  *
- * Events are (time, sequence, callback) triples kept in a binary heap.
- * The monotonically increasing sequence number breaks ties so that events
- * scheduled for the same instant fire in scheduling order, which keeps runs
- * deterministic. Cancellation is supported through lightweight handles and
- * lazy deletion (cancelled events stay in the heap and are skipped on pop).
+ * Events are (time, sequence, callback) triples. The monotonically
+ * increasing sequence number breaks ties so that events scheduled for the
+ * same instant fire in scheduling order, which keeps runs deterministic.
+ *
+ * The implementation is allocation-free on the common path: callbacks
+ * live in a small-buffer-optimized InlineFunction (heap fallback only for
+ * oversized captures, counted in heapCallbacks()), and event records come
+ * from a slab with an intrusive free list. Handles are generation-counted
+ * (queue pointer, slot, generation) so cancellation needs no shared
+ * control block: firing or cancelling bumps the slot's generation, which
+ * simultaneously invalidates stale handles and stale heap entries, and a
+ * recycled slot can never resurrect an old handle. The binary heap holds
+ * plain 24-byte entries; cancelled events are dropped lazily when they
+ * reach the top.
  */
 
 #ifndef HCLOUD_SIM_EVENT_QUEUE_HPP
 #define HCLOUD_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/types.hpp"
 
 namespace hcloud::sim {
 
+/**
+ * Inline storage budget for event callbacks. Sized for the engine's
+ * largest scheduling capture (the arrival closure: seven references plus
+ * an index, 64 bytes); anything larger spills to the heap and shows up in
+ * EventQueue::heapCallbacks(), which tests pin to zero.
+ */
+inline constexpr std::size_t kEventCallbackCapacity = 64;
+
 /** Callback invoked when an event fires. */
-using EventCallback = std::function<void()>;
+using EventCallback = InlineFunction<void(), kEventCallbackCapacity>;
+
+class EventQueue;
 
 /**
  * Handle to a scheduled event, used for cancellation.
  *
- * Handles are cheap to copy; all copies refer to the same event. A default-
- * constructed handle refers to nothing and is never pending.
+ * Handles are trivially copyable; all copies refer to the same event. A
+ * default-constructed handle refers to nothing and is never pending.
+ * Handles must not outlive the queue that issued them.
  */
 class EventHandle
 {
@@ -38,7 +56,7 @@ class EventHandle
     EventHandle() = default;
 
     /** True if the event has neither fired nor been cancelled. */
-    bool pending() const { return state_ && !state_->done; }
+    bool pending() const;
 
     /**
      * Cancel the event.
@@ -49,18 +67,14 @@ class EventHandle
   private:
     friend class EventQueue;
 
-    struct State
-    {
-        bool done = false;
-        std::shared_ptr<std::size_t> live;
-    };
-
-    explicit EventHandle(std::shared_ptr<State> state)
-        : state_(std::move(state))
+    EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t gen)
+        : queue_(queue), slot_(slot), gen_(gen)
     {
     }
 
-    std::shared_ptr<State> state_;
+    EventQueue* queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /**
@@ -69,7 +83,7 @@ class EventHandle
 class EventQueue
 {
   public:
-    EventQueue();
+    EventQueue() = default;
 
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
@@ -84,10 +98,10 @@ class EventQueue
     EventHandle push(Time when, EventCallback cb);
 
     /** True if no live (non-cancelled) events remain. */
-    bool empty() const { return *live_ == 0; }
+    bool empty() const { return live_ == 0; }
 
     /** Number of live events. */
-    std::size_t size() const { return *live_; }
+    std::size_t size() const { return live_; }
 
     /** Time of the earliest live event, or kTimeNever if empty. */
     Time nextTime() const;
@@ -101,33 +115,72 @@ class EventQueue
     /** Drop every pending event. */
     void clear();
 
+    /** Pushes whose callback spilled to the heap (oversized capture). */
+    std::uint64_t heapCallbacks() const { return heapCallbacks_; }
+
+    /** Event records ever allocated (slab high-water mark). */
+    std::size_t slabSize() const { return slab_.size(); }
+
   private:
+    friend class EventHandle;
+
+    /** Slab-resident event record; the slot index is its identity. */
+    struct Record
+    {
+        EventCallback cb;
+        /** Bumped when the slot is freed; stale handles/entries show a
+         *  mismatching generation and are ignored/skipped. */
+        std::uint32_t gen = 0;
+        /** True from push until the event fires or is cancelled. */
+        bool live = false;
+    };
+
+    /** Heap element: ordering key plus a generation-checked slot ref. */
     struct Entry
     {
         Time when;
         std::uint64_t seq;
-        EventCallback cb;
-        std::shared_ptr<EventHandle::State> state;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    struct Later
+    /** Min-heap on (when, seq): a fires strictly after b. */
+    static bool
+    later(const Entry& a, const Entry& b)
     {
-        bool
-        operator()(const Entry& a, const Entry& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
 
-    /** Discard cancelled entries sitting at the top of the heap. */
+    bool slotPending(std::uint32_t slot, std::uint32_t gen) const;
+    bool cancelSlot(std::uint32_t slot, std::uint32_t gen);
+
+    /** Release a slot: destroy the callback, invalidate handles/entries. */
+    void freeSlot(std::uint32_t slot);
+
+    /** Discard stale entries sitting at the top of the heap. */
     void skipDead() const;
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    mutable std::vector<Entry> heap_;
+    std::vector<Record> slab_;
+    std::vector<std::uint32_t> freeSlots_;
     std::uint64_t nextSeq_ = 0;
-    std::shared_ptr<std::size_t> live_;
+    std::size_t live_ = 0;
+    std::uint64_t heapCallbacks_ = 0;
 };
+
+inline bool
+EventHandle::pending() const
+{
+    return queue_ && queue_->slotPending(slot_, gen_);
+}
+
+inline bool
+EventHandle::cancel()
+{
+    return queue_ && queue_->cancelSlot(slot_, gen_);
+}
 
 } // namespace hcloud::sim
 

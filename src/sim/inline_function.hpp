@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable for the DES hot path.
+ *
+ * std::function performs a heap allocation for any callable larger than
+ * its tiny internal buffer (16 bytes in libstdc++), which puts two
+ * allocations on every scheduled event (the callable plus the handle
+ * state). InlineFunction stores callables up to @p Capacity bytes in
+ * place and only falls back to the heap for oversized or potentially
+ * throwing-move types. The event queue counts those fallbacks so tests
+ * can pin the common path to zero allocations.
+ */
+
+#ifndef HCLOUD_SIM_INLINE_FUNCTION_HPP
+#define HCLOUD_SIM_INLINE_FUNCTION_HPP
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hcloud::sim {
+
+/**
+ * Move-only callable with @p Capacity bytes of inline storage.
+ *
+ * @tparam Capacity Inline buffer size in bytes. Callables that fit (and
+ *         are nothrow-move-constructible, so container growth keeps the
+ *         strong guarantee) are stored in place; anything else lives on
+ *         the heap behind a pointer kept in the buffer.
+ */
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;
+
+template <std::size_t Capacity, typename R, typename... Args>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    /** True when a callable of type @p F is stored without allocating. */
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    InlineFunction() = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<R, D&, Args...>>>
+    InlineFunction(F&& f) // NOLINT(google-explicit-constructor)
+    {
+        if constexpr (fitsInline<D>) {
+            ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            ::new (static_cast<void*>(buffer_))
+                D*(new D(std::forward<F>(f)));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(other.buffer_, buffer_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineFunction&
+    operator=(InlineFunction&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_) {
+                ops_->relocate(other.buffer_, buffer_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** True when the held callable required a heap allocation. */
+    bool onHeap() const { return ops_ && ops_->heap; }
+
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(buffer_, std::forward<Args>(args)...);
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void*, Args&&...);
+        /** Move the callable from @p src storage into @p dst storage and
+         *  destroy the source ("destructive move"). */
+        void (*relocate)(void* src, void* dst);
+        void (*destroy)(void*);
+        bool heap;
+    };
+
+    template <typename F>
+    static constexpr Ops inlineOps = {
+        [](void* s, Args&&... args) -> R {
+            return (*std::launder(reinterpret_cast<F*>(s)))(
+                std::forward<Args>(args)...);
+        },
+        [](void* src, void* dst) {
+            F* f = std::launder(reinterpret_cast<F*>(src));
+            ::new (dst) F(std::move(*f));
+            f->~F();
+        },
+        [](void* s) { std::launder(reinterpret_cast<F*>(s))->~F(); },
+        /*heap=*/false,
+    };
+
+    template <typename F>
+    static constexpr Ops heapOps = {
+        [](void* s, Args&&... args) -> R {
+            return (**std::launder(reinterpret_cast<F**>(s)))(
+                std::forward<Args>(args)...);
+        },
+        [](void* src, void* dst) {
+            F** p = std::launder(reinterpret_cast<F**>(src));
+            ::new (dst) F*(*p);
+        },
+        [](void* s) { delete *std::launder(reinterpret_cast<F**>(s)); },
+        /*heap=*/true,
+    };
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buffer_);
+            ops_ = nullptr;
+        }
+    }
+
+    static_assert(Capacity >= sizeof(void*),
+                  "buffer must at least hold the heap fallback pointer");
+
+    const Ops* ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buffer_[Capacity];
+};
+
+} // namespace hcloud::sim
+
+#endif // HCLOUD_SIM_INLINE_FUNCTION_HPP

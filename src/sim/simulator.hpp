@@ -51,6 +51,17 @@ class Simulator
     /** Number of events executed so far. */
     std::uint64_t eventsRun() const { return eventsRun_; }
 
+    /**
+     * Scheduled callbacks that spilled to the heap because their capture
+     * exceeded the inline buffer. Zero for every engine-sized callback;
+     * tests pin this so capture growth fails loudly instead of silently
+     * reintroducing per-event allocations.
+     */
+    std::uint64_t callbackHeapAllocs() const
+    {
+        return queue_.heapCallbacks();
+    }
+
     /** True if no events are pending. */
     bool idle() const { return queue_.empty(); }
 

@@ -101,10 +101,21 @@ enum class JobState
 class Job
 {
   public:
-    explicit Job(JobSpec spec) : spec_(std::move(spec)) {}
+    explicit Job(JobSpec spec)
+        : spec_(std::move(spec)),
+          sensitivityScalar_(spec_.sensitivityScalar())
+    {
+    }
 
     const JobSpec& spec() const { return spec_; }
     sim::JobId id() const { return spec_.id; }
+
+    /**
+     * spec().sensitivityScalar(), computed once at construction: the spec
+     * is immutable, and the engine needs the scalar on every progress
+     * tick.
+     */
+    double sensitivityScalar() const { return sensitivityScalar_; }
 
     JobState state = JobState::Pending;
 
@@ -149,6 +160,7 @@ class Job
 
   private:
     JobSpec spec_;
+    double sensitivityScalar_;
 };
 
 } // namespace hcloud::workload

@@ -188,5 +188,43 @@ TEST(Engine, OutcomesCoverEveryJob)
     EXPECT_EQ(r.outcomes.size(), trace.jobs().size());
 }
 
+/**
+ * The exact event count of a fixed-seed run is part of the determinism
+ * contract: a kernel or caching change that schedules one extra event
+ * (or drops one) changes simulated behaviour even if the aggregates
+ * happen to match. Update the pinned value only alongside a deliberate
+ * behaviour change, and say so in the commit.
+ */
+TEST(Engine, EventsProcessedPinnedForFixedSeed)
+{
+    const workload::ArrivalTrace trace =
+        smallTrace(workload::ScenarioKind::Static, 0.1);
+    EngineConfig config;
+    config.seed = 11;
+    const RunResult r = Engine(config).run(trace, StrategyKind::HM, "pin");
+    EXPECT_EQ(r.telemetry.eventsProcessed, 8172u);
+}
+
+/**
+ * No scheduled callback may spill to the heap: the event-queue inline
+ * buffer is sized for the engine's largest capture, and this pin makes
+ * capture growth fail loudly instead of silently reintroducing
+ * per-event allocations.
+ */
+TEST(Engine, EventCallbacksStayInline)
+{
+    const workload::ArrivalTrace trace = smallTrace();
+    EngineConfig config;
+    config.seed = 7;
+    for (StrategyKind kind :
+         {StrategyKind::SR, StrategyKind::OdF, StrategyKind::OdM,
+          StrategyKind::HF, StrategyKind::HM}) {
+        const RunResult r = Engine(config).run(trace, kind, "inline");
+        EXPECT_EQ(r.telemetry.callbackHeapAllocs, 0u)
+            << "a scheduling capture outgrew kEventCallbackCapacity for "
+            << toString(kind);
+    }
+}
+
 } // namespace
 } // namespace hcloud::core

@@ -15,12 +15,15 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "exp/cli.hpp"
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
 #include "exp/report_json.hpp"
 #include "exp/runner.hpp"
 #include "obs/json.hpp"
+#include "obs/tracer.hpp"
+#include "workload/scenario.hpp"
 
 namespace hcloud::exp {
 namespace {
@@ -287,6 +290,61 @@ TEST(ReportSchema, VersionStampedFirstAndKeyPathsMatchGolden)
         << "report shape changed: bump kReportSchemaVersion, regenerate "
            "the golden file (HCLOUD_UPDATE_GOLDEN=1), and note the bump "
            "in EXPERIMENTS.md";
+}
+
+/**
+ * Byte-exact golden trace for a small fixed-seed run: the determinism
+ * contract says simulated behaviour is a pure function of (trace, config,
+ * seed), so any kernel or caching change that alters a single event —
+ * its time, ordering, or payload — fails here before it can silently
+ * shift the paper figures. Regenerate with HCLOUD_UPDATE_GOLDEN=1 only
+ * when a change is *supposed* to alter simulated behaviour, and say so
+ * in the commit.
+ */
+TEST(GoldenTrace, SmallFixedSeedRunIsByteStable)
+{
+    workload::ScenarioConfig cfg;
+    cfg.kind = workload::ScenarioKind::Static;
+    cfg.seed = 42;
+    cfg.loadScale = 0.05;
+    const workload::ArrivalTrace trace = workload::generateScenario(cfg);
+
+    core::EngineConfig config;
+    config.seed = 42;
+    config.trace.mode = obs::TraceConfig::Mode::On;
+    core::Engine engine(config);
+    const core::RunResult r =
+        engine.run(trace, core::StrategyKind::HM, "golden");
+    ASSERT_EQ(r.trace.dropped, 0u)
+        << "golden scenario must fit the trace ring";
+
+    std::ostringstream out;
+    obs::writeJsonl(out, r.trace);
+    const std::string text = out.str();
+
+    const std::string golden_path =
+        std::string(HCLOUD_GOLDEN_DIR) + "/trace_small.jsonl";
+    if (std::getenv("HCLOUD_UPDATE_GOLDEN")) {
+        std::ofstream golden_out(golden_path,
+                                 std::ios::binary | std::ios::trunc);
+        golden_out << text;
+        ASSERT_TRUE(golden_out) << "cannot update " << golden_path;
+        GTEST_SKIP() << "golden file regenerated: " << golden_path;
+    }
+    std::ifstream golden_in(golden_path, std::ios::binary);
+    ASSERT_TRUE(golden_in)
+        << golden_path
+        << " missing; regenerate with HCLOUD_UPDATE_GOLDEN=1";
+    std::stringstream golden_text;
+    golden_text << golden_in.rdbuf();
+    // EXPECT_EQ on multi-MB strings prints both operands on failure;
+    // compare a digest-style summary first for a readable message.
+    ASSERT_EQ(text.size(), golden_text.str().size())
+        << "trace length changed — simulated behaviour diverged; use "
+           "trace_inspect --diff to find the first divergent event";
+    EXPECT_TRUE(text == golden_text.str())
+        << "trace bytes changed — simulated behaviour diverged; use "
+           "trace_inspect --diff to find the first divergent event";
 }
 
 } // namespace

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstddef>
+#include <random>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -123,6 +126,184 @@ TEST(EventQueue, CancelledEventsSkippedDeepInHeap)
     ASSERT_EQ(fired.size(), 10u);
     for (int v : fired)
         EXPECT_EQ(v % 2, 1);
+}
+
+// --- Allocation-free kernel: inline storage and slab behaviour ----------
+
+/** The engine's largest scheduling capture is 64 bytes (see
+ *  kEventCallbackCapacity); pin that it stays inline. */
+struct Capture64
+{
+    std::array<void*, 8> refs;
+    void operator()() const {}
+};
+static_assert(sizeof(Capture64) == 64);
+static_assert(EventCallback::fitsInline<Capture64>,
+              "a 64-byte capture must not allocate");
+
+struct Capture72
+{
+    std::array<void*, 9> refs;
+    void operator()() const {}
+};
+static_assert(!EventCallback::fitsInline<Capture72>,
+              "oversized captures must take the counted heap fallback");
+
+TEST(EventQueue, OversizedCaptureSpillsToHeapAndStillFires)
+{
+    EventQueue q;
+    EXPECT_EQ(q.heapCallbacks(), 0u);
+    std::array<double, 16> big{};
+    big[7] = 42.0;
+    double seen = 0.0;
+    q.push(1.0, [big, &seen] { seen = big[7]; });
+    EXPECT_EQ(q.heapCallbacks(), 1u);
+    q.pop().second();
+    EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(EventQueue, InlineCaptureDoesNotCountAsHeap)
+{
+    EventQueue q;
+    int fired = 0;
+    q.push(1.0, [&fired] { ++fired; });
+    q.push(2.0, Capture64{});
+    EXPECT_EQ(q.heapCallbacks(), 0u);
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle h = q.push(1.0, [&fired] { ++fired; });
+    q.pop().second();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SlabReuseDoesNotResurrectOldHandles)
+{
+    EventQueue q;
+    EventHandle old = q.push(1.0, [] {});
+    q.pop(); // frees the slot; `old` is now stale
+    ASSERT_EQ(q.slabSize(), 1u);
+
+    bool fired = false;
+    EventHandle fresh = q.push(2.0, [&fired] { fired = true; });
+    ASSERT_EQ(q.slabSize(), 1u) << "second push must reuse the slot";
+
+    // The stale handle points at the recycled slot but carries the old
+    // generation: it must neither read as pending nor cancel the new
+    // event.
+    EXPECT_FALSE(old.pending());
+    EXPECT_FALSE(old.cancel());
+    EXPECT_TRUE(fresh.pending());
+    EXPECT_EQ(q.size(), 1u);
+    q.pop().second();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, SlabHighWaterTracksConcurrencyNotThroughput)
+{
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+        q.push(static_cast<Time>(i), [] {});
+        q.pop();
+    }
+    EXPECT_EQ(q.slabSize(), 1u)
+        << "sequential push/pop must recycle one record, not grow";
+}
+
+// --- Randomized stress against a reference model ------------------------
+
+TEST(EventQueue, StressMatchesReferenceModel)
+{
+    struct ModelEvent
+    {
+        Time when = 0.0;
+        std::size_t seq = 0; // push order; the tie-break key
+        bool cancelled = false;
+        bool fired = false;
+        EventHandle handle;
+    };
+
+    EventQueue q;
+    std::vector<ModelEvent> model;
+    std::vector<std::size_t> fired_order;
+    std::mt19937 rng(42);
+    // Coarse times force plenty of exact ties.
+    std::uniform_int_distribution<int> time_dist(0, 9);
+    std::uniform_int_distribution<int> op_dist(0, 9);
+
+    auto pending_in_model = [&] {
+        std::vector<std::size_t> out;
+        for (std::size_t i = 0; i < model.size(); ++i)
+            if (!model[i].cancelled && !model[i].fired)
+                out.push_back(i);
+        return out;
+    };
+    // A pop must fire the live event that is minimal by (when, seq)
+    // *among those pushed so far* — computed fresh at every pop, since
+    // later pushes can carry earlier times.
+    auto expect_pop = [&] {
+        const std::vector<std::size_t> live = pending_in_model();
+        ASSERT_FALSE(live.empty());
+        std::size_t best = live[0];
+        for (std::size_t id : live) {
+            if (model[id].when < model[best].when ||
+                (model[id].when == model[best].when &&
+                 model[id].seq < model[best].seq)) {
+                best = id;
+            }
+        }
+        q.pop().second();
+        ASSERT_FALSE(fired_order.empty());
+        ASSERT_EQ(fired_order.back(), best);
+        model[best].fired = true;
+    };
+
+    for (int step = 0; step < 5000; ++step) {
+        const int op = op_dist(rng);
+        if (op < 6) { // push
+            ModelEvent e;
+            e.when = static_cast<Time>(time_dist(rng));
+            e.seq = model.size();
+            const std::size_t id = e.seq;
+            e.handle =
+                q.push(e.when, [&fired_order, id] {
+                    fired_order.push_back(id);
+                });
+            model.push_back(e);
+        } else if (op < 8) { // cancel a random live event
+            std::vector<std::size_t> live = pending_in_model();
+            if (live.empty())
+                continue;
+            std::uniform_int_distribution<std::size_t> pick(
+                0, live.size() - 1);
+            ModelEvent& e = model[live[pick(rng)]];
+            EXPECT_TRUE(e.handle.cancel());
+            e.cancelled = true;
+        } else { // pop
+            if (q.empty())
+                continue;
+            expect_pop();
+        }
+    }
+    while (!q.empty())
+        expect_pop();
+    EXPECT_TRUE(pending_in_model().empty());
+
+    // Every handle is settled by now.
+    for (ModelEvent& e : model) {
+        EXPECT_FALSE(e.handle.pending());
+        EXPECT_FALSE(e.handle.cancel());
+    }
+    EXPECT_EQ(q.heapCallbacks(), 0u);
 }
 
 } // namespace
