@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Closed-loop load generator for the hcloud serve daemon.
+ *
+ * Drives an in-process srv::ServeApp (the identical stack the
+ * hcloud_serve binary runs) over real loopback HTTP: N tenants
+ * partitioned across C client threads, each client POSTing
+ * 1-second-spaced batch jobs round-robin over its tenants on a
+ * keep-alive connection and timing every request wall-clock. Reports
+ * aggregate submission throughput and latency percentiles, and writes
+ * the machine-readable artifact BENCH_serve.json (CI uploads it).
+ *
+ * Usage: bench_serve [--tenants N] [--clients N] [--jobs N]
+ *                    [--out PATH]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "obs/process_metrics.hpp"
+#include "srv/http_client.hpp"
+#include "srv/serve_app.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+std::string
+tenantBody(const std::string& id, std::uint64_t seed)
+{
+    hcloud::obs::JsonWriter w;
+    w.beginObject();
+    w.field("id", id);
+    w.field("strategy", "HM");
+    w.key("scenario");
+    w.beginObject();
+    w.field("kind", "static");
+    w.field("duration", 600.0);
+    w.field("seed", seed);
+    w.field("loadScale", 0.02);
+    w.endObject();
+    w.key("engine");
+    w.beginObject();
+    w.field("seed", seed);
+    w.field("useProfiling", false);
+    w.endObject();
+    w.endObject();
+    return w.take();
+}
+
+std::string
+jobBody(double arrival)
+{
+    hcloud::obs::JsonWriter w;
+    w.beginObject();
+    w.field("kind", "hadoop-recommender");
+    w.field("arrival", arrival);
+    w.field("coresIdeal", 4);
+    w.field("idealDuration", 30.0);
+    w.endObject();
+    return w.take();
+}
+
+double
+percentileMs(std::vector<double>& sortedSeconds, double p)
+{
+    if (sortedSeconds.empty())
+        return 0.0;
+    const double rank =
+        p * static_cast<double>(sortedSeconds.size() - 1);
+    const std::size_t index = static_cast<std::size_t>(rank);
+    return sortedSeconds[index] * 1e3;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace hcloud;
+
+    std::size_t tenants = 100;
+    std::size_t clients = 8;
+    std::size_t jobsPerTenant = 100;
+    std::string outPath = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (std::strcmp(argv[i], "--tenants") == 0)
+            tenants = static_cast<std::size_t>(std::atol(next()));
+        else if (std::strcmp(argv[i], "--clients") == 0)
+            clients = static_cast<std::size_t>(std::atol(next()));
+        else if (std::strcmp(argv[i], "--jobs") == 0)
+            jobsPerTenant = static_cast<std::size_t>(std::atol(next()));
+        else if (std::strcmp(argv[i], "--out") == 0)
+            outPath = next();
+        else {
+            std::fprintf(stderr, "bench_serve: unknown option %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (tenants == 0 || clients == 0 || jobsPerTenant == 0)
+        return 2;
+    clients = std::min(clients, tenants);
+
+    obs::ProcessMetrics metrics;
+    srv::ServeConfig config;
+    config.shards = 8;
+    config.httpWorkers = clients;
+    config.maxPendingConnections = 2 * clients + 16;
+    srv::ServeApp app(config, metrics);
+    std::string error;
+    if (!app.start(0, &error)) {
+        std::fprintf(stderr, "bench_serve: start failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    std::printf("bench_serve: %zu tenants x %zu jobs over %zu clients "
+                "(port %u)\n",
+                tenants, jobsPerTenant, clients, app.boundPort());
+
+    // Phase 1: create the tenant fleet (scenario generation dominates;
+    // not part of the submission-rate window).
+    const Clock::time_point setupStart = Clock::now();
+    std::atomic<std::size_t> createFailures{0};
+    {
+        std::vector<std::thread> workers;
+        for (std::size_t c = 0; c < clients; ++c) {
+            workers.emplace_back([&, c] {
+                srv::HttpClient client(app.boundPort());
+                for (std::size_t t = c; t < tenants; t += clients) {
+                    const std::string id =
+                        "bench-" + std::to_string(t);
+                    const auto r = client.post(
+                        "/v1/tenants", tenantBody(id, 42 + t));
+                    if (r.status != 201)
+                        createFailures.fetch_add(1);
+                }
+            });
+        }
+        for (std::thread& w : workers)
+            w.join();
+    }
+    const double setupSeconds = seconds(Clock::now() - setupStart);
+    if (createFailures.load() != 0) {
+        std::fprintf(stderr, "bench_serve: %zu tenant creations failed\n",
+                     createFailures.load());
+        return 1;
+    }
+
+    // Phase 2: the measured closed loop. Every client owns a tenant
+    // partition and round-robins one job per tenant per virtual second.
+    const std::size_t totalJobs = tenants * jobsPerTenant;
+    std::vector<std::vector<double>> latencies(clients);
+    std::atomic<std::size_t> submitFailures{0};
+    std::atomic<std::size_t> ready{0};
+    std::atomic<bool> go{false};
+    std::mutex startMutex;
+    std::condition_variable startCv;
+
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+            srv::HttpClient client(app.boundPort());
+            std::vector<std::string> targets;
+            for (std::size_t t = c; t < tenants; t += clients)
+                targets.push_back("/v1/tenants/bench-" +
+                                  std::to_string(t) + "/jobs");
+            std::vector<double>& lat = latencies[c];
+            lat.reserve(targets.size() * jobsPerTenant);
+
+            ready.fetch_add(1);
+            {
+                std::unique_lock<std::mutex> lock(startMutex);
+                startCv.wait(lock, [&] { return go.load(); });
+            }
+            for (std::size_t j = 0; j < jobsPerTenant; ++j) {
+                const std::string body =
+                    jobBody(static_cast<double>(j) * 1.0);
+                for (const std::string& target : targets) {
+                    const Clock::time_point t0 = Clock::now();
+                    const auto r = client.post(target, body);
+                    lat.push_back(seconds(Clock::now() - t0));
+                    if (r.status != 200)
+                        submitFailures.fetch_add(1);
+                }
+            }
+        });
+    }
+    while (ready.load() != clients)
+        std::this_thread::yield();
+    const Clock::time_point windowStart = Clock::now();
+    {
+        std::lock_guard<std::mutex> lock(startMutex);
+        go.store(true);
+    }
+    startCv.notify_all();
+    for (std::thread& w : workers)
+        w.join();
+    const double wallSeconds = seconds(Clock::now() - windowStart);
+
+    app.stop();
+
+    std::vector<double> all;
+    all.reserve(totalJobs);
+    for (const std::vector<double>& lat : latencies)
+        all.insert(all.end(), lat.begin(), lat.end());
+    std::sort(all.begin(), all.end());
+    const double qps = static_cast<double>(totalJobs) / wallSeconds;
+    const double p50 = percentileMs(all, 0.50);
+    const double p99 = percentileMs(all, 0.99);
+    const double worst = all.empty() ? 0.0 : all.back() * 1e3;
+
+    std::printf("bench_serve: %zu jobs in %.3f s -> %.0f jobs/s "
+                "(p50 %.3f ms, p99 %.3f ms, max %.3f ms, "
+                "%zu failures)\n",
+                totalJobs, wallSeconds, qps, p50, p99, worst,
+                submitFailures.load());
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("schemaVersion", 1);
+    w.field("benchmark",
+            "hcloud serve closed-loop job submission over loopback "
+            "HTTP (in-process ServeApp)");
+    w.field("tenants", static_cast<std::uint64_t>(tenants));
+    w.field("clients", static_cast<std::uint64_t>(clients));
+    w.field("jobsPerTenant", static_cast<std::uint64_t>(jobsPerTenant));
+    w.field("jobs", static_cast<std::uint64_t>(totalJobs));
+    w.field("failures",
+            static_cast<std::uint64_t>(submitFailures.load()));
+    w.field("setupSeconds", setupSeconds);
+    w.field("wallSeconds", wallSeconds);
+    w.field("qps", qps);
+    w.field("p50Ms", p50);
+    w.field("p99Ms", p99);
+    w.field("maxMs", worst);
+    w.key("host");
+    w.beginObject();
+    w.field("nproc", static_cast<std::uint64_t>(
+                         sysconf(_SC_NPROCESSORS_ONLN)));
+    w.endObject();
+    w.endObject();
+
+    std::ofstream out(outPath);
+    out << w.take() << "\n";
+    if (!out) {
+        std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::printf("bench_serve: wrote %s\n", outPath.c_str());
+    return submitFailures.load() == 0 ? 0 : 1;
+}

@@ -1,54 +1,8 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <memory>
-#include <vector>
-
-#include "core/hybrid.hpp"
-#include "core/strategy.hpp"
-#include "obs/phase_profiler.hpp"
-#include "obs/tracer.hpp"
-#include "sim/simulator.hpp"
-#include "workload/batch_model.hpp"
-#include "workload/latency_model.hpp"
+#include "core/engine_run.hpp"
 
 namespace hcloud::core {
-
-namespace {
-
-/** Figure 21 application groups, indexable for per-group accumulators. */
-enum AppGroup : int
-{
-    kGroupHadoop = 0,
-    kGroupSpark = 1,
-    kGroupMemcached = 2,
-    kGroupCount = 3,
-};
-
-constexpr const char* kGroupNames[kGroupCount] = {"hadoop", "spark",
-                                                  "memcached"};
-
-/** Figure 21 grouping of application kinds. */
-constexpr AppGroup
-groupOf(workload::AppKind kind)
-{
-    switch (kind) {
-      case workload::AppKind::HadoopRecommender:
-      case workload::AppKind::HadoopSvm:
-      case workload::AppKind::HadoopMatFac:
-        return kGroupHadoop;
-      case workload::AppKind::SparkAnalytics:
-      case workload::AppKind::SparkRealtime:
-        return kGroupSpark;
-      case workload::AppKind::Memcached:
-        return kGroupMemcached;
-    }
-    return kGroupHadoop;
-}
-
-} // namespace
 
 Engine::Engine(EngineConfig config, cloud::ProviderProfile profile)
     : config_(std::move(config)), profile_(std::move(profile))
@@ -71,359 +25,8 @@ Engine::run(const workload::ArrivalTrace& trace,
             const StrategyFactory& factory,
             const std::string& scenarioName)
 {
-    obs::PhaseProfiler phases;
-    auto setup_scope =
-        std::make_unique<obs::PhaseProfiler::Scope>(phases, "setup");
-
-    sim::Simulator simulator;
-    sim::Rng root(config_.seed);
-    obs::Tracer tracer(config_.trace);
-
-    cloud::CloudProvider provider(simulator, profile_,
-                                  config_.externalLoad,
-                                  root.child("provider"));
-    provider.setTracer(&tracer);
-    provider.spinUp().setScale(config_.spinUpScale);
-    if (config_.spinUpFixed)
-        provider.spinUp().setFixedOverride(config_.spinUpFixed);
-
-    profiling::QuasarConfig quasar_config;
-    quasar_config.observationNoise = config_.observationNoise;
-    quasar_config.seed = root.child("quasar").seed();
-    profiling::Quasar quasar(quasar_config);
-
-    MetricsCollector metrics;
-    EngineContext ctx{simulator,
-                      provider,
-                      cloud::InstanceTypeCatalog::defaultCatalog(),
-                      quasar,
-                      metrics,
-                      tracer,
-                      config_,
-                      /*onJobStarted=*/nullptr};
-    std::unique_ptr<Strategy> strategy = factory(ctx);
-    // Profiling on shared small instances is noisier (Section 3.3).
-    if (strategy->usesSmallOnDemand()) {
-        quasar.setObservationNoise(config_.observationNoise * 2.2);
-    }
-
-    std::vector<std::unique_ptr<workload::Job>> jobs;
-    jobs.reserve(trace.jobs().size());
-    for (const auto& spec : trace.jobs())
-        jobs.push_back(std::make_unique<workload::Job>(spec));
-
-    std::size_t finished = 0;
-    std::vector<workload::Job*> active;
-    active.reserve(jobs.size());
-    /** Arrived latency-critical services (for unserved-latency samples). */
-    std::vector<workload::Job*> lc_jobs;
-    lc_jobs.reserve(jobs.size());
-
-    auto finish_job = [&](workload::Job& job, sim::Time when,
-                          bool failed) {
-        assert(job.state != workload::JobState::Completed);
-        job.completedAt = when;
-        job.state = failed ? workload::JobState::Failed
-                           : workload::JobState::Completed;
-        ++finished;
-        tracer.job(failed ? obs::EventKind::JobFail
-                          : obs::EventKind::JobFinish,
-                   when, job.id(), job.perfNormalized(), {},
-                   failed ? obs::Severity::Warn : obs::Severity::Info);
-        strategy->jobCompleted(job);
-    };
-
-    ctx.onJobStarted = [&](workload::Job& job) {
-        const sim::Time now = simulator.now();
-        job.lastProgressAt = now;
-        if (!job.engineTracked) {
-            job.engineTracked = true;
-            active.push_back(&job);
-        }
-        const workload::JobSpec& spec = job.spec();
-        if (job.instance->faulty()) {
-            // The platform terminates the VM partway through (EC2 micro
-            // behaviour in Figure 1).
-            const sim::Duration life = 0.5 *
-                (spec.jobClass() == workload::JobClass::Batch
-                     ? spec.idealDuration
-                     : spec.lcLifetime);
-            simulator.after(life, [&job, &finish_job, &simulator]() {
-                if (job.state == workload::JobState::Running)
-                    finish_job(job, simulator.now(), /*failed=*/true);
-            });
-        } else if (spec.jobClass() == workload::JobClass::LatencyCritical) {
-            simulator.after(spec.lcLifetime,
-                            [&job, &finish_job, &simulator]() {
-                // A stale timer from before a reschedule fires early;
-                // only complete once the current lifetime has elapsed.
-                if (job.state == workload::JobState::Running &&
-                    simulator.now() + 1e-9 >=
-                        job.startedAt + job.spec().lcLifetime) {
-                    finish_job(job, simulator.now(), /*failed=*/false);
-                }
-            });
-        }
-    };
-
-    strategy->start(trace);
-
-    // Schedule arrivals; profiling (when enabled and uncached) delays the
-    // submission by the profiling run length.
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const sim::Time arrival = jobs[i]->spec().arrival;
-        simulator.at(arrival, [&, i]() {
-            workload::Job& job = *jobs[i];
-            if (job.spec().jobClass() ==
-                workload::JobClass::LatencyCritical) {
-                lc_jobs.push_back(&job);
-            }
-            const sim::Duration delay = config_.useProfiling
-                ? quasar.profilingDelay(job.spec())
-                : 0.0;
-            tracer.job(obs::EventKind::JobSubmit, simulator.now(),
-                       job.id(), delay,
-                       workload::toString(job.spec().kind));
-            if (delay > 0.0) {
-                simulator.after(delay,
-                                [&job, &strategy]() {
-                                    strategy->submit(job);
-                                });
-            } else {
-                strategy->submit(job);
-            }
-        });
-    }
-
-    // Progress integration for one job at tick time t.
-    auto advance = [&](workload::Job& job, sim::Time t) {
-        if (job.state != workload::JobState::Running)
-            return;
-        const sim::Duration dt = t - job.lastProgressAt;
-        if (dt <= 0.0)
-            return;
-        const workload::JobSpec& spec = job.spec();
-        cloud::Instance* inst = job.instance;
-        const double sens = job.sensitivityScalar();
-        const double q = inst->effectiveQuality(t, sens, job.id());
-        // Without profiling, jobs run with user-default framework
-        // parameters (Section 3.4: 64KB block size, 1GB heaps, default
-        // thread counts), which roughly halves delivered efficiency.
-        const double config_eff = config_.useProfiling ? 1.0 : 0.5;
-        bool violating = false;
-        if (spec.jobClass() == workload::JobClass::Batch) {
-            const double eff = config_eff *
-                workload::batch_model::parallelEfficiency(
-                    job.cores, spec.coresIdeal);
-            const double rate = job.cores * q * eff;
-            const double done =
-                job.workDone + workload::batch_model::workDone(
-                                   job.cores * eff, q, dt);
-            if (done >= spec.workTotal()) {
-                const sim::Time tc = job.lastProgressAt +
-                    (spec.workTotal() - job.workDone) / rate;
-                job.workDone = spec.workTotal();
-                job.lastProgressAt = t;
-                finish_job(job, std::min(tc, t), /*failed=*/false);
-                return;
-            }
-            job.workDone = done;
-            violating = rate / spec.coresIdeal < 0.33;
-        } else {
-            const double pressure =
-                inst->interferencePressure(t, job.id());
-            // Interference bites serving *capacity* less than batch
-            // throughput (the tail term below carries the rest):
-            // neighbours inflate latency well before they truly halve
-            // throughput.
-            const double q_cap = (0.65 * q + 0.35) * config_eff;
-            const double p99 = workload::latency_model::p99Us(
-                spec.lcLoadRps, job.cores, q_cap, sens * pressure);
-            job.latencyUs.add(p99);
-            violating = p99 > 2.0 * spec.lcQosUs;
-        }
-        job.lastProgressAt = t;
-        strategy->qosCheck(job, violating);
-    };
-
-    // Periodic sampling of allocation/utilization series.
-    sim::Time next_sample = 0.0;
-    auto sample = [&](sim::Time t) {
-        const ClusterState& cluster = strategy->cluster();
-        metrics.recordAllocation(t, cluster.reservedCapacity(),
-                                 cluster.onDemandCapacity(),
-                                 cluster.onDemandUsed());
-        metrics.recordReservedUtilization(t,
-                                          cluster.reservedUtilization());
-        auto record_instance = [&](cloud::Instance* inst) {
-            metrics.recordInstanceUtilization(
-                inst->id(), inst->type().name, inst->reserved(),
-                inst->acquiredAt(), t,
-                inst->coresUsed() / inst->coresTotal());
-        };
-        for (cloud::Instance* inst : cluster.reservedPool())
-            record_instance(inst);
-        for (cloud::Instance* inst : cluster.onDemand())
-            record_instance(inst);
-        // Figure 21 breakdown: allocated cores by app group and side.
-        double cores[kGroupCount][2] = {{0, 0}, {0, 0}, {0, 0}};
-        for (const workload::Job* job : active) {
-            if (job->state != workload::JobState::Running &&
-                job->state != workload::JobState::Waiting) {
-                continue;
-            }
-            cores[groupOf(job->spec().kind)][job->onReserved ? 0 : 1] +=
-                job->cores;
-        }
-        for (int gi = 0; gi < kGroupCount; ++gi) {
-            metrics.recordBreakdown(t, kGroupNames[gi], true, cores[gi][0]);
-            metrics.recordBreakdown(t, kGroupNames[gi], false,
-                                    cores[gi][1]);
-        }
-    };
-
-    // Main tick: progress, QoS, strategy housekeeping, sampling.
-    std::size_t compacted_at_finished = 0;
-    simulator.every(config_.tick, [&]() -> bool {
-        const sim::Time t = simulator.now();
-        for (std::size_t i = 0; i < active.size(); ++i)
-            advance(*active[i], t);
-        // Services without serving capacity record unserved latency once
-        // the client-ramp grace period is exhausted. Completed/failed
-        // services are compacted away in the same pass.
-        std::size_t keep = 0;
-        for (std::size_t i = 0; i < lc_jobs.size(); ++i) {
-            workload::Job* job = lc_jobs[i];
-            if (job->state == workload::JobState::Completed ||
-                job->state == workload::JobState::Failed) {
-                continue;
-            }
-            if (job->state == workload::JobState::Pending ||
-                job->state == workload::JobState::Queued ||
-                job->state == workload::JobState::Waiting) {
-                const sim::Time waiting_since =
-                    job->startedAt == sim::kTimeNever
-                        ? job->spec().arrival
-                        : job->lastProgressAt;
-                if (t - waiting_since >
-                    workload::latency_model::kUnservedGraceSec) {
-                    job->latencyUs.add(
-                        workload::latency_model::kUnservedP99Us);
-                }
-            }
-            lc_jobs[keep++] = job;
-        }
-        lc_jobs.resize(keep);
-        // Jobs only leave `active` by finishing, so skip the compaction
-        // scan on the (common) ticks where nothing finished.
-        if (finished != compacted_at_finished) {
-            std::erase_if(active, [](const workload::Job* j) {
-                return j->state == workload::JobState::Completed ||
-                       j->state == workload::JobState::Failed;
-            });
-            compacted_at_finished = finished;
-        }
-        strategy->tick();
-        if (t >= next_sample) {
-            sample(t);
-            next_sample += config_.utilizationSample;
-        }
-        if (finished == jobs.size())
-            return false;
-        if (t > config_.maxRuntime) {
-            // Safety: fail whatever is still outstanding.
-            for (auto& job : jobs) {
-                if (job->state != workload::JobState::Completed &&
-                    job->state != workload::JobState::Failed) {
-                    if (!job->instance) {
-                        job->completedAt = t;
-                        job->state = workload::JobState::Failed;
-                        ++finished;
-                        tracer.job(obs::EventKind::JobFail, t, job->id(),
-                                   0.0, "max_runtime",
-                                   obs::Severity::Warn);
-                        metrics.recordOutcome(*job);
-                    } else {
-                        finish_job(*job, t, /*failed=*/true);
-                    }
-                }
-            }
-            return false;
-        }
-        return true;
-    });
-
-    setup_scope.reset();
-    {
-        obs::PhaseProfiler::Scope sim_scope(phases, "sim-loop");
-        simulator.run();
-    }
-
-    // ---- Finalize the result -------------------------------------------
-    const auto finalize_start = obs::PhaseProfiler::Clock::now();
-    RunResult result;
-    result.strategy = strategy->name();
-    result.scenario = scenarioName;
-    result.profiling = config_.useProfiling;
-    sim::Time makespan = 0.0;
-    for (const auto& job : jobs)
-        makespan = std::max(makespan, job->completedAt);
-    result.makespan = makespan > 0.0 ? makespan : simulator.now();
-
-    result.outcomes = metrics.outcomes();
-    for (const JobOutcome& o : metrics.outcomes()) {
-        ++result.jobCount;
-        if (o.failed)
-            ++result.failedJobs;
-        if (o.jobClass == workload::JobClass::Batch) {
-            result.batchTurnaroundMin.add(o.turnaroundMin);
-            result.batchPerfNorm.add(o.perfNorm);
-        } else {
-            result.lcLatencyUs.add(o.latencyP99Us);
-            result.lcPerfNorm.add(o.perfNorm);
-        }
-        (o.onReserved ? result.perfReserved : result.perfOnDemand)
-            .add(o.perfNorm);
-    }
-
-    if (!strategy->cluster().reservedPool().empty()) {
-        result.reservedUtilizationAvg =
-            metrics.reservedUtilization().average(0.0, result.makespan);
-    }
-    result.billing = provider.billing();
-    result.reservedAllocated = metrics.reservedAllocated();
-    result.onDemandAllocated = metrics.onDemandAllocated();
-    result.onDemandUsed = metrics.onDemandUsed();
-    result.reservedUtilization = metrics.reservedUtilization();
-    if (auto* hybrid = dynamic_cast<HybridStrategy*>(strategy.get()))
-        result.softLimitHistory = hybrid->softLimitHistory();
-    result.instanceTimelines = metrics.timelines();
-    result.breakdown = metrics.breakdown();
-    result.acquisitions = metrics.acquisitions();
-    result.immediateReleases = metrics.immediateReleases();
-    result.reschedules = metrics.reschedules();
-    result.spotInterruptions = metrics.spotInterruptions();
-    result.queuedJobs = metrics.queuedJobs();
-    result.spinUpWaits = metrics.spinUpWaits();
-    result.queueWaits = metrics.queueWaits();
-
-    // ---- Observability artifacts ---------------------------------------
-    result.trace = tracer.take();
-    result.metricsSnapshot = metrics.registry().snapshot();
-    phases.add("finalize",
-               std::chrono::duration<double>(
-                   obs::PhaseProfiler::Clock::now() - finalize_start)
-                   .count());
-    result.telemetry.setupSec = phases.seconds("setup");
-    result.telemetry.simLoopSec = phases.seconds("sim-loop");
-    result.telemetry.finalizeSec = phases.seconds("finalize");
-    result.telemetry.eventsProcessed = simulator.eventsRun();
-    result.telemetry.callbackHeapAllocs = simulator.callbackHeapAllocs();
-    result.telemetry.eventsPerSec = result.telemetry.simLoopSec > 0.0
-        ? static_cast<double>(result.telemetry.eventsProcessed) /
-            result.telemetry.simLoopSec
-        : 0.0;
-    return result;
+    EngineRun run(config_, profile_, factory);
+    return run.runBatch(trace, scenarioName);
 }
 
 } // namespace hcloud::core

@@ -1,97 +1,40 @@
 #include "obs/metrics_http.hpp"
 
-#include <cerrno>
-#include <cstring>
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/time.h>
-#include <unistd.h>
-
 #include "obs/prom_text.hpp"
 
 namespace hcloud::obs {
 
-namespace {
-
-/** Largest request head we will buffer before giving up on a client. */
-constexpr std::size_t kMaxRequestBytes = 8u * 1024;
-
-void
-closeQuietly(int& fd)
+srv::HttpServerConfig
+MetricsHttpServer::serverConfig()
 {
-    if (fd >= 0) {
-        ::close(fd);
-        fd = -1;
-    }
+    srv::HttpServerConfig config;
+    // Scrapes are rare (seconds apart) and tiny: one worker is plenty,
+    // and closing after every response keeps read-to-EOF scrape clients
+    // working unchanged.
+    config.workers = 1;
+    config.keepAlive = false;
+    config.maxRequestBytes = 8u * 1024;
+    config.idleTimeoutMs = 2000;
+    return config;
 }
-
-/** Full EINTR-safe send of @p body; SIGPIPE suppressed. */
-bool
-sendAll(int fd, std::string_view body)
-{
-    const char* data = body.data();
-    std::size_t remaining = body.size();
-    while (remaining > 0) {
-        const ssize_t n = ::send(fd, data, remaining, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        data += static_cast<std::size_t>(n);
-        remaining -= static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-void
-sendResponse(int fd, std::string_view status, std::string_view contentType,
-             std::string_view body)
-{
-    std::string head = "HTTP/1.1 ";
-    head += status;
-    head += "\r\nContent-Type: ";
-    head += contentType;
-    head += "\r\nContent-Length: ";
-    head += std::to_string(body.size());
-    head += "\r\nConnection: close\r\n\r\n";
-    if (sendAll(fd, head))
-        sendAll(fd, body);
-}
-
-/**
- * Read until the header terminator, EOF, timeout or the size bound.
- * Only the request line matters, but draining the full head keeps
- * well-behaved clients from seeing a reset before the response.
- */
-std::string
-readRequestHead(int fd)
-{
-    std::string request;
-    char chunk[1024];
-    while (request.size() < kMaxRequestBytes &&
-           request.find("\r\n\r\n") == std::string::npos) {
-        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            break; // timeout or error: parse whatever we have
-        }
-        if (n == 0)
-            break;
-        request.append(chunk, static_cast<std::size_t>(n));
-    }
-    return request;
-}
-
-} // namespace
 
 MetricsHttpServer::MetricsHttpServer(ProcessMetrics& metrics)
-    : metrics_(metrics)
+    : metrics_(metrics), server_(serverConfig())
 {
+    server_.route("GET", "/metrics", [this](const srv::HttpRequest&) {
+        scrapes_.fetch_add(1, std::memory_order_relaxed);
+        metrics_
+            .counter("hcloud_exposition_scrapes_total",
+                     "Scrapes served by the /metrics endpoint")
+            .inc();
+        srv::HttpResponse response;
+        response.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = renderPromText(metrics_);
+        return response;
+    });
+    server_.route("GET", "/healthz", [](const srv::HttpRequest&) {
+        return srv::HttpResponse::text(200, "ok\n");
+    });
 }
 
 MetricsHttpServer::~MetricsHttpServer()
@@ -102,147 +45,13 @@ MetricsHttpServer::~MetricsHttpServer()
 bool
 MetricsHttpServer::start(std::uint16_t port, std::string* error)
 {
-    auto fail = [&](const char* what) {
-        if (error)
-            *error = std::string(what) + ": " + std::strerror(errno);
-        closeQuietly(listenFd_);
-        closeQuietly(wakeFd_[0]);
-        closeQuietly(wakeFd_[1]);
-        return false;
-    };
-
-    if (running_) {
-        if (error)
-            *error = "already running";
-        return false;
-    }
-
-    if (::pipe(wakeFd_) != 0)
-        return fail("pipe");
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd_ < 0)
-        return fail("socket");
-    const int one = 1;
-    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0)
-        return fail("bind");
-    if (::listen(listenFd_, 16) != 0)
-        return fail("listen");
-
-    socklen_t len = sizeof(addr);
-    if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr),
-                      &len) != 0)
-        return fail("getsockname");
-    port_ = ntohs(addr.sin_port);
-
-    running_ = true;
-    thread_ = std::thread([this] { serveLoop(); });
-    return true;
+    return server_.start(port, error);
 }
 
 void
 MetricsHttpServer::stop()
 {
-    if (thread_.joinable()) {
-        running_ = false;
-        // Self-pipe wake-up: poll() returns even if the loop is blocked
-        // with no client in sight. EINTR here just retries the write.
-        const char byte = 0;
-        while (::write(wakeFd_[1], &byte, 1) < 0 && errno == EINTR) {
-        }
-        thread_.join();
-    }
-    running_ = false;
-    closeQuietly(listenFd_);
-    closeQuietly(wakeFd_[0]);
-    closeQuietly(wakeFd_[1]);
-    port_ = 0;
-}
-
-void
-MetricsHttpServer::serveLoop()
-{
-    while (running_) {
-        pollfd fds[2];
-        fds[0].fd = listenFd_;
-        fds[0].events = POLLIN;
-        fds[0].revents = 0;
-        fds[1].fd = wakeFd_[0];
-        fds[1].events = POLLIN;
-        fds[1].revents = 0;
-        const int ready = ::poll(fds, 2, -1);
-        if (ready < 0) {
-            if (errno == EINTR)
-                continue;
-            return;
-        }
-        if (fds[1].revents != 0 || !running_)
-            return; // stop() woke us
-        if ((fds[0].revents & POLLIN) == 0)
-            continue;
-        int client = -1;
-        do {
-            client = ::accept(listenFd_, nullptr, nullptr);
-        } while (client < 0 && errno == EINTR);
-        if (client < 0)
-            continue;
-        // Bound how long one slow client can hold the single-threaded
-        // accept loop hostage.
-        timeval timeout{};
-        timeout.tv_sec = 2;
-        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                     sizeof(timeout));
-        handleConnection(client);
-        ::close(client);
-    }
-}
-
-void
-MetricsHttpServer::handleConnection(int fd)
-{
-    const std::string request = readRequestHead(fd);
-    const std::size_t line_end = request.find("\r\n");
-    const std::string line = request.substr(
-        0, line_end == std::string::npos ? request.size() : line_end);
-
-    const bool get = line.rfind("GET ", 0) == 0;
-    std::string target;
-    if (get) {
-        const std::size_t path_end = line.find(' ', 4);
-        target = line.substr(4, path_end == std::string::npos
-                                    ? std::string::npos
-                                    : path_end - 4);
-        // Scrapers may append query params; the path is what we route.
-        target = target.substr(0, target.find('?'));
-    }
-
-    if (!get) {
-        sendResponse(fd, "405 Method Not Allowed", "text/plain",
-                     "method not allowed\n");
-        return;
-    }
-    if (target == "/metrics") {
-        scrapes_.fetch_add(1, std::memory_order_relaxed);
-        metrics_
-            .counter("hcloud_exposition_scrapes_total",
-                     "Scrapes served by the /metrics endpoint")
-            .inc();
-        sendResponse(fd, "200 OK",
-                     "text/plain; version=0.0.4; charset=utf-8",
-                     renderPromText(metrics_));
-        return;
-    }
-    if (target == "/healthz") {
-        sendResponse(fd, "200 OK", "text/plain", "ok\n");
-        return;
-    }
-    sendResponse(fd, "404 Not Found", "text/plain", "not found\n");
+    server_.stop();
 }
 
 } // namespace hcloud::obs

@@ -1,22 +1,23 @@
 /**
  * @file
- * MetricsHttpServer: minimal blocking HTTP/1.1 endpoint for live scrapes.
+ * MetricsHttpServer: the Prometheus scrape endpoint, as a thin wrapper
+ * over srv::HttpServer.
  *
- * One POSIX listening socket on 127.0.0.1 plus a single accept thread —
- * scrapes are rare (seconds apart) and tiny, so concurrency would only
- * add failure modes. Design constraints:
+ * Historically this file carried its own POSIX socket/accept loop; that
+ * loop was generalized into srv::HttpServer (routing, keep-alive, worker
+ * pool, bounded reads, self-pipe shutdown) and this class now only
+ * registers the two scrape routes on top of it. Behavior is unchanged:
  *
  *  - `GET /metrics` renders the registry at scrape time (Prometheus text
  *    exposition 0.0.4); `GET /healthz` answers `ok` for liveness probes;
- *    anything else is 404/405. Connections close after one response;
- *  - request reads are bounded (8 KiB, 2 s receive timeout) so a stuck
- *    or malicious client cannot wedge the accept loop;
- *  - all socket calls are EINTR-safe, and responses are written with
- *    MSG_NOSIGNAL so a client hanging up early cannot SIGPIPE the bench;
- *  - shutdown is deterministic via the self-pipe trick: stop() writes
- *    one byte to a pipe the accept loop polls alongside the listening
- *    socket, then joins the thread — no leaked thread, no race with an
- *    in-flight accept (asserted TSan-clean in tests/test_obs_prom.cpp);
+ *    unknown paths are 404 and wrong methods 405. Connections close
+ *    after one response (keep-alive off), which read-to-EOF scrapers
+ *    rely on;
+ *  - request reads stay bounded (8 KiB, 2 s idle timeout) so a stuck or
+ *    malicious client cannot wedge the endpoint;
+ *  - shutdown remains deterministic: stop() joins every thread and
+ *    closes every descriptor (asserted TSan-clean in
+ *    tests/test_obs_prom.cpp);
  *  - port 0 binds an ephemeral port; boundPort() reports the real one.
  *
  * The server never touches simulation state: it only snapshots the
@@ -30,9 +31,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
-#include <thread>
 
 #include "obs/process_metrics.hpp"
+#include "srv/http_server.hpp"
 
 namespace hcloud::obs {
 
@@ -57,10 +58,10 @@ class MetricsHttpServer
     bool start(std::uint16_t port, std::string* error = nullptr);
 
     /** Accept thread is live. */
-    bool running() const { return running_; }
+    bool running() const { return server_.running(); }
 
     /** Actual bound port (resolves port 0); 0 when not running. */
-    std::uint16_t boundPort() const { return port_; }
+    std::uint16_t boundPort() const { return server_.boundPort(); }
 
     /** Scrapes served so far (also exported as
      *  `hcloud_exposition_scrapes_total`). */
@@ -70,15 +71,10 @@ class MetricsHttpServer
     void stop();
 
   private:
-    void serveLoop();
-    void handleConnection(int fd);
+    static srv::HttpServerConfig serverConfig();
 
     ProcessMetrics& metrics_;
-    int listenFd_ = -1;
-    int wakeFd_[2] = {-1, -1}; ///< self-pipe: [0] polled, [1] written
-    std::uint16_t port_ = 0;
-    std::thread thread_;
-    std::atomic<bool> running_{false};
+    srv::HttpServer server_;
     std::atomic<std::uint64_t> scrapes_{0};
 };
 

@@ -131,6 +131,8 @@ Tracer::record(TraceEvent event)
     if (!(config_.categoryMask & categoryBit(categoryOf(event.kind))))
         return;
     ++recorded_;
+    if (onRecord_)
+        onRecord_(event);
     if (events_.size() < config_.ringCapacity) {
         events_.push_back(std::move(event));
         return;

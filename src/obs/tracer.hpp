@@ -26,6 +26,7 @@
 #define HCLOUD_OBS_TRACER_HPP
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -124,6 +125,20 @@ class Tracer
      *  bound). No-op when disabled. */
     void record(TraceEvent event);
 
+    /**
+     * Install an observer invoked for every event that passes the
+     * severity/category filters, before the event enters the ring (so it
+     * sees events a full ring would evict). The observer runs on the
+     * recording thread — the simulation loop — and must be cheap and
+     * must not call back into the tracer. One observer at most;
+     * pass nullptr to remove. srv::EngineSession uses this to harvest
+     * provisioning decisions without keeping the whole ring alive.
+     */
+    void setOnRecord(std::function<void(const TraceEvent&)> observer)
+    {
+        onRecord_ = std::move(observer);
+    }
+
     // Convenience emitters; each checks enabled() before building the
     // event so disabled call sites stay cheap.
     void job(EventKind kind, sim::Time t, sim::JobId id,
@@ -198,6 +213,8 @@ class Tracer
     std::unique_ptr<TraceSink> sink_;
     /** A sink was requested but could not be opened or written. */
     bool sinkFailed_ = false;
+    /** Post-filter observer (see setOnRecord). */
+    std::function<void(const TraceEvent&)> onRecord_;
 };
 
 /** Serialize @p event as a single JSON object (no trailing newline). */

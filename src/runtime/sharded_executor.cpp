@@ -1,0 +1,77 @@
+#include "runtime/sharded_executor.hpp"
+
+namespace hcloud::runtime {
+
+ShardedExecutor::ShardedExecutor(ThreadPool& pool, std::size_t shards)
+    : pool_(pool)
+{
+    if (shards == 0)
+        shards = 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ShardedExecutor::~ShardedExecutor()
+{
+    drain();
+}
+
+void
+ShardedExecutor::post(std::size_t shard, Task task)
+{
+    Shard& s = *shards_[shard % shards_.size()];
+    bool schedule = false;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.queue.push_back(std::move(task));
+        if (!s.scheduled) {
+            s.scheduled = true;
+            schedule = true;
+        }
+    }
+    if (schedule) {
+        const std::size_t index = shard % shards_.size();
+        // On serial pools submit() runs inline, so post() degrades to
+        // synchronous execution — exactly the deterministic path the
+        // single-threaded tests rely on.
+        pool_.submit([this, index] { runShard(index); });
+    }
+}
+
+void
+ShardedExecutor::runShard(std::size_t index)
+{
+    Shard& s = *shards_[index];
+    for (;;) {
+        Task task;
+        {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            if (s.queue.empty()) {
+                // Clearing `scheduled` under the lock closes the race
+                // with a concurrent post(): either it sees scheduled
+                // and enqueues behind us (we would have seen the task),
+                // or it resubmits a fresh drain job.
+                s.scheduled = false;
+                s.idle.notify_all();
+                return;
+            }
+            task = std::move(s.queue.front());
+            s.queue.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ShardedExecutor::drain()
+{
+    for (std::unique_ptr<Shard>& shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard->mutex);
+        shard->idle.wait(lock, [&] {
+            return shard->queue.empty() && !shard->scheduled;
+        });
+    }
+}
+
+} // namespace hcloud::runtime

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * ShardedExecutor: N serial "strands" multiplexed onto one ThreadPool.
+ *
+ * The serving layer pins every tenant session to a shard
+ * (shard = tenantSeq % shards) so all work for one session executes
+ * serially — engine state needs no locking — while different shards run
+ * concurrently on the pool. Classic strand pattern: each shard keeps a
+ * FIFO of pending tasks plus a `scheduled` flag; the first task posted
+ * to an idle shard submits a drain job to the pool, and the drain job
+ * runs tasks until the FIFO empties (re-checking under the shard lock
+ * before clearing `scheduled`, so a task posted concurrently is never
+ * stranded).
+ *
+ * Guarantees:
+ *  - tasks posted to one shard run in post order, never concurrently;
+ *  - call() blocks until the task has run and returns its result;
+ *    exceptions propagate to the caller;
+ *  - on a serial pool (pool.serial() == true) an idle shard's task runs
+ *    inline on the calling thread, preserving the repo-wide "thread
+ *    count 1 is deterministic and stack-traceable" property — but shard
+ *    exclusion still holds when several threads share the executor: a
+ *    caller hitting a busy shard enqueues behind the running drain and
+ *    (for call()) parks until its task has run.
+ *
+ * Deadlock note: call() parks the calling thread until a pool worker
+ * drains the shard. Callers must not be pool workers themselves (the
+ * HTTP layer's workers are HttpServer-owned threads, a disjoint set),
+ * otherwise a full pool could wait on itself.
+ */
+
+#ifndef HCLOUD_RUNTIME_SHARDED_EXECUTOR_HPP
+#define HCLOUD_RUNTIME_SHARDED_EXECUTOR_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace hcloud::runtime {
+
+/** Per-shard serial execution on top of a shared ThreadPool. */
+class ShardedExecutor
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param pool   shared pool the shard drain jobs run on
+     * @param shards number of independent strands (>= 1; 0 is bumped
+     *               to 1)
+     */
+    ShardedExecutor(ThreadPool& pool, std::size_t shards);
+
+    /** Drains every shard before returning. */
+    ~ShardedExecutor();
+
+    ShardedExecutor(const ShardedExecutor&) = delete;
+    ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+    std::size_t shards() const { return shards_.size(); }
+
+    /** Fire-and-forget @p task on @p shard, after all earlier tasks. */
+    void post(std::size_t shard, Task task);
+
+    /**
+     * Run @p fn on @p shard and return its result; blocks the calling
+     * thread, rethrows anything @p fn throws. Inline on serial pools.
+     */
+    template <typename Fn>
+    auto call(std::size_t shard, Fn&& fn) -> decltype(fn())
+    {
+        using Result = decltype(fn());
+        // No serial-pool fast path: even when submit() is inline, the
+        // queue + `scheduled` flag are what exclude a concurrent caller
+        // on the same shard (multiple HTTP workers share a serial
+        // engine pool on small hosts). post() below still runs the task
+        // on this thread when the pool is serial and the shard idle, so
+        // the single-threaded paths stay stack-traceable.
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        std::exception_ptr error;
+        if constexpr (std::is_void_v<Result>) {
+            post(shard, [&] {
+                try {
+                    fn();
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(m);
+                done = true;
+                cv.notify_one();
+            });
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] { return done; });
+            if (error)
+                std::rethrow_exception(error);
+        } else {
+            std::optional<Result> slot;
+            post(shard, [&] {
+                try {
+                    slot.emplace(fn());
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(m);
+                done = true;
+                cv.notify_one();
+            });
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] { return done; });
+            if (error)
+                std::rethrow_exception(error);
+            return std::move(*slot);
+        }
+    }
+
+    /** Block until every shard's FIFO is empty and no task is running. */
+    void drain();
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        std::deque<Task> queue;
+        bool scheduled = false; ///< a drain job is queued or running
+        std::condition_variable idle;
+    };
+
+    void runShard(std::size_t index);
+
+    ThreadPool& pool_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace hcloud::runtime
+
+#endif // HCLOUD_RUNTIME_SHARDED_EXECUTOR_HPP

@@ -1,0 +1,139 @@
+#include "srv/engine_session.hpp"
+
+#include <utility>
+
+#include "cloud/provider_profile.hpp"
+#include "exp/report_json.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcloud::srv {
+
+namespace {
+
+/** Engine config with the tracing the session machinery requires. */
+core::EngineConfig
+sessionEngineConfig(core::EngineConfig config)
+{
+    // The decision log is fed by the onRecord observer (lossless, before
+    // ring eviction), so the ring itself only needs to hold enough for
+    // report debugging; keeping it small bounds per-tenant memory with
+    // hundreds of concurrent sessions.
+    config.trace.mode = obs::TraceConfig::Mode::On;
+    config.trace.ringCapacity = 4096;
+    // Per-run sinks make no sense for a long-lived session.
+    config.trace.sinkPath.clear();
+    config.trace.sinkStem.clear();
+    return config;
+}
+
+} // namespace
+
+const char*
+jobStateName(workload::JobState state)
+{
+    switch (state) {
+      case workload::JobState::Pending:
+        return "pending";
+      case workload::JobState::Queued:
+        return "queued";
+      case workload::JobState::Waiting:
+        return "waiting";
+      case workload::JobState::Running:
+        return "running";
+      case workload::JobState::Completed:
+        return "completed";
+      case workload::JobState::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+EngineSession::EngineSession(SessionConfig config)
+    : config_(std::move(config)),
+      trace_(workload::generateScenario(config_.scenario)),
+      engine_(sessionEngineConfig(config_.engine),
+              cloud::ProviderProfile::gce(),
+              [this](core::EngineContext& ctx) {
+                  return core::makeStrategy(config_.strategy, ctx);
+              })
+{
+    engine_.tracer().setOnRecord([this](const obs::TraceEvent& event) {
+        if (event.kind != obs::EventKind::Decision || event.job == 0)
+            return;
+        decisions_.push_back(DecisionRecord{event.time, event.job,
+                                            event.reason, event.value,
+                                            event.detail});
+    });
+    engine_.beginSession(trace_);
+}
+
+SubmitOutcome
+EngineSession::submitJob(workload::JobSpec spec)
+{
+    SubmitOutcome outcome;
+    if (spec.id == 0)
+        spec.id = nextId_;
+    outcome.id = spec.id;
+
+    outcome.status = engine_.submit(spec);
+    if (outcome.status != core::EngineRun::SubmitStatus::Accepted)
+        return outcome;
+    if (spec.id >= nextId_)
+        nextId_ = spec.id + 1;
+
+    const std::size_t decisionsBefore = decisions_.size();
+    // Make the arrival happen now: with profiling off the provisioning
+    // decision lands synchronously; with profiling on it lands after the
+    // profiling delay, observable via a later advance or the report.
+    advanceTo(spec.arrival);
+    for (std::size_t i = decisionsBefore; i < decisions_.size(); ++i) {
+        if (decisions_[i].job == spec.id)
+            outcome.decisions.push_back(decisions_[i]);
+    }
+    if (const workload::Job* job = engine_.job(spec.id))
+        outcome.state = jobStateName(job->state);
+    return outcome;
+}
+
+void
+EngineSession::advanceTo(sim::Time t)
+{
+    engine_.advanceTo(t);
+}
+
+std::string
+EngineSession::reportJson()
+{
+    core::RunResult result =
+        engine_.liveResult(workload::toString(config_.scenario.kind));
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("schemaVersion", exp::kReportSchemaVersion);
+    w.field("tenant", config_.id);
+    w.field("strategy", core::toString(config_.strategy));
+    w.field("scenario", workload::toString(config_.scenario.kind));
+    w.field("now", engine_.now());
+    w.field("jobs", static_cast<std::uint64_t>(engine_.jobCount()));
+    w.field("finished",
+            static_cast<std::uint64_t>(engine_.finishedCount()));
+    w.key("run");
+    exp::runResultJson(w, result);
+    w.key("decisions");
+    w.beginArray();
+    for (const DecisionRecord& d : decisions_) {
+        w.beginObject();
+        w.field("time", d.time);
+        w.field("job", static_cast<std::uint64_t>(d.job));
+        w.field("reason", obs::toString(d.reason));
+        w.field("value", d.value);
+        if (!d.detail.empty())
+            w.field("detail", d.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
+}
+
+} // namespace hcloud::srv

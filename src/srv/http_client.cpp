@@ -1,0 +1,202 @@
+#include "srv/http_client.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hcloud::srv {
+
+namespace {
+
+bool
+sendAll(int fd, std::string_view data)
+{
+    const char* p = data.data();
+    std::size_t remaining = data.size();
+    while (remaining > 0) {
+        const ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += static_cast<std::size_t>(n);
+        remaining -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Recv append; returns false on EOF or error. */
+bool
+recvSome(int fd, std::string& buffer)
+{
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        return true;
+    }
+}
+
+} // namespace
+
+HttpClient::HttpClient(std::uint16_t port)
+    : port_(port)
+{
+}
+
+HttpClient::~HttpClient()
+{
+    disconnect();
+}
+
+void
+HttpClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+HttpClient::ensureConnected()
+{
+    if (fd_ >= 0)
+        return true;
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    // Latency benchmark: don't let Nagle batch tiny request writes.
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    int rc;
+    do {
+        rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+ClientResponse
+HttpClient::get(std::string_view target)
+{
+    return request("GET", target, {}, {});
+}
+
+ClientResponse
+HttpClient::post(std::string_view target, std::string_view body,
+                 std::string_view contentType)
+{
+    return request("POST", target, body, contentType);
+}
+
+ClientResponse
+HttpClient::request(std::string_view method, std::string_view target,
+                    std::string_view body, std::string_view contentType)
+{
+    std::string wire;
+    wire.reserve(128 + body.size());
+    wire += method;
+    wire += ' ';
+    wire += target;
+    wire += " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+    if (!body.empty() || method == "POST") {
+        wire += "Content-Type: ";
+        wire += contentType;
+        wire += "\r\nContent-Length: ";
+        wire += std::to_string(body.size());
+        wire += "\r\n";
+    }
+    wire += "\r\n";
+    wire += body;
+
+    ClientResponse out;
+    const bool hadConnection = fd_ >= 0;
+    if (!ensureConnected())
+        return out;
+    if (tryOnce(wire, out))
+        return out;
+    // A stale keep-alive connection the server closed looks like an IO
+    // failure; retry exactly once on a fresh connection.
+    disconnect();
+    if (!hadConnection || !ensureConnected())
+        return out;
+    tryOnce(wire, out);
+    return out;
+}
+
+bool
+HttpClient::tryOnce(const std::string& wire, ClientResponse& out)
+{
+    if (!sendAll(fd_, wire))
+        return false;
+
+    std::string buffer;
+    std::size_t headEnd;
+    while ((headEnd = buffer.find("\r\n\r\n")) == std::string::npos) {
+        if (!recvSome(fd_, buffer))
+            return false;
+    }
+
+    // Status line: "HTTP/1.1 200 OK".
+    const std::size_t firstSpace = buffer.find(' ');
+    if (firstSpace == std::string::npos || firstSpace > headEnd)
+        return false;
+    out.status = std::atoi(buffer.c_str() + firstSpace + 1);
+
+    std::size_t contentLength = 0;
+    bool close = false;
+    std::size_t lineStart = buffer.find("\r\n") + 2;
+    while (lineStart < headEnd) {
+        std::size_t lineEnd = buffer.find("\r\n", lineStart);
+        std::string line =
+            buffer.substr(lineStart, lineEnd - lineStart);
+        for (char& c : line)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (line.rfind("content-length:", 0) == 0)
+            contentLength = std::strtoull(
+                line.c_str() + std::strlen("content-length:"), nullptr,
+                10);
+        else if (line.rfind("connection:", 0) == 0 &&
+                 line.find("close") != std::string::npos)
+            close = true;
+        lineStart = lineEnd + 2;
+    }
+
+    const std::size_t bodyStart = headEnd + 4;
+    while (buffer.size() < bodyStart + contentLength) {
+        if (!recvSome(fd_, buffer))
+            return false;
+    }
+    out.body = buffer.substr(bodyStart, contentLength);
+    out.ok = true;
+    if (close)
+        disconnect();
+    return true;
+}
+
+} // namespace hcloud::srv

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * HttpClient: minimal blocking HTTP/1.1 client for loopback use.
+ *
+ * Exists for the closed-loop load generator (bench_serve) and the
+ * serving-layer tests: one persistent keep-alive connection per client,
+ * EINTR-safe IO, Content-Length framing. Deliberately not a general
+ * HTTP client — no TLS, no chunked encoding, no redirects. When the
+ * server closes the connection (or on any IO error) the next request
+ * transparently reconnects once.
+ */
+
+#ifndef HCLOUD_SRV_HTTP_CLIENT_HPP
+#define HCLOUD_SRV_HTTP_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hcloud::srv {
+
+/** Response to one client request. */
+struct ClientResponse
+{
+    /** False on connect/IO/parse failure; status/body then meaningless. */
+    bool ok = false;
+    int status = 0;
+    std::string body;
+};
+
+/** One keep-alive connection to 127.0.0.1:port. Not thread-safe. */
+class HttpClient
+{
+  public:
+    explicit HttpClient(std::uint16_t port);
+
+    ~HttpClient();
+
+    HttpClient(const HttpClient&) = delete;
+    HttpClient& operator=(const HttpClient&) = delete;
+
+    ClientResponse get(std::string_view target);
+    ClientResponse post(std::string_view target, std::string_view body,
+                        std::string_view contentType =
+                            "application/json");
+
+    /** Close the connection (next request reconnects). */
+    void disconnect();
+
+  private:
+    ClientResponse request(std::string_view method,
+                           std::string_view target,
+                           std::string_view body,
+                           std::string_view contentType);
+    /** One attempt on the current connection; false = retryable. */
+    bool tryOnce(const std::string& wire, ClientResponse& out);
+    bool ensureConnected();
+
+    std::uint16_t port_;
+    int fd_ = -1;
+};
+
+} // namespace hcloud::srv
+
+#endif // HCLOUD_SRV_HTTP_CLIENT_HPP

@@ -1,0 +1,268 @@
+#include "srv/json_api.hpp"
+
+#include <stdexcept>
+
+namespace hcloud::srv {
+
+namespace {
+
+using obs::JsonValue;
+
+/** 422 with a uniform "field <name> ..." message. */
+[[noreturn]] void
+fieldError(std::string_view name, std::string_view what)
+{
+    throw ApiError{422, "invalid_field",
+                   "field \"" + std::string(name) + "\" " +
+                       std::string(what)};
+}
+
+const JsonValue&
+requireObject(const JsonValue& v, std::string_view what)
+{
+    if (v.type != JsonValue::Type::Object)
+        throw ApiError{422, "invalid_body",
+                       std::string(what) + " must be a JSON object"};
+    return v;
+}
+
+/** Required number field. */
+double
+getNumber(const JsonValue& obj, std::string_view name)
+{
+    const JsonValue* f = obj.find(name);
+    if (!f)
+        fieldError(name, "is required");
+    if (f->type != JsonValue::Type::Number)
+        fieldError(name, "must be a number");
+    return f->number;
+}
+
+/** Optional number field. */
+double
+getNumberOr(const JsonValue& obj, std::string_view name, double fallback)
+{
+    const JsonValue* f = obj.find(name);
+    if (!f)
+        return fallback;
+    if (f->type != JsonValue::Type::Number)
+        fieldError(name, "must be a number");
+    return f->number;
+}
+
+std::string
+getStringOr(const JsonValue& obj, std::string_view name,
+            std::string fallback)
+{
+    const JsonValue* f = obj.find(name);
+    if (!f)
+        return fallback;
+    if (f->type != JsonValue::Type::String)
+        fieldError(name, "must be a string");
+    return f->string;
+}
+
+bool
+getBoolOr(const JsonValue& obj, std::string_view name, bool fallback)
+{
+    const JsonValue* f = obj.find(name);
+    if (!f)
+        return fallback;
+    if (f->type != JsonValue::Type::Bool)
+        fieldError(name, "must be a boolean");
+    return f->boolean;
+}
+
+} // namespace
+
+std::string
+errorJson(std::string_view code, std::string_view message)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("error");
+    w.beginObject();
+    w.field("code", code);
+    w.field("message", message);
+    w.endObject();
+    w.endObject();
+    return w.take();
+}
+
+obs::JsonValue
+parseBody(std::string_view body)
+{
+    if (body.empty())
+        throw ApiError{400, "empty_body", "request body is required"};
+    try {
+        return obs::parseJson(body);
+    } catch (const std::runtime_error& e) {
+        throw ApiError{400, "bad_json",
+                       std::string("malformed JSON: ") + e.what()};
+    }
+}
+
+bool
+parseStrategyKind(const std::string& name, core::StrategyKind* out)
+{
+    for (core::StrategyKind kind : core::kAllStrategies) {
+        if (name == core::toString(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseScenarioKind(const std::string& name, workload::ScenarioKind* out)
+{
+    for (workload::ScenarioKind kind : workload::kAllScenarios) {
+        if (name == workload::toString(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseAppKind(const std::string& name, workload::AppKind* out)
+{
+    static constexpr workload::AppKind kAll[] = {
+        workload::AppKind::HadoopRecommender,
+        workload::AppKind::HadoopSvm,
+        workload::AppKind::HadoopMatFac,
+        workload::AppKind::SparkAnalytics,
+        workload::AppKind::SparkRealtime,
+        workload::AppKind::Memcached,
+    };
+    for (workload::AppKind kind : kAll) {
+        if (name == workload::toString(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+SessionConfig
+parseSessionConfig(const JsonValue& v)
+{
+    requireObject(v, "session config");
+    SessionConfig config;
+    config.id = getStringOr(v, "id", "");
+
+    const std::string strategy = getStringOr(v, "strategy", "HM");
+    if (!parseStrategyKind(strategy, &config.strategy))
+        throw ApiError{422, "unknown_strategy",
+                       "unknown strategy \"" + strategy +
+                           "\" (expected SR, OdF, OdM, HF or HM)"};
+
+    if (const JsonValue* scenario = v.find("scenario")) {
+        requireObject(*scenario, "scenario");
+        const std::string kind =
+            getStringOr(*scenario, "kind", "static");
+        if (!parseScenarioKind(kind, &config.scenario.kind))
+            throw ApiError{422, "unknown_scenario",
+                           "unknown scenario \"" + kind +
+                               "\" (expected static, low-variability "
+                               "or high-variability)"};
+        config.scenario.duration = getNumberOr(
+            *scenario, "duration", config.scenario.duration);
+        if (config.scenario.duration <= 0.0)
+            fieldError("duration", "must be positive");
+        config.scenario.seed = static_cast<std::uint64_t>(getNumberOr(
+            *scenario, "seed",
+            static_cast<double>(config.scenario.seed)));
+        config.scenario.loadScale = getNumberOr(
+            *scenario, "loadScale", config.scenario.loadScale);
+        if (config.scenario.loadScale <= 0.0)
+            fieldError("loadScale", "must be positive");
+        config.scenario.sensitiveFraction =
+            getNumberOr(*scenario, "sensitiveFraction",
+                        config.scenario.sensitiveFraction);
+    }
+
+    if (const JsonValue* engine = v.find("engine")) {
+        requireObject(*engine, "engine");
+        config.engine.seed = static_cast<std::uint64_t>(getNumberOr(
+            *engine, "seed", static_cast<double>(config.engine.seed)));
+        config.engine.useProfiling = getBoolOr(
+            *engine, "useProfiling", config.engine.useProfiling);
+        config.engine.retentionMultiple =
+            getNumberOr(*engine, "retentionMultiple",
+                        config.engine.retentionMultiple);
+        config.engine.maxRuntime = getNumberOr(
+            *engine, "maxRuntime", config.engine.maxRuntime);
+    }
+    return config;
+}
+
+workload::JobSpec
+parseJobSpec(const JsonValue& v)
+{
+    requireObject(v, "job spec");
+    workload::JobSpec spec;
+    spec.id = static_cast<sim::JobId>(getNumberOr(v, "id", 0.0));
+
+    const std::string kind = getStringOr(v, "kind", "");
+    if (kind.empty())
+        fieldError("kind", "is required");
+    if (!parseAppKind(kind, &spec.kind))
+        throw ApiError{422, "unknown_app",
+                       "unknown application kind \"" + kind + "\""};
+
+    spec.arrival = getNumber(v, "arrival");
+    if (spec.arrival < 0.0)
+        fieldError("arrival", "must be >= 0");
+    spec.coresIdeal = getNumberOr(v, "coresIdeal", spec.coresIdeal);
+    if (spec.coresIdeal <= 0.0)
+        fieldError("coresIdeal", "must be positive");
+    spec.memoryPerCore =
+        getNumberOr(v, "memoryPerCore", spec.memoryPerCore);
+    spec.idealDuration =
+        getNumberOr(v, "idealDuration", spec.idealDuration);
+    spec.lcLoadRps = getNumberOr(v, "lcLoadRps", spec.lcLoadRps);
+    spec.lcLifetime = getNumberOr(v, "lcLifetime", spec.lcLifetime);
+    spec.lcQosUs = getNumberOr(v, "lcQosUs", spec.lcQosUs);
+
+    if (const JsonValue* sensitivity = v.find("sensitivity")) {
+        if (sensitivity->type != JsonValue::Type::Array ||
+            sensitivity->array.size() != workload::kNumResources)
+            fieldError("sensitivity",
+                       "must be an array of " +
+                           std::to_string(workload::kNumResources) +
+                           " numbers");
+        for (std::size_t i = 0; i < workload::kNumResources; ++i) {
+            const JsonValue& c = sensitivity->array[i];
+            if (c.type != JsonValue::Type::Number)
+                fieldError("sensitivity", "must contain only numbers");
+            spec.sensitivity[i] = c.number;
+        }
+    }
+    return spec;
+}
+
+void
+jobSpecJson(obs::JsonWriter& w, const workload::JobSpec& spec)
+{
+    w.beginObject();
+    w.field("id", static_cast<std::uint64_t>(spec.id));
+    w.field("kind", workload::toString(spec.kind));
+    w.field("arrival", spec.arrival);
+    w.field("coresIdeal", spec.coresIdeal);
+    w.field("memoryPerCore", spec.memoryPerCore);
+    w.field("idealDuration", spec.idealDuration);
+    w.field("lcLoadRps", spec.lcLoadRps);
+    w.field("lcLifetime", spec.lcLifetime);
+    w.field("lcQosUs", spec.lcQosUs);
+    w.key("sensitivity");
+    w.beginArray();
+    for (double c : spec.sensitivity)
+        w.value(c);
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace hcloud::srv

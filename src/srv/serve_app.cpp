@@ -1,0 +1,252 @@
+#include "srv/serve_app.hpp"
+
+#include <utility>
+
+#include "exp/report_json.hpp"
+#include "obs/json.hpp"
+#include "obs/prom_text.hpp"
+#include "srv/json_api.hpp"
+
+namespace hcloud::srv {
+
+namespace {
+
+/** Route handler with ApiError -> structured 4xx translation. */
+template <typename Fn>
+HttpServer::Handler
+api(Fn fn)
+{
+    return [fn = std::move(fn)](const HttpRequest& request) {
+        try {
+            return fn(request);
+        } catch (const ApiError& e) {
+            return HttpResponse::json(e.status,
+                                      errorJson(e.code, e.message));
+        }
+    };
+}
+
+void
+decisionJson(obs::JsonWriter& w, const DecisionRecord& d)
+{
+    w.beginObject();
+    w.field("time", d.time);
+    w.field("job", static_cast<std::uint64_t>(d.job));
+    w.field("reason", obs::toString(d.reason));
+    w.field("value", d.value);
+    if (!d.detail.empty())
+        w.field("detail", d.detail);
+    w.endObject();
+}
+
+srv::HttpServerConfig
+serverConfig(const ServeConfig& config)
+{
+    HttpServerConfig http;
+    http.workers = config.httpWorkers;
+    http.maxPendingConnections = config.maxPendingConnections;
+    // Transport-level failures (404/405/413/503/500) speak the same
+    // structured-error JSON as the API handlers.
+    http.errorResponse = [](int status, std::string_view message) {
+        const char* code;
+        switch (status) {
+          case 400:
+            code = "bad_request";
+            break;
+          case 404:
+            code = "not_found";
+            break;
+          case 405:
+            code = "method_not_allowed";
+            break;
+          case 408:
+            code = "timeout";
+            break;
+          case 413:
+            code = "body_too_large";
+            break;
+          case 503:
+            code = "overloaded";
+            break;
+          default:
+            code = "internal_error";
+            break;
+        }
+        return HttpResponse::json(status, errorJson(code, message));
+    };
+    return http;
+}
+
+} // namespace
+
+ServeApp::ServeApp(ServeConfig config, obs::ProcessMetrics& metrics)
+    : metrics_(metrics), pool_(config.threads),
+      sessions_(pool_, config.shards, metrics_),
+      server_(serverConfig(config))
+{
+    routes();
+}
+
+ServeApp::~ServeApp()
+{
+    stop();
+}
+
+bool
+ServeApp::start(std::uint16_t port, std::string* error)
+{
+    return server_.start(port, error);
+}
+
+void
+ServeApp::stop()
+{
+    // Transport first (no new requests), then let the shards drain any
+    // work already accepted. SessionManager's destructor drains again,
+    // so stop() + destruction is safe in either order.
+    server_.stop();
+}
+
+void
+ServeApp::routes()
+{
+    server_.route("POST", "/v1/tenants", api([this](auto& r) {
+                      return handleCreateTenant(r);
+                  }));
+    server_.route("GET", "/v1/tenants", api([this](auto& r) {
+                      return handleListTenants(r);
+                  }));
+    server_.route("POST", "/v1/tenants/*/jobs", api([this](auto& r) {
+                      return handleSubmitJob(r);
+                  }));
+    server_.route("POST", "/v1/tenants/*/advance", api([this](auto& r) {
+                      return handleAdvance(r);
+                  }));
+    server_.route("GET", "/v1/tenants/*/report", api([this](auto& r) {
+                      return handleReport(r);
+                  }));
+    server_.route("GET", "/metrics", [this](const HttpRequest&) {
+        metrics_
+            .counter("hcloud_exposition_scrapes_total",
+                     "Scrapes served by the /metrics endpoint")
+            .inc();
+        HttpResponse response;
+        response.contentType =
+            "text/plain; version=0.0.4; charset=utf-8";
+        response.body = obs::renderPromText(metrics_);
+        return response;
+    });
+    server_.route("GET", "/healthz", [](const HttpRequest&) {
+        return HttpResponse::text(200, "ok\n");
+    });
+}
+
+HttpResponse
+ServeApp::handleCreateTenant(const HttpRequest& request)
+{
+    SessionConfig config =
+        parseSessionConfig(parseBody(request.body));
+    const std::string id = sessions_.create(std::move(config));
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("schemaVersion", exp::kReportSchemaVersion);
+    w.field("tenant", id);
+    w.field("sessions",
+            static_cast<std::uint64_t>(sessions_.sessionCount()));
+    w.endObject();
+    return HttpResponse::json(201, w.take());
+}
+
+HttpResponse
+ServeApp::handleListTenants(const HttpRequest&)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("tenants");
+    w.beginArray();
+    for (const std::string& id : sessions_.tenantIds())
+        w.value(id);
+    w.endArray();
+    w.endObject();
+    return HttpResponse::json(200, w.take());
+}
+
+HttpResponse
+ServeApp::handleSubmitJob(const HttpRequest& request)
+{
+    const std::string& tenant = request.params[0];
+    const workload::JobSpec spec =
+        parseJobSpec(parseBody(request.body));
+
+    const SubmitOutcome outcome = sessions_.with(
+        tenant,
+        [&spec](EngineSession& s) { return s.submitJob(spec); });
+
+    switch (outcome.status) {
+      case core::EngineRun::SubmitStatus::Accepted:
+        break;
+      case core::EngineRun::SubmitStatus::ArrivalInPast:
+        throw ApiError{409, "arrival_in_past",
+                       "arrival is before the session clock"};
+      case core::EngineRun::SubmitStatus::DuplicateId:
+        throw ApiError{409, "duplicate_job",
+                       "job id " + std::to_string(outcome.id) +
+                           " already exists"};
+    }
+    sessions_.countJob(tenant);
+    sessions_.countDecisions(
+        tenant, static_cast<std::uint64_t>(outcome.decisions.size()));
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("job", static_cast<std::uint64_t>(outcome.id));
+    w.field("state", outcome.state);
+    w.key("decisions");
+    w.beginArray();
+    for (const DecisionRecord& d : outcome.decisions)
+        decisionJson(w, d);
+    w.endArray();
+    w.endObject();
+    return HttpResponse::json(200, w.take());
+}
+
+HttpResponse
+ServeApp::handleAdvance(const HttpRequest& request)
+{
+    const std::string& tenant = request.params[0];
+    const obs::JsonValue body = parseBody(request.body);
+    const obs::JsonValue* to = body.find("to");
+    if (!to || to->type != obs::JsonValue::Type::Number)
+        throw ApiError{422, "invalid_field",
+                       "field \"to\" must be a number"};
+
+    const std::pair<sim::Time, std::size_t> advanced = sessions_.with(
+        tenant, [t = to->number](EngineSession& s) {
+            const std::size_t before = s.decisions().size();
+            s.advanceTo(t);
+            return std::pair<sim::Time, std::size_t>(
+                s.now(), s.decisions().size() - before);
+        });
+    sessions_.countDecisions(
+        tenant, static_cast<std::uint64_t>(advanced.second));
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("now", advanced.first);
+    w.field("decisions",
+            static_cast<std::uint64_t>(advanced.second));
+    w.endObject();
+    return HttpResponse::json(200, w.take());
+}
+
+HttpResponse
+ServeApp::handleReport(const HttpRequest& request)
+{
+    const std::string& tenant = request.params[0];
+    std::string report = sessions_.with(
+        tenant, [](EngineSession& s) { return s.reportJson(); });
+    return HttpResponse::json(200, std::move(report));
+}
+
+} // namespace hcloud::srv

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ServeApp: the hcloud provisioning-as-a-service daemon, as a library.
+ *
+ * Wires the serving stack — srv::HttpServer for transport,
+ * srv::SessionManager for sharded tenant sessions, obs::ProcessMetrics
+ * for per-tenant observability — behind one start()/stop() pair so the
+ * binary (serve_main.cpp), the benchmark (bench_serve) and the tests all
+ * drive the identical daemon in-process.
+ *
+ * HTTP surface (all request/response bodies JSON):
+ *
+ *   POST /v1/tenants             create a session     -> 201 {tenant,...}
+ *   GET  /v1/tenants             list tenants         -> 200 {tenants:[..]}
+ *   POST /v1/tenants/{id}/jobs   submit a job, advance to its arrival
+ *                                -> 200 {job, state, decisions:[..]}
+ *   POST /v1/tenants/{id}/advance {"to": seconds}     -> 200 {now}
+ *   GET  /v1/tenants/{id}/report schema-versioned report (see
+ *                                EngineSession::reportJson)
+ *   GET  /metrics                Prometheus text (per-tenant series)
+ *   GET  /healthz                "ok"
+ *
+ * Every client-caused failure is a 4xx with the structured body
+ * {"error":{"code","message"}} (the server-wide error formatter is
+ * installed on the transport, so 404/405/413/503 match too); handler
+ * bugs surface as 500 with the same shape, never a crash.
+ */
+
+#ifndef HCLOUD_SRV_SERVE_APP_HPP
+#define HCLOUD_SRV_SERVE_APP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/process_metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "srv/http_server.hpp"
+#include "srv/session_manager.hpp"
+
+namespace hcloud::srv {
+
+struct ServeConfig
+{
+    /** Session shards (concurrent tenant strands). */
+    std::size_t shards = 8;
+    /** Engine thread-pool workers; 0 = defaultThreadCount(). */
+    std::size_t threads = 0;
+    /** HTTP connection workers. */
+    std::size_t httpWorkers = 8;
+    /** Accepted-connection queue bound (then 503). */
+    std::size_t maxPendingConnections = 256;
+};
+
+/** The daemon: sharded multi-tenant sessions behind an HTTP API. */
+class ServeApp
+{
+  public:
+    explicit ServeApp(ServeConfig config = {},
+                      obs::ProcessMetrics& metrics =
+                          obs::ProcessMetrics::instance());
+
+    /** Graceful drain (equivalent to stop()). */
+    ~ServeApp();
+
+    ServeApp(const ServeApp&) = delete;
+    ServeApp& operator=(const ServeApp&) = delete;
+
+    /** Bind 127.0.0.1:@p port (0 = ephemeral) and serve. */
+    bool start(std::uint16_t port, std::string* error = nullptr);
+
+    /**
+     * Graceful drain: stop accepting, finish in-flight requests, wait
+     * for all shard work, join every thread. Idempotent; this is what
+     * SIGTERM triggers in the binary.
+     */
+    void stop();
+
+    bool running() const { return server_.running(); }
+    std::uint16_t boundPort() const { return server_.boundPort(); }
+
+    SessionManager& sessions() { return sessions_; }
+    const HttpServer& server() const { return server_; }
+
+  private:
+    void routes();
+    HttpResponse handleCreateTenant(const HttpRequest& request);
+    HttpResponse handleListTenants(const HttpRequest& request);
+    HttpResponse handleSubmitJob(const HttpRequest& request);
+    HttpResponse handleAdvance(const HttpRequest& request);
+    HttpResponse handleReport(const HttpRequest& request);
+
+    obs::ProcessMetrics& metrics_;
+    runtime::ThreadPool pool_;
+    SessionManager sessions_;
+    HttpServer server_;
+};
+
+} // namespace hcloud::srv
+
+#endif // HCLOUD_SRV_SERVE_APP_HPP

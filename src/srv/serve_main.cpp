@@ -1,0 +1,142 @@
+/**
+ * @file
+ * hcloud_serve: the provisioning-as-a-service daemon binary.
+ *
+ * Thin shell around srv::ServeApp: parse flags, start the app, block
+ * until SIGTERM/SIGINT, drain gracefully. The signal path uses the
+ * self-pipe trick (a signal handler may only write to a pipe; the main
+ * thread blocks reading it) so shutdown is async-signal-safe.
+ *
+ * Usage:
+ *   hcloud_serve [--port N] [--shards N] [--threads N]
+ *                [--http-workers N]
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "srv/serve_app.hpp"
+
+namespace {
+
+int gSignalPipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    const char byte = 0;
+    // Best-effort: a full pipe means a wake byte is already pending.
+    [[maybe_unused]] ssize_t n = ::write(gSignalPipe[1], &byte, 1);
+}
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--port N] [--shards N] [--threads N]\n"
+        "          [--http-workers N]\n"
+        "\n"
+        "  --port N          listen port (default 8080, 0 = ephemeral)\n"
+        "  --shards N        tenant session strands (default 8)\n"
+        "  --threads N       engine worker threads (default: "
+        "HCLOUD_THREADS or hardware)\n"
+        "  --http-workers N  HTTP connection workers (default 8)\n",
+        argv0);
+}
+
+bool
+parseCount(const char* value, long* out)
+{
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 0)
+        return false;
+    *out = parsed;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    long port = 8080;
+    hcloud::srv::ServeConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        auto next = [&](long* out) {
+            if (i + 1 >= argc || !parseCount(argv[++i], out)) {
+                std::fprintf(stderr, "serve: %s requires a number\n",
+                             arg);
+                return false;
+            }
+            return true;
+        };
+        long value = 0;
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (std::strcmp(arg, "--port") == 0) {
+            if (!next(&value) || value > 65535)
+                return 2;
+            port = value;
+        } else if (std::strcmp(arg, "--shards") == 0) {
+            if (!next(&value))
+                return 2;
+            config.shards = static_cast<std::size_t>(value);
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            if (!next(&value))
+                return 2;
+            config.threads = static_cast<std::size_t>(value);
+        } else if (std::strcmp(arg, "--http-workers") == 0) {
+            if (!next(&value) || value == 0)
+                return 2;
+            config.httpWorkers = static_cast<std::size_t>(value);
+        } else {
+            std::fprintf(stderr, "serve: unknown option %s\n", arg);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (::pipe(gSignalPipe) != 0) {
+        std::perror("serve: pipe");
+        return 1;
+    }
+    struct sigaction action{};
+    action.sa_handler = onSignal;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    hcloud::srv::ServeApp app(config);
+    std::string error;
+    if (!app.start(static_cast<std::uint16_t>(port), &error)) {
+        std::fprintf(stderr, "serve: start failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::printf("serve: listening http://127.0.0.1:%u/ "
+                "(shards=%zu, http-workers=%zu)\n",
+                app.boundPort(), config.shards, config.httpWorkers);
+    std::fflush(stdout);
+
+    char byte;
+    while (::read(gSignalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::printf("serve: draining...\n");
+    std::fflush(stdout);
+    app.stop();
+    std::printf("serve: stopped\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+#include "srv/session_manager.hpp"
+
+namespace hcloud::srv {
+
+SessionManager::SessionManager(runtime::ThreadPool& pool,
+                               std::size_t shards,
+                               obs::ProcessMetrics& metrics)
+    : executor_(pool, shards), metrics_(metrics)
+{
+}
+
+SessionManager::~SessionManager()
+{
+    executor_.drain();
+}
+
+std::string
+SessionManager::create(SessionConfig config)
+{
+    std::size_t shard;
+    {
+        // Reserve identity first so concurrent creates can't collide;
+        // the map slot itself is only filled once the engine is built.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (config.id.empty())
+            config.id = "t-" + std::to_string(nextSeq_ + 1);
+        if (sessions_.count(config.id) != 0)
+            throw ApiError{409, "duplicate_tenant",
+                           "tenant \"" + config.id +
+                               "\" already exists"};
+        shard = static_cast<std::size_t>(nextSeq_) % executor_.shards();
+        ++nextSeq_;
+        // Claim the id with an empty entry; with() treats a session
+        // still under construction as not ready.
+        sessions_[config.id] = Entry{nullptr, shard};
+        order_.push_back(config.id);
+    }
+
+    const std::string id = config.id;
+    auto session = std::make_unique<EngineSession>(std::move(config));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessions_[id].session = std::move(session);
+    }
+
+    metrics_.gauge("hcloud_serve_sessions", "Live tenant sessions")
+        .add(1.0);
+    metrics_
+        .counter("hcloud_serve_tenants_created_total",
+                 "Tenant sessions created since startup")
+        .inc();
+    // Touch the per-tenant families at creation so a scrape shows the
+    // tenant even before its first job.
+    metrics_.counter("hcloud_serve_jobs_submitted_total",
+                     "Jobs submitted per tenant", {{"tenant", id}});
+    metrics_.counter("hcloud_serve_decisions_total",
+                     "Provisioning decisions observed per tenant",
+                     {{"tenant", id}});
+    return id;
+}
+
+SessionManager::Entry*
+SessionManager::find(const std::string& id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return nullptr;
+    if (!it->second.session)
+        throw ApiError{409, "tenant_initializing",
+                       "tenant \"" + id + "\" is still initializing"};
+    return &it->second;
+}
+
+void
+SessionManager::countJob(const std::string& id)
+{
+    metrics_
+        .counter("hcloud_serve_jobs_submitted_total",
+                 "Jobs submitted per tenant", {{"tenant", id}})
+        .inc();
+}
+
+void
+SessionManager::countDecisions(const std::string& id, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    metrics_
+        .counter("hcloud_serve_decisions_total",
+                 "Provisioning decisions observed per tenant",
+                 {{"tenant", id}})
+        .inc(static_cast<double>(n));
+}
+
+std::size_t
+SessionManager::sessionCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+}
+
+std::vector<std::string>
+SessionManager::tenantIds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_;
+}
+
+} // namespace hcloud::srv

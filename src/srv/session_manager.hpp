@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SessionManager: the daemon's tenant registry + shard serialization.
+ *
+ * Each tenant session is pinned at creation to one strand of a
+ * runtime::ShardedExecutor (shard = creation sequence % shards), and
+ * every touch of the session — construction, job submission, advancing,
+ * reporting — runs through with() on that strand. One tenant's engine is
+ * therefore strictly serialized (no locks inside the simulation) while
+ * different tenants on different shards run concurrently on the shared
+ * ThreadPool; N HTTP workers hammering one tenant serialize cleanly
+ * (asserted under TSan in tests/test_srv_session.cpp).
+ *
+ * Per-tenant observability lands in an obs::ProcessMetrics registry as
+ * labeled families:
+ *   - hcloud_serve_sessions             (gauge, process-wide)
+ *   - hcloud_serve_jobs_submitted_total {tenant=...}
+ *   - hcloud_serve_decisions_total      {tenant=...}
+ * so a /metrics scrape shows every tenant as its own series.
+ */
+
+#ifndef HCLOUD_SRV_SESSION_MANAGER_HPP
+#define HCLOUD_SRV_SESSION_MANAGER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/process_metrics.hpp"
+#include "runtime/sharded_executor.hpp"
+#include "srv/engine_session.hpp"
+
+namespace hcloud::srv {
+
+/** Owns every tenant session and serializes access per shard. */
+class SessionManager
+{
+  public:
+    SessionManager(runtime::ThreadPool& pool, std::size_t shards,
+                   obs::ProcessMetrics& metrics =
+                       obs::ProcessMetrics::instance());
+
+    /** Waits for all in-flight session work before returning. */
+    ~SessionManager();
+
+    SessionManager(const SessionManager&) = delete;
+    SessionManager& operator=(const SessionManager&) = delete;
+
+    /**
+     * Create a session; empty config.id gets "t-<seq>" assigned. The
+     * (heavy) engine construction runs on the calling thread — the
+     * session is only published (and thus reachable by other threads)
+     * once fully built, so no half-initialized engine is ever visible.
+     * @return the tenant id.
+     * @throws ApiError 409 when the id already exists.
+     */
+    std::string create(SessionConfig config);
+
+    /**
+     * Run @p fn against tenant @p id's session on its shard, blocking
+     * for the result. Whatever @p fn throws propagates to the caller.
+     * @throws ApiError 404 for unknown tenants.
+     */
+    template <typename Fn>
+    auto with(const std::string& id, Fn&& fn)
+        -> decltype(fn(std::declval<EngineSession&>()))
+    {
+        Entry* entry = find(id);
+        if (!entry)
+            throw ApiError{404, "unknown_tenant",
+                           "no tenant \"" + id + "\""};
+        EngineSession* session = entry->session.get();
+        return executor_.call(entry->shard,
+                              [&fn, session] { return fn(*session); });
+    }
+
+    /** Count one submitted job for @p id (labeled series). */
+    void countJob(const std::string& id);
+    /** Count @p n observed decisions for @p id (labeled series). */
+    void countDecisions(const std::string& id, std::uint64_t n);
+
+    std::size_t sessionCount() const;
+    /** All tenant ids, in creation order. */
+    std::vector<std::string> tenantIds() const;
+    std::size_t shards() const { return executor_.shards(); }
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<EngineSession> session;
+        std::size_t shard = 0;
+    };
+
+    Entry* find(const std::string& id);
+
+    runtime::ShardedExecutor executor_;
+    obs::ProcessMetrics& metrics_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Entry> sessions_;
+    std::vector<std::string> order_; ///< creation order for listing
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace hcloud::srv
+
+#endif // HCLOUD_SRV_SESSION_MANAGER_HPP

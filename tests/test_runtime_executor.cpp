@@ -1,0 +1,201 @@
+/**
+ * @file
+ * runtime::ShardedExecutor strand semantics: per-shard FIFO ordering,
+ * no concurrent execution within a shard, cross-shard parallelism on the
+ * shared pool, blocking call() with results and exceptions, inline
+ * execution on serial pools, and drain() completeness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/sharded_executor.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hcloud {
+namespace {
+
+TEST(ShardedExecutor, TasksOnOneShardRunInPostOrder)
+{
+    runtime::ThreadPool pool(4);
+    runtime::ShardedExecutor executor(pool, 2);
+    std::vector<int> order;
+    for (int i = 0; i < 200; ++i)
+        executor.post(0, [i, &order] { order.push_back(i); });
+    executor.drain();
+    ASSERT_EQ(order.size(), 200u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ShardedExecutor, OneShardNeverRunsConcurrently)
+{
+    runtime::ThreadPool pool(8);
+    runtime::ShardedExecutor executor(pool, 1);
+    std::atomic<int> inside{0};
+    std::atomic<int> maxInside{0};
+    std::atomic<int> runs{0};
+    // Post from many threads; all tasks land on the one shard.
+    std::vector<std::thread> posters;
+    for (int t = 0; t < 4; ++t) {
+        posters.emplace_back([&] {
+            for (int i = 0; i < 100; ++i) {
+                executor.post(0, [&] {
+                    const int now = inside.fetch_add(1) + 1;
+                    int seen = maxInside.load();
+                    while (now > seen &&
+                           !maxInside.compare_exchange_weak(seen, now)) {
+                    }
+                    inside.fetch_sub(1);
+                    runs.fetch_add(1);
+                });
+            }
+        });
+    }
+    for (std::thread& t : posters)
+        t.join();
+    executor.drain();
+    EXPECT_EQ(runs.load(), 400);
+    EXPECT_EQ(maxInside.load(), 1)
+        << "two tasks of one shard overlapped";
+}
+
+TEST(ShardedExecutor, DifferentShardsRunConcurrently)
+{
+    runtime::ThreadPool pool(4);
+    runtime::ShardedExecutor executor(pool, 4);
+    std::atomic<int> running{0};
+    std::atomic<int> peak{0};
+    std::atomic<bool> go{false};
+    for (std::size_t shard = 0; shard < 4; ++shard) {
+        executor.post(shard, [&] {
+            running.fetch_add(1);
+            // Rendezvous: wait until every shard's task is in flight
+            // (bounded, so a scheduling hiccup can't hang the test).
+            for (int spin = 0; spin < 20'000 && !go; ++spin) {
+                if (running.load() == 4)
+                    go = true;
+                std::this_thread::yield();
+            }
+            int seen = peak.load();
+            const int now = running.load();
+            while (now > seen &&
+                   !peak.compare_exchange_weak(seen, now)) {
+            }
+            running.fetch_sub(1);
+        });
+    }
+    executor.drain();
+    EXPECT_GE(peak.load(), 2)
+        << "shards never overlapped on a 4-thread pool";
+}
+
+TEST(ShardedExecutor, CallReturnsValuesAndPropagatesExceptions)
+{
+    runtime::ThreadPool pool(2);
+    runtime::ShardedExecutor executor(pool, 2);
+    const int v = executor.call(1, [] { return 41 + 1; });
+    EXPECT_EQ(v, 42);
+    const std::string s =
+        executor.call(0, [] { return std::string("strand"); });
+    EXPECT_EQ(s, "strand");
+    EXPECT_THROW(executor.call(0,
+                               []() -> int {
+                                   throw std::runtime_error("bad");
+                               }),
+                 std::runtime_error);
+    // void call
+    bool ran = false;
+    executor.call(1, [&ran] { ran = true; });
+    EXPECT_TRUE(ran);
+}
+
+TEST(ShardedExecutor, CallInterleavesWithPostsInOrder)
+{
+    runtime::ThreadPool pool(4);
+    runtime::ShardedExecutor executor(pool, 1);
+    std::vector<int> order;
+    executor.post(0, [&] { order.push_back(1); });
+    executor.post(0, [&] { order.push_back(2); });
+    const int result = executor.call(0, [&] {
+        order.push_back(3);
+        return static_cast<int>(order.size());
+    });
+    EXPECT_EQ(result, 3);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+}
+
+TEST(ShardedExecutor, SerialPoolRunsEverythingInline)
+{
+    runtime::ThreadPool pool(1); // serial: tasks run on the caller
+    ASSERT_TRUE(pool.serial());
+    runtime::ShardedExecutor executor(pool, 8);
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id taskThread;
+    executor.post(3, [&] { taskThread = std::this_thread::get_id(); });
+    EXPECT_EQ(taskThread, self);
+    const int v = executor.call(5, [&] {
+        EXPECT_EQ(std::this_thread::get_id(), self);
+        return 7;
+    });
+    EXPECT_EQ(v, 7);
+    executor.drain(); // trivially complete
+}
+
+TEST(ShardedExecutor, SerialPoolStillExcludesConcurrentCallers)
+{
+    // A serial pool runs tasks inline on the caller — but when several
+    // threads share the executor (HTTP workers over a 1-CPU engine
+    // pool), one shard must still never run two tasks at once.
+    runtime::ThreadPool pool(1);
+    ASSERT_TRUE(pool.serial());
+    runtime::ShardedExecutor executor(pool, 1);
+    std::atomic<int> inside{0};
+    std::atomic<int> maxInside{0};
+    std::atomic<int> sum{0};
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 4; ++t) {
+        callers.emplace_back([&] {
+            for (int i = 0; i < 200; ++i) {
+                const int got = executor.call(0, [&] {
+                    const int now = inside.fetch_add(1) + 1;
+                    int seen = maxInside.load();
+                    while (now > seen &&
+                           !maxInside.compare_exchange_weak(seen, now)) {
+                    }
+                    inside.fetch_sub(1);
+                    return 1;
+                });
+                sum.fetch_add(got);
+            }
+        });
+    }
+    for (std::thread& thread : callers)
+        thread.join();
+    executor.drain();
+    EXPECT_EQ(sum.load(), 800);
+    EXPECT_EQ(maxInside.load(), 1)
+        << "serial-pool call() bypassed shard exclusion";
+}
+
+TEST(ShardedExecutor, ShardIndexWrapsModuloShardCount)
+{
+    runtime::ThreadPool pool(2);
+    runtime::ShardedExecutor executor(pool, 3);
+    std::atomic<int> hits{0};
+    executor.post(3 + 0, [&] { hits.fetch_add(1); });
+    executor.post(3 * 7 + 2, [&] { hits.fetch_add(1); });
+    executor.drain();
+    EXPECT_EQ(hits.load(), 2);
+}
+
+} // namespace
+} // namespace hcloud

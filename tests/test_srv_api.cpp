@@ -1,0 +1,330 @@
+/**
+ * @file
+ * The daemon's JSON API end to end over loopback HTTP: tenant and job
+ * flows, the malformed-input suite (truncated bodies, wrong types,
+ * unknown enum values — every one a 4xx with a structured error body,
+ * never a crash), and per-tenant Prometheus series on /metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/process_metrics.hpp"
+#include "srv/http_client.hpp"
+#include "srv/serve_app.hpp"
+
+namespace hcloud {
+namespace {
+
+/** Fresh app on an ephemeral port with a private metrics registry. */
+class SrvApi : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        srv::ServeConfig config;
+        config.shards = 2;
+        config.threads = 2;
+        config.httpWorkers = 2;
+        app_ = std::make_unique<srv::ServeApp>(config, metrics_);
+        ASSERT_TRUE(app_->start(0));
+        client_ =
+            std::make_unique<srv::HttpClient>(app_->boundPort());
+    }
+
+    /** POST returning (status, parsed body). */
+    std::pair<int, obs::JsonValue> post(const std::string& target,
+                                        const std::string& body)
+    {
+        const srv::ClientResponse r = client_->post(target, body);
+        EXPECT_TRUE(r.ok) << target;
+        return {r.status, obs::parseJson(r.body)};
+    }
+
+    std::pair<int, obs::JsonValue> get(const std::string& target)
+    {
+        const srv::ClientResponse r = client_->get(target);
+        EXPECT_TRUE(r.ok) << target;
+        return {r.status, obs::parseJson(r.body)};
+    }
+
+    /** The error.code string of a structured error body. */
+    static std::string errorCode(const obs::JsonValue& v)
+    {
+        const obs::JsonValue* error = v.find("error");
+        if (!error)
+            return "<no error object>";
+        const obs::JsonValue* code = error->find("code");
+        return code ? code->string : "<no code>";
+    }
+
+    /** Create a small, fast tenant; returns its id. */
+    std::string createTenant(const std::string& id = "")
+    {
+        std::string body =
+            "{\"strategy\":\"HM\",";
+        if (!id.empty())
+            body += "\"id\":\"" + id + "\",";
+        body += "\"scenario\":{\"kind\":\"static\",\"duration\":600,"
+                "\"loadScale\":0.05},"
+                "\"engine\":{\"seed\":42,\"useProfiling\":false}}";
+        auto [status, json] = post("/v1/tenants", body);
+        EXPECT_EQ(status, 201);
+        const obs::JsonValue* tenant = json.find("tenant");
+        return tenant ? tenant->string : "";
+    }
+
+    obs::ProcessMetrics metrics_;
+    std::unique_ptr<srv::ServeApp> app_;
+    std::unique_ptr<srv::HttpClient> client_;
+};
+
+TEST_F(SrvApi, TenantJobAdvanceReportRoundTrip)
+{
+    const std::string tenant = createTenant("acme");
+    EXPECT_EQ(tenant, "acme");
+
+    auto [jobStatus, jobJson] = post(
+        "/v1/tenants/acme/jobs",
+        "{\"kind\":\"hadoop-recommender\",\"arrival\":1.5,"
+        "\"coresIdeal\":4,\"idealDuration\":30}");
+    EXPECT_EQ(jobStatus, 200);
+    ASSERT_NE(jobJson.find("job"), nullptr);
+    EXPECT_EQ(jobJson.find("job")->number, 1.0);
+    // Profiling off: the mapping decision lands synchronously.
+    const obs::JsonValue* decisions = jobJson.find("decisions");
+    ASSERT_NE(decisions, nullptr);
+    ASSERT_EQ(decisions->array.size(), 1u);
+    EXPECT_EQ(decisions->array[0].find("reason")->string,
+              "below_soft_limit");
+    EXPECT_EQ(jobJson.find("state")->string, "running");
+
+    auto [advStatus, advJson] =
+        post("/v1/tenants/acme/advance", "{\"to\":120}");
+    EXPECT_EQ(advStatus, 200);
+    EXPECT_DOUBLE_EQ(advJson.find("now")->number, 120.0);
+
+    auto [repStatus, repJson] = get("/v1/tenants/acme/report");
+    EXPECT_EQ(repStatus, 200);
+    EXPECT_EQ(repJson.find("tenant")->string, "acme");
+    EXPECT_GE(repJson.find("schemaVersion")->number, 2.0);
+    EXPECT_EQ(repJson.find("jobs")->number, 1.0);
+    EXPECT_EQ(repJson.find("finished")->number, 1.0);
+    const obs::JsonValue* run = repJson.find("run");
+    ASSERT_NE(run, nullptr);
+    EXPECT_EQ(run->find("strategy")->string, "HM");
+    ASSERT_NE(repJson.find("decisions"), nullptr);
+    EXPECT_EQ(repJson.find("decisions")->array.size(), 1u);
+
+    auto [listStatus, listJson] = get("/v1/tenants");
+    EXPECT_EQ(listStatus, 200);
+    ASSERT_EQ(listJson.find("tenants")->array.size(), 1u);
+    EXPECT_EQ(listJson.find("tenants")->array[0].string, "acme");
+}
+
+TEST_F(SrvApi, AutoAssignedTenantAndJobIds)
+{
+    const std::string t1 = createTenant();
+    const std::string t2 = createTenant();
+    EXPECT_EQ(t1, "t-1");
+    EXPECT_EQ(t2, "t-2");
+    auto [s1, j1] = post("/v1/tenants/t-2/jobs",
+                         "{\"kind\":\"memcached\",\"arrival\":1,"
+                         "\"coresIdeal\":2,\"lcLoadRps\":20000,"
+                         "\"lcLifetime\":120,\"lcQosUs\":500}");
+    EXPECT_EQ(s1, 200);
+    EXPECT_EQ(j1.find("job")->number, 1.0);
+    auto [s2, j2] = post("/v1/tenants/t-2/jobs",
+                         "{\"kind\":\"memcached\",\"arrival\":2,"
+                         "\"coresIdeal\":2,\"lcLoadRps\":20000,"
+                         "\"lcLifetime\":120,\"lcQosUs\":500}");
+    EXPECT_EQ(s2, 200);
+    EXPECT_EQ(j2.find("job")->number, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input: always a structured 4xx, never a crash.
+
+TEST_F(SrvApi, TruncatedBodyIs400BadJson)
+{
+    auto [status, json] =
+        post("/v1/tenants", "{\"strategy\":\"HM\",\"scenario\":{");
+    EXPECT_EQ(status, 400);
+    EXPECT_EQ(errorCode(json), "bad_json");
+}
+
+TEST_F(SrvApi, EmptyBodyIs400)
+{
+    auto [status, json] = post("/v1/tenants", "");
+    EXPECT_EQ(status, 400);
+    EXPECT_EQ(errorCode(json), "empty_body");
+}
+
+TEST_F(SrvApi, NonObjectBodyIs422)
+{
+    auto [status, json] = post("/v1/tenants", "[1,2,3]");
+    EXPECT_EQ(status, 422);
+    EXPECT_EQ(errorCode(json), "invalid_body");
+}
+
+TEST_F(SrvApi, UnknownStrategyNameIs422)
+{
+    auto [status, json] =
+        post("/v1/tenants", "{\"strategy\":\"YOLO\"}");
+    EXPECT_EQ(status, 422);
+    EXPECT_EQ(errorCode(json), "unknown_strategy");
+    // The message names the valid alternatives.
+    EXPECT_NE(json.find("error")->find("message")->string.find("HM"),
+              std::string::npos);
+}
+
+TEST_F(SrvApi, UnknownScenarioKindIs422)
+{
+    auto [status, json] = post(
+        "/v1/tenants",
+        "{\"strategy\":\"HM\",\"scenario\":{\"kind\":\"chaotic\"}}");
+    EXPECT_EQ(status, 422);
+    EXPECT_EQ(errorCode(json), "unknown_scenario");
+}
+
+TEST_F(SrvApi, WrongFieldTypesAre422)
+{
+    // strategy as number
+    auto [s1, j1] = post("/v1/tenants", "{\"strategy\":17}");
+    EXPECT_EQ(s1, 422);
+    EXPECT_EQ(errorCode(j1), "invalid_field");
+    // duration as string
+    auto [s2, j2] = post("/v1/tenants",
+                         "{\"scenario\":{\"duration\":\"long\"}}");
+    EXPECT_EQ(s2, 422);
+    EXPECT_EQ(errorCode(j2), "invalid_field");
+    // negative loadScale
+    auto [s3, j3] = post("/v1/tenants",
+                         "{\"scenario\":{\"loadScale\":-1}}");
+    EXPECT_EQ(s3, 422);
+    EXPECT_EQ(errorCode(j3), "invalid_field");
+}
+
+TEST_F(SrvApi, JobSpecValidation)
+{
+    createTenant("v");
+    // Unknown app kind.
+    auto [s1, j1] = post("/v1/tenants/v/jobs",
+                         "{\"kind\":\"fortran-monolith\","
+                         "\"arrival\":1}");
+    EXPECT_EQ(s1, 422);
+    EXPECT_EQ(errorCode(j1), "unknown_app");
+    // Missing kind.
+    auto [s2, j2] = post("/v1/tenants/v/jobs", "{\"arrival\":1}");
+    EXPECT_EQ(s2, 422);
+    EXPECT_EQ(errorCode(j2), "invalid_field");
+    // Missing arrival.
+    auto [s3, j3] = post("/v1/tenants/v/jobs",
+                         "{\"kind\":\"memcached\"}");
+    EXPECT_EQ(s3, 422);
+    // Wrong sensitivity arity.
+    auto [s4, j4] = post("/v1/tenants/v/jobs",
+                         "{\"kind\":\"memcached\",\"arrival\":1,"
+                         "\"sensitivity\":[0.5,0.5]}");
+    EXPECT_EQ(s4, 422);
+    // A valid job still works after all the garbage.
+    auto [s5, j5] = post("/v1/tenants/v/jobs",
+                         "{\"kind\":\"hadoop-svm\",\"arrival\":1,"
+                         "\"coresIdeal\":2,\"idealDuration\":10}");
+    EXPECT_EQ(s5, 200);
+}
+
+TEST_F(SrvApi, MonotonicViolationsAndDuplicatesAre409)
+{
+    createTenant("m");
+    post("/v1/tenants/m/jobs",
+         "{\"kind\":\"hadoop-svm\",\"arrival\":50,"
+         "\"coresIdeal\":2,\"idealDuration\":10}");
+    // Clock is now at 50: an earlier arrival must be rejected.
+    auto [s1, j1] = post("/v1/tenants/m/jobs",
+                         "{\"kind\":\"hadoop-svm\",\"arrival\":10,"
+                         "\"coresIdeal\":2,\"idealDuration\":10}");
+    EXPECT_EQ(s1, 409);
+    EXPECT_EQ(errorCode(j1), "arrival_in_past");
+    // Duplicate explicit id.
+    auto [s2, j2] = post("/v1/tenants/m/jobs",
+                         "{\"id\":1,\"kind\":\"hadoop-svm\","
+                         "\"arrival\":60,\"coresIdeal\":2,"
+                         "\"idealDuration\":10}");
+    EXPECT_EQ(s2, 409);
+    EXPECT_EQ(errorCode(j2), "duplicate_job");
+}
+
+TEST_F(SrvApi, UnknownTenantIs404DuplicateTenantIs409)
+{
+    auto [s1, j1] = post("/v1/tenants/ghost/jobs",
+                         "{\"kind\":\"memcached\",\"arrival\":1}");
+    EXPECT_EQ(s1, 404);
+    EXPECT_EQ(errorCode(j1), "unknown_tenant");
+    auto [s2, j2] = get("/v1/tenants/ghost/report");
+    EXPECT_EQ(s2, 404);
+
+    createTenant("dup");
+    auto [s3, j3] = post("/v1/tenants",
+                         "{\"id\":\"dup\",\"strategy\":\"HM\","
+                         "\"scenario\":{\"kind\":\"static\","
+                         "\"duration\":600,\"loadScale\":0.05}}");
+    EXPECT_EQ(s3, 409);
+    EXPECT_EQ(errorCode(j3), "duplicate_tenant");
+}
+
+TEST_F(SrvApi, TransportErrorsSpeakStructuredJsonToo)
+{
+    auto [s1, j1] = get("/v1/nope");
+    EXPECT_EQ(s1, 404);
+    EXPECT_EQ(errorCode(j1), "not_found");
+    // Known path, wrong method.
+    auto [s2, j2] = get("/v1/tenants/x/jobs");
+    EXPECT_EQ(s2, 405);
+    EXPECT_EQ(errorCode(j2), "method_not_allowed");
+}
+
+TEST_F(SrvApi, MetricsExposePerTenantSeries)
+{
+    createTenant("alpha");
+    createTenant("beta");
+    post("/v1/tenants/alpha/jobs",
+         "{\"kind\":\"hadoop-svm\",\"arrival\":1,\"coresIdeal\":2,"
+         "\"idealDuration\":10}");
+
+    const srv::ClientResponse r = client_->get("/metrics");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.status, 200);
+    EXPECT_NE(r.body.find("hcloud_serve_sessions 2"),
+              std::string::npos)
+        << r.body;
+    EXPECT_NE(
+        r.body.find(
+            "hcloud_serve_jobs_submitted_total{tenant=\"alpha\"} 1"),
+        std::string::npos)
+        << r.body;
+    EXPECT_NE(
+        r.body.find(
+            "hcloud_serve_jobs_submitted_total{tenant=\"beta\"} 0"),
+        std::string::npos)
+        << r.body;
+    EXPECT_NE(
+        r.body.find(
+            "hcloud_serve_decisions_total{tenant=\"alpha\"} 1"),
+        std::string::npos)
+        << r.body;
+}
+
+TEST_F(SrvApi, GracefulStopIsIdempotentAndDrains)
+{
+    createTenant("z");
+    app_->stop();
+    app_->stop();
+    EXPECT_FALSE(app_->running());
+    EXPECT_EQ(app_->boundPort(), 0);
+}
+
+} // namespace
+} // namespace hcloud

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * srv::HttpServer transport semantics over real loopback sockets:
+ * routing (wildcards, 404 vs 405), keep-alive and pipelining, bounded
+ * request sizes, malformed-input robustness, the 503 back-pressure path
+ * when the accepted-connection queue is full, idle-connection timeout,
+ * and clean repeated start/stop without fd leaks (TSan validates the
+ * shutdown races).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "srv/http_client.hpp"
+#include "srv/http_server.hpp"
+
+namespace hcloud {
+namespace {
+
+using srv::HttpRequest;
+using srv::HttpResponse;
+using srv::HttpServer;
+using srv::HttpServerConfig;
+
+/** Raw one-shot request helper (sends bytes, reads to EOF). */
+std::string
+rawRequest(std::uint16_t port, const std::string& request)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(SrvHttp, RoutesWildcardsAndCapturesParams)
+{
+    HttpServer server;
+    server.route("GET", "/v1/tenants/*/jobs/*",
+                 [](const HttpRequest& r) {
+                     return HttpResponse::text(
+                         200, r.params[0] + "|" + r.params[1]);
+                 });
+    server.route("GET", "/v1/tenants", [](const HttpRequest&) {
+        return HttpResponse::text(200, "list");
+    });
+    ASSERT_TRUE(server.start(0));
+
+    srv::HttpClient client(server.boundPort());
+    srv::ClientResponse r = client.get("/v1/tenants/t-7/jobs/42");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "t-7|42");
+
+    r = client.get("/v1/tenants");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.body, "list");
+
+    // One segment too few / too many: no match.
+    EXPECT_EQ(client.get("/v1/tenants/t-7/jobs").status, 404);
+    EXPECT_EQ(client.get("/v1/tenants/t-7/jobs/42/x").status, 404);
+}
+
+TEST(SrvHttp, KnownPathWrongMethodIs405UnknownPathIs404)
+{
+    HttpServer server;
+    server.route("GET", "/thing", [](const HttpRequest&) {
+        return HttpResponse::text(200, "ok");
+    });
+    ASSERT_TRUE(server.start(0));
+    srv::HttpClient client(server.boundPort());
+    EXPECT_EQ(client.post("/thing", "{}").status, 405);
+    EXPECT_EQ(client.get("/absent").status, 404);
+}
+
+TEST(SrvHttp, QueryStringIsSplitFromPath)
+{
+    HttpServer server;
+    server.route("GET", "/q", [](const HttpRequest& r) {
+        return HttpResponse::text(200, r.query);
+    });
+    ASSERT_TRUE(server.start(0));
+    srv::HttpClient client(server.boundPort());
+    const srv::ClientResponse r = client.get("/q?a=1&b=2");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "a=1&b=2");
+}
+
+TEST(SrvHttp, KeepAliveServesManyRequestsOnOneConnection)
+{
+    HttpServer server;
+    std::atomic<int> hits{0};
+    server.route("POST", "/echo", [&hits](const HttpRequest& r) {
+        hits.fetch_add(1);
+        return HttpResponse::text(200, r.body);
+    });
+    ASSERT_TRUE(server.start(0));
+    srv::HttpClient client(server.boundPort());
+    for (int i = 0; i < 50; ++i) {
+        const std::string body = "payload-" + std::to_string(i);
+        const srv::ClientResponse r = client.post("/echo", body);
+        ASSERT_TRUE(r.ok);
+        EXPECT_EQ(r.body, body);
+    }
+    EXPECT_EQ(hits.load(), 50);
+    // All 50 on one connection: exactly one served connection implies
+    // requestsServed tracked per request, not per connection.
+    EXPECT_EQ(server.requestsServed(), 50u);
+}
+
+TEST(SrvHttp, PipelinedRequestsAreAnsweredInOrder)
+{
+    HttpServer server;
+    server.route("GET", "/a", [](const HttpRequest&) {
+        return HttpResponse::text(200, "AAA");
+    });
+    server.route("GET", "/b", [](const HttpRequest&) {
+        return HttpResponse::text(200, "BBB");
+    });
+    ASSERT_TRUE(server.start(0));
+    const std::string response = rawRequest(
+        server.boundPort(), "GET /a HTTP/1.1\r\n\r\n"
+                            "GET /b HTTP/1.1\r\nConnection: close\r\n"
+                            "\r\n");
+    const std::size_t a = response.find("AAA");
+    const std::size_t b = response.find("BBB");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_LT(a, b);
+}
+
+TEST(SrvHttp, MalformedRequestLineGets400NotACrash)
+{
+    HttpServer server;
+    server.route("GET", "/ok", [](const HttpRequest&) {
+        return HttpResponse::text(200, "ok");
+    });
+    ASSERT_TRUE(server.start(0));
+    EXPECT_NE(rawRequest(server.boundPort(), "garbage\r\n\r\n")
+                  .find("HTTP/1.1 400"),
+              std::string::npos);
+    EXPECT_NE(rawRequest(server.boundPort(),
+                         "GET /ok SPDY/9\r\n\r\n")
+                  .find("HTTP/1.1 400"),
+              std::string::npos);
+    EXPECT_NE(rawRequest(server.boundPort(),
+                         "POST /ok HTTP/1.1\r\n"
+                         "Content-Length: banana\r\n\r\n")
+                  .find("HTTP/1.1 400"),
+              std::string::npos);
+    // Still serving normal traffic afterwards.
+    srv::HttpClient client(server.boundPort());
+    EXPECT_EQ(client.get("/ok").status, 200);
+}
+
+TEST(SrvHttp, OversizedRequestsGet413)
+{
+    HttpServerConfig config;
+    config.maxRequestBytes = 256;
+    HttpServer server(config);
+    server.route("POST", "/x", [](const HttpRequest& r) {
+        return HttpResponse::text(200, r.body);
+    });
+    ASSERT_TRUE(server.start(0));
+    srv::HttpClient client(server.boundPort());
+    const srv::ClientResponse r =
+        client.post("/x", std::string(10'000, 'z'));
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.status, 413);
+}
+
+TEST(SrvHttp, HandlerExceptionsBecome500)
+{
+    HttpServer server;
+    server.route("GET", "/boom", [](const HttpRequest&) -> HttpResponse {
+        throw std::runtime_error("handler exploded");
+    });
+    ASSERT_TRUE(server.start(0));
+    srv::HttpClient client(server.boundPort());
+    const srv::ClientResponse r = client.get("/boom");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.status, 500);
+    EXPECT_NE(r.body.find("handler exploded"), std::string::npos);
+    // The worker survived.
+    EXPECT_EQ(client.get("/boom").status, 500);
+}
+
+TEST(SrvHttp, CustomErrorFormatterShapesServerErrors)
+{
+    HttpServerConfig config;
+    config.errorResponse = [](int status, std::string_view message) {
+        return HttpResponse::json(
+            status, "{\"status\":" + std::to_string(status) +
+                        ",\"m\":\"" + std::string(message) + "\"}");
+    };
+    HttpServer server(config);
+    ASSERT_TRUE(server.start(0));
+    srv::HttpClient client(server.boundPort());
+    const srv::ClientResponse r = client.get("/none");
+    EXPECT_EQ(r.status, 404);
+    EXPECT_NE(r.body.find("\"status\":404"), std::string::npos);
+}
+
+TEST(SrvHttp, FullPendingQueueSheds503)
+{
+    HttpServerConfig config;
+    config.workers = 1;
+    config.maxPendingConnections = 1;
+    config.idleTimeoutMs = 200; // drain silent probes quickly
+    HttpServer server(config);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool entered = false, release = false;
+    server.route("GET", "/slow", [&](const HttpRequest&) {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            entered = true;
+            cv.notify_all();
+        }
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return release; });
+        return HttpResponse::text(200, "slow");
+    });
+    ASSERT_TRUE(server.start(0));
+
+    // Connection A occupies the single worker inside the handler.
+    std::thread blocked([&] {
+        srv::HttpClient a(server.boundPort());
+        EXPECT_EQ(a.get("/slow").status, 200);
+    });
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return entered; });
+    }
+    // Connection B parks in the pending queue (capacity 1) by sending a
+    // request nobody can serve yet. B may itself lose the queue slot to
+    // one of the probes below, so 503 is an acceptable outcome for it —
+    // the invariant under test is that *someone* gets shed.
+    srv::HttpClient b(server.boundPort());
+    std::thread parked([&] {
+        const int status = b.get("/slow").status;
+        EXPECT_TRUE(status == 200 || status == 503) << status;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Raw probe connections (never read, never block): each one either
+    // takes the single queue slot or is shed with 503 by the accept
+    // loop, which is the counter we're watching.
+    std::vector<int> probes;
+    for (int i = 0; i < 200 && server.connectionsRejected() == 0; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server.boundPort());
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)),
+                  0);
+        probes.push_back(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(server.connectionsRejected(), 1u);
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+        cv.notify_all();
+    }
+    blocked.join();
+    parked.join();
+    for (int fd : probes)
+        ::close(fd);
+}
+
+TEST(SrvHttp, IdleConnectionsAreClosedAfterTimeout)
+{
+    HttpServerConfig config;
+    config.idleTimeoutMs = 50;
+    HttpServer server(config);
+    server.route("GET", "/x", [](const HttpRequest&) {
+        return HttpResponse::text(200, "x");
+    });
+    ASSERT_TRUE(server.start(0));
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.boundPort());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    // Send nothing: the server must hang up on its own.
+    char buf[16];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    EXPECT_EQ(n, 0) << "expected EOF from idle timeout";
+    ::close(fd);
+}
+
+TEST(SrvHttp, RepeatedStartStopCyclesLeakNothing)
+{
+    HttpServer server;
+    server.route("GET", "/ping", [](const HttpRequest&) {
+        return HttpResponse::text(200, "pong");
+    });
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        ASSERT_TRUE(server.start(0)) << "cycle " << cycle;
+        ASSERT_TRUE(server.running());
+        ASSERT_NE(server.boundPort(), 0);
+        srv::HttpClient client(server.boundPort());
+        const srv::ClientResponse r = client.get("/ping");
+        ASSERT_TRUE(r.ok) << "cycle " << cycle;
+        EXPECT_EQ(r.body, "pong");
+        server.stop();
+        server.stop(); // idempotent
+        EXPECT_FALSE(server.running());
+        EXPECT_EQ(server.boundPort(), 0);
+    }
+}
+
+TEST(SrvHttp, StopWhileClientsAreInFlightIsClean)
+{
+    HttpServer server;
+    server.route("GET", "/x", [](const HttpRequest&) {
+        return HttpResponse::text(200, "x");
+    });
+    ASSERT_TRUE(server.start(0));
+    std::atomic<bool> done{false};
+    std::thread hammer([&] {
+        while (!done) {
+            srv::HttpClient client(server.boundPort());
+            client.get("/x");
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.stop();
+    done = true;
+    hammer.join();
+    EXPECT_FALSE(server.running());
+}
+
+} // namespace
+} // namespace hcloud
