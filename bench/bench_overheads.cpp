@@ -21,6 +21,7 @@
 #include "core/queue_estimator.hpp"
 #include "obs/process_metrics.hpp"
 #include "obs/prom_text.hpp"
+#include "obs/span.hpp"
 #include "obs/tracer.hpp"
 #include "profiling/quasar.hpp"
 #include "sim/simulator.hpp"
@@ -229,6 +230,43 @@ BM_TracerRecordSink(benchmark::State& state)
 // Fixed iteration count bounds the on-disk file the loop streams out
 // (adaptive timing could write GBs into /tmp before converging).
 BENCHMARK(BM_TracerRecordSink)->Iterations(1 << 18);
+
+/**
+ * Cost of an armed-but-inert SpanScope: no tracer bound on this thread,
+ * so the scope must collapse to a TLS load and a branch. This is the
+ * price every routed request pays when span tracing is off, and CI
+ * asserts it stays within noise of free.
+ */
+void
+BM_SpanScopeDisabled(benchmark::State& state)
+{
+    for (auto _ : state) {
+        obs::SpanScope scope("bench.noop");
+        benchmark::DoNotOptimize(scope.active());
+    }
+}
+BENCHMARK(BM_SpanScopeDisabled);
+
+/** Cost of one recorded span (enabled tracer, streaming JSONL sink). */
+void
+BM_SpanRecord(benchmark::State& state)
+{
+    obs::SpanTracerConfig cfg;
+    cfg.sinkPath = "/tmp/hcloud_bench_overheads.spans.part";
+    obs::SpanTracer tracer(cfg);
+    const obs::SpanContext root{tracer.newTraceId(),
+                                tracer.newSpanId()};
+    obs::SpanBinding bind(&tracer, root);
+    for (auto _ : state) {
+        obs::SpanScope scope("bench.span");
+        benchmark::DoNotOptimize(scope.active());
+    }
+    state.counters["recorded"] =
+        static_cast<double>(tracer.recorded());
+    std::remove(cfg.sinkPath.c_str());
+}
+// Same rationale as BM_TracerRecordSink: bound the streamed file.
+BENCHMARK(BM_SpanRecord)->Iterations(1 << 18);
 
 /**
  * Prometheus text rendering of a ~200-series registry — the cost of one

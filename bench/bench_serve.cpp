@@ -6,12 +6,19 @@
  * hcloud_serve binary runs) over real loopback HTTP: N tenants
  * partitioned across C client threads, each client POSTing
  * 1-second-spaced batch jobs round-robin over its tenants on a
- * keep-alive connection and timing every request wall-clock. Reports
- * aggregate submission throughput and latency percentiles, and writes
- * the machine-readable artifact BENCH_serve.json (CI uploads it).
+ * keep-alive connection and timing every request wall-clock, then (when
+ * --advances > 0) driving an advance phase so the submit and advance
+ * request stages report separate latency distributions. Reports
+ * aggregate submission throughput and p50/p90/p99/max latency, and
+ * writes the machine-readable artifact BENCH_serve.json (CI uploads
+ * it) with one "stages" row per request stage.
+ *
+ * --span-trace runs the whole bench with request-span tracing enabled
+ * (the acceptance path: every HTTP request must join its engine
+ * decisions by trace id in the emitted JSONL).
  *
  * Usage: bench_serve [--tenants N] [--clients N] [--jobs N]
- *                    [--out PATH]
+ *                    [--advances N] [--span-trace PATH] [--out PATH]
  */
 
 #include <algorithm>
@@ -91,6 +98,45 @@ percentileMs(std::vector<double>& sortedSeconds, double p)
     return sortedSeconds[index] * 1e3;
 }
 
+/** Latency distribution of one request stage (sorts in place). */
+struct StageStats
+{
+    const char* stage;
+    std::size_t requests = 0;
+    double p50Ms = 0.0;
+    double p90Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+};
+
+StageStats
+stageStats(const char* stage, std::vector<double>& latencySeconds)
+{
+    std::sort(latencySeconds.begin(), latencySeconds.end());
+    StageStats s;
+    s.stage = stage;
+    s.requests = latencySeconds.size();
+    s.p50Ms = percentileMs(latencySeconds, 0.50);
+    s.p90Ms = percentileMs(latencySeconds, 0.90);
+    s.p99Ms = percentileMs(latencySeconds, 0.99);
+    s.maxMs =
+        latencySeconds.empty() ? 0.0 : latencySeconds.back() * 1e3;
+    return s;
+}
+
+void
+stageJson(hcloud::obs::JsonWriter& w, const StageStats& s)
+{
+    w.beginObject();
+    w.field("stage", s.stage);
+    w.field("requests", static_cast<std::uint64_t>(s.requests));
+    w.field("p50Ms", s.p50Ms);
+    w.field("p90Ms", s.p90Ms);
+    w.field("p99Ms", s.p99Ms);
+    w.field("maxMs", s.maxMs);
+    w.endObject();
+}
+
 } // namespace
 
 int
@@ -101,7 +147,9 @@ main(int argc, char** argv)
     std::size_t tenants = 100;
     std::size_t clients = 8;
     std::size_t jobsPerTenant = 100;
+    std::size_t advances = 3;
     std::string outPath = "BENCH_serve.json";
+    std::string spanPath;
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* {
             return i + 1 < argc ? argv[++i] : "";
@@ -112,6 +160,10 @@ main(int argc, char** argv)
             clients = static_cast<std::size_t>(std::atol(next()));
         else if (std::strcmp(argv[i], "--jobs") == 0)
             jobsPerTenant = static_cast<std::size_t>(std::atol(next()));
+        else if (std::strcmp(argv[i], "--advances") == 0)
+            advances = static_cast<std::size_t>(std::atol(next()));
+        else if (std::strcmp(argv[i], "--span-trace") == 0)
+            spanPath = next();
         else if (std::strcmp(argv[i], "--out") == 0)
             outPath = next();
         else {
@@ -129,7 +181,13 @@ main(int argc, char** argv)
     config.shards = 8;
     config.httpWorkers = clients;
     config.maxPendingConnections = 2 * clients + 16;
+    config.spanPath = spanPath;
     srv::ServeApp app(config, metrics);
+    if (!spanPath.empty() && !app.spans().enabled()) {
+        std::fprintf(stderr, "bench_serve: cannot open span sink %s\n",
+                     spanPath.c_str());
+        return 1;
+    }
     std::string error;
     if (!app.start(0, &error)) {
         std::fprintf(stderr, "bench_serve: start failed: %s\n",
@@ -221,27 +279,83 @@ main(int argc, char** argv)
         w.join();
     const double wallSeconds = seconds(Clock::now() - windowStart);
 
+    // Phase 3: the advance stage — each client steps its tenants past
+    // the submitted arrivals so decision work dominated by the engine's
+    // advance path gets its own latency distribution.
+    std::vector<std::vector<double>> advanceLatencies(clients);
+    std::atomic<std::size_t> advanceFailures{0};
+    if (advances > 0) {
+        std::vector<std::thread> advWorkers;
+        for (std::size_t c = 0; c < clients; ++c) {
+            advWorkers.emplace_back([&, c] {
+                srv::HttpClient client(app.boundPort());
+                std::vector<std::string> targets;
+                for (std::size_t t = c; t < tenants; t += clients)
+                    targets.push_back("/v1/tenants/bench-" +
+                                      std::to_string(t) + "/advance");
+                std::vector<double>& lat = advanceLatencies[c];
+                lat.reserve(targets.size() * advances);
+                for (std::size_t a = 1; a <= advances; ++a) {
+                    obs::JsonWriter body;
+                    body.beginObject();
+                    body.field("to",
+                               static_cast<double>(jobsPerTenant) +
+                                   static_cast<double>(a) * 60.0);
+                    body.endObject();
+                    const std::string payload = body.take();
+                    for (const std::string& target : targets) {
+                        const Clock::time_point t0 = Clock::now();
+                        const auto r = client.post(target, payload);
+                        lat.push_back(seconds(Clock::now() - t0));
+                        if (r.status != 200)
+                            advanceFailures.fetch_add(1);
+                    }
+                }
+            });
+        }
+        for (std::thread& w : advWorkers)
+            w.join();
+    }
+
     app.stop();
 
     std::vector<double> all;
     all.reserve(totalJobs);
     for (const std::vector<double>& lat : latencies)
         all.insert(all.end(), lat.begin(), lat.end());
-    std::sort(all.begin(), all.end());
+    std::vector<double> advAll;
+    for (const std::vector<double>& lat : advanceLatencies)
+        advAll.insert(advAll.end(), lat.begin(), lat.end());
+
+    const StageStats submitStats = stageStats("submit", all);
+    const StageStats advanceStats = stageStats("advance", advAll);
     const double qps = static_cast<double>(totalJobs) / wallSeconds;
-    const double p50 = percentileMs(all, 0.50);
-    const double p99 = percentileMs(all, 0.99);
-    const double worst = all.empty() ? 0.0 : all.back() * 1e3;
+    const double p50 = submitStats.p50Ms;
+    const double p90 = submitStats.p90Ms;
+    const double p99 = submitStats.p99Ms;
+    const double worst = submitStats.maxMs;
 
     std::printf("bench_serve: %zu jobs in %.3f s -> %.0f jobs/s "
-                "(p50 %.3f ms, p99 %.3f ms, max %.3f ms, "
+                "(p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %.3f ms, "
                 "%zu failures)\n",
-                totalJobs, wallSeconds, qps, p50, p99, worst,
+                totalJobs, wallSeconds, qps, p50, p90, p99, worst,
                 submitFailures.load());
+    if (advances > 0)
+        std::printf("bench_serve: advance stage %zu requests "
+                    "(p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, "
+                    "max %.3f ms, %zu failures)\n",
+                    advanceStats.requests, advanceStats.p50Ms,
+                    advanceStats.p90Ms, advanceStats.p99Ms,
+                    advanceStats.maxMs, advanceFailures.load());
+    if (app.spans().enabled())
+        std::printf("bench_serve: %llu span records -> %s\n",
+                    static_cast<unsigned long long>(
+                        app.spans().recorded()),
+                    spanPath.c_str());
 
     obs::JsonWriter w;
     w.beginObject();
-    w.field("schemaVersion", 1);
+    w.field("schemaVersion", 2);
     w.field("benchmark",
             "hcloud serve closed-loop job submission over loopback "
             "HTTP (in-process ServeApp)");
@@ -250,13 +364,24 @@ main(int argc, char** argv)
     w.field("jobsPerTenant", static_cast<std::uint64_t>(jobsPerTenant));
     w.field("jobs", static_cast<std::uint64_t>(totalJobs));
     w.field("failures",
-            static_cast<std::uint64_t>(submitFailures.load()));
+            static_cast<std::uint64_t>(submitFailures.load() +
+                                       advanceFailures.load()));
     w.field("setupSeconds", setupSeconds);
     w.field("wallSeconds", wallSeconds);
     w.field("qps", qps);
     w.field("p50Ms", p50);
+    w.field("p90Ms", p90);
     w.field("p99Ms", p99);
     w.field("maxMs", worst);
+    w.field("spans", app.spans().enabled());
+    if (app.spans().enabled())
+        w.field("spanRecords", app.spans().recorded());
+    w.key("stages");
+    w.beginArray();
+    stageJson(w, submitStats);
+    if (advances > 0)
+        stageJson(w, advanceStats);
+    w.endArray();
     w.key("host");
     w.beginObject();
     w.field("nproc", static_cast<std::uint64_t>(
@@ -272,5 +397,5 @@ main(int argc, char** argv)
         return 1;
     }
     std::printf("bench_serve: wrote %s\n", outPath.c_str());
-    return submitFailures.load() == 0 ? 0 : 1;
+    return submitFailures.load() + advanceFailures.load() == 0 ? 0 : 1;
 }

@@ -21,8 +21,19 @@
  *   errors. Intended for pinpointing where two supposedly-deterministic
  *   runs (different thread counts, before/after a kernel change) first
  *   disagree.
+ *
+ * Request-span modes (for files written by --span-trace / HCLOUD_SPANS):
+ *   trace_inspect --spans <spans.jsonl> [--traces N]
+ *     Renders per-request span timelines: one indented tree per trace id
+ *     (the N smallest, default 5) with start offsets and durations in
+ *     milliseconds, engine decision events joined in at their parent
+ *     span, plus an aggregate per-span-name duration table.
+ *   trace_inspect --chrome <spans.jsonl> <out.json>
+ *     Converts the span JSONL into chrome://tracing / Perfetto trace
+ *     event JSON (one row per request).
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +43,10 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "obs/json.hpp"
+#include "obs/span.hpp"
 #include "obs/tracer.hpp"
 
 namespace {
@@ -332,6 +346,219 @@ diffTraces(const std::string& pathA, const std::string& pathB)
     return 1;
 }
 
+// --- Request-span timelines ---------------------------------------------
+
+/** One span or instantaneous event from a request-span JSONL file. */
+struct SpanRecord
+{
+    bool isEvent = false;
+    std::string name;
+    std::uint64_t id = 0;     ///< 0 for events
+    std::uint64_t parent = 0; ///< parent span id (0 = root)
+    std::uint64_t startNs = 0;
+    std::uint64_t durNs = 0;
+    double simTime = 0.0; ///< events only
+    std::string detail;
+};
+
+bool
+spanFromJsonLine(const std::string& line, std::uint64_t* trace,
+                 SpanRecord* out)
+{
+    obs::JsonValue v;
+    try {
+        v = obs::parseJson(line);
+    } catch (const std::exception&) {
+        return false;
+    }
+    const obs::JsonValue* span = v.find("span");
+    const obs::JsonValue* event = v.find("event");
+    const obs::JsonValue* traceField = v.find("trace");
+    if ((!span && !event) || !traceField)
+        return false;
+    *trace = static_cast<std::uint64_t>(traceField->numberOr(0.0));
+    out->isEvent = event != nullptr;
+    out->name = span ? span->stringOr("?") : event->stringOr("?");
+    auto u64 = [&v](const char* key) -> std::uint64_t {
+        const obs::JsonValue* f = v.find(key);
+        return static_cast<std::uint64_t>(f ? f->numberOr(0.0) : 0.0);
+    };
+    out->id = u64("id");
+    out->parent = u64("parent");
+    out->startNs = out->isEvent ? u64("ns") : u64("startNs");
+    out->durNs = u64("durNs");
+    if (const obs::JsonValue* t = v.find("t"))
+        out->simTime = t->numberOr(0.0);
+    if (const obs::JsonValue* detail = v.find("detail"))
+        out->detail = detail->stringOr("");
+    return true;
+}
+
+/** Prints @p record and its children, indented by @p depth. */
+void
+printSpanTree(const std::map<std::uint64_t, std::vector<SpanRecord>>&
+                  children,
+              const SpanRecord& record, std::uint64_t baseNs, int depth)
+{
+    // Signed: http.accept_wait starts before the root's first byte.
+    const double offsetMs =
+        static_cast<double>(static_cast<std::int64_t>(record.startNs) -
+                            static_cast<std::int64_t>(baseNs)) /
+        1e6;
+    if (record.isEvent) {
+        std::printf("  %8.3f ms %*s* %s", offsetMs, 2 * depth, "",
+                    record.name.c_str());
+        std::printf("  t=%.2f", record.simTime);
+    } else {
+        std::printf("  %8.3f ms %*s%-14s %8.3f ms", offsetMs, 2 * depth,
+                    "", record.name.c_str(),
+                    static_cast<double>(record.durNs) / 1e6);
+    }
+    if (!record.detail.empty())
+        std::printf("  (%s)", record.detail.c_str());
+    std::printf("\n");
+    const auto it = children.find(record.id);
+    if (record.isEvent || it == children.end())
+        return;
+    for (const SpanRecord& child : it->second)
+        printSpanTree(children, child, baseNs, depth + 1);
+}
+
+/** @return the --spans mode process exit status (0 / 1 / 2). */
+int
+inspectSpans(const std::string& path, std::size_t maxTraces)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+
+    // Admission mirrors BoundedTimelines: full record sets for the N
+    // smallest trace ids only, aggregates over everything.
+    std::set<std::uint64_t> seen;
+    std::map<std::uint64_t, std::vector<SpanRecord>> traces;
+    struct NameAgg
+    {
+        std::size_t count = 0;
+        double totalMs = 0.0;
+        double maxMs = 0.0;
+    };
+    std::map<std::string, NameAgg> byName;
+    std::size_t spanCount = 0;
+    std::size_t eventCount = 0;
+    std::size_t badLines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::uint64_t trace = 0;
+        SpanRecord record;
+        if (!spanFromJsonLine(line, &trace, &record)) {
+            ++badLines;
+            continue;
+        }
+        if (record.isEvent) {
+            ++eventCount;
+        } else {
+            ++spanCount;
+            NameAgg& agg = byName[record.name];
+            ++agg.count;
+            const double ms = static_cast<double>(record.durNs) / 1e6;
+            agg.totalMs += ms;
+            agg.maxMs = std::max(agg.maxMs, ms);
+        }
+        auto it = traces.find(trace);
+        if (it != traces.end()) {
+            it->second.push_back(std::move(record));
+            continue;
+        }
+        if (!seen.insert(trace).second || maxTraces == 0)
+            continue;
+        if (traces.size() >= maxTraces) {
+            auto largest = std::prev(traces.end());
+            if (trace >= largest->first)
+                continue;
+            traces.erase(largest);
+        }
+        traces[trace].push_back(std::move(record));
+    }
+
+    std::printf("%s: %zu trace(s), %zu span(s), %zu event(s)\n",
+                path.c_str(), seen.size(), spanCount, eventCount);
+    if (badLines > 0)
+        std::printf("%zu unrecognized line(s) skipped\n", badLines);
+    if (spanCount + eventCount == 0)
+        return 1;
+
+    if (!byName.empty()) {
+        std::printf("\n span durations by name:\n");
+        std::printf("  %-16s %8s %12s %12s %12s\n", "span", "count",
+                    "mean ms", "max ms", "total ms");
+        for (const auto& [name, agg] : byName) {
+            std::printf("  %-16s %8zu %12.3f %12.3f %12.3f\n",
+                        name.c_str(), agg.count,
+                        agg.totalMs / static_cast<double>(agg.count),
+                        agg.maxMs, agg.totalMs);
+        }
+    }
+
+    for (const auto& [trace, records] : traces) {
+        // Index records by parent span id; roots have parent 0. Spans
+        // are written at close (depth-first post-order), so re-sort
+        // every sibling list by start time.
+        std::map<std::uint64_t, std::vector<SpanRecord>> children;
+        for (const SpanRecord& record : records)
+            children[record.parent].push_back(record);
+        for (auto& [parent, siblings] : children) {
+            std::sort(siblings.begin(), siblings.end(),
+                      [](const SpanRecord& a, const SpanRecord& b) {
+                          return a.startNs < b.startNs;
+                      });
+        }
+        const auto roots = children.find(0);
+        if (roots == children.end())
+            continue;
+        std::printf("\n== trace %llu ==\n",
+                    static_cast<unsigned long long>(trace));
+        for (const SpanRecord& root : roots->second)
+            printSpanTree(children, root, roots->second.front().startNs,
+                          0);
+    }
+    if (seen.size() > traces.size())
+        std::printf("\n(%zu further trace(s) not rendered; raise "
+                    "--traces)\n",
+                    seen.size() - traces.size());
+    return 0;
+}
+
+/** @return the --chrome mode process exit status (0 / 2). */
+int
+convertChrome(const std::string& inPath, const std::string& outPath)
+{
+    std::ifstream in(inPath, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", inPath.c_str());
+        return 2;
+    }
+    std::ofstream out(outPath, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 2;
+    }
+    std::string error;
+    if (!obs::writeChromeTrace(in, out, &error)) {
+        std::fprintf(stderr, "%s: %s\n", inPath.c_str(), error.c_str());
+        return 2;
+    }
+    if (!error.empty())
+        std::fprintf(stderr, "%s\n", error.c_str());
+    std::printf("wrote %s (open chrome://tracing or ui.perfetto.dev "
+                "and load it)\n",
+                outPath.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -344,6 +571,37 @@ main(int argc, char** argv)
             return 2;
         }
         return diffTraces(argv[2], argv[3]);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--spans") == 0) {
+        std::string spansPath;
+        std::size_t maxTraces = 5;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
+                maxTraces = static_cast<std::size_t>(
+                    std::strtoull(argv[++i], nullptr, 10));
+            } else if (spansPath.empty()) {
+                spansPath = argv[i];
+            } else {
+                spansPath.clear();
+                break;
+            }
+        }
+        if (spansPath.empty()) {
+            std::fprintf(stderr,
+                         "usage: %s --spans <spans.jsonl> [--traces N]\n",
+                         argv[0]);
+            return 2;
+        }
+        return inspectSpans(spansPath, maxTraces);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--chrome") == 0) {
+        if (argc != 4) {
+            std::fprintf(stderr,
+                         "usage: %s --chrome <spans.jsonl> <out.json>\n",
+                         argv[0]);
+            return 2;
+        }
+        return convertChrome(argv[2], argv[3]);
     }
     std::string path;
     std::size_t max_jobs = 5;

@@ -1,0 +1,140 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+
+#include "obs/json.hpp"
+
+namespace hcloud::obs {
+
+namespace {
+
+std::uint64_t
+monotonicNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+double
+unixSeconds()
+{
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+const char*
+toString(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+Log::Log(LogConfig config)
+    : config_(config), tokens_(config.burst), lastRefillNs_(monotonicNs())
+{
+}
+
+Log&
+Log::instance()
+{
+    static Log log;
+    return log;
+}
+
+bool
+Log::write(LogLevel level, std::string_view event,
+           const std::function<void(JsonWriter&)>& fields)
+{
+    if (level < config_.minLevel)
+        return false;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    std::uint64_t catchUp = 0;
+    if (config_.maxPerSec > 0.0 && level < LogLevel::Error) {
+        const std::uint64_t now = monotonicNs();
+        tokens_ += static_cast<double>(now - lastRefillNs_) * 1e-9 *
+                   config_.maxPerSec;
+        if (tokens_ > config_.burst)
+            tokens_ = config_.burst;
+        lastRefillNs_ = now;
+        if (tokens_ < 1.0) {
+            ++suppressed_;
+            return false;
+        }
+        tokens_ -= 1.0;
+    }
+    // Any admitted record (including Error, which bypasses the bucket)
+    // surfaces what the limiter dropped since the last one.
+    catchUp = suppressed_;
+    suppressed_ = 0;
+
+    std::FILE* out = stream_ ? stream_ : stderr;
+    if (catchUp > 0) {
+        JsonWriter note;
+        note.beginObject();
+        note.field("ts", unixSeconds());
+        note.field("level", "warn");
+        note.field("event", "log_suppressed");
+        note.field("dropped", catchUp);
+        note.endObject();
+        const std::string& line = note.str();
+        std::fwrite(line.data(), 1, line.size(), out);
+        std::fputc('\n', out);
+        ++written_;
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("ts", unixSeconds());
+    w.field("level", toString(level));
+    w.field("event", event);
+    if (fields)
+        fields(w);
+    w.endObject();
+    const std::string& line = w.str();
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+    std::fflush(out);
+    ++written_;
+    return true;
+}
+
+void
+Log::setStream(std::FILE* stream)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream_ = stream;
+}
+
+void
+Log::setMinLevel(LogLevel level)
+{
+    config_.minLevel = level;
+}
+
+std::uint64_t
+Log::suppressed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return suppressed_;
+}
+
+std::uint64_t
+Log::written() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return written_;
+}
+
+} // namespace hcloud::obs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * obs::Log — structured, leveled, rate-limited JSONL logging.
+ *
+ * One line per record: {"ts":<unix seconds>,"level":"...","event":"...",
+ * ...caller fields}. The daemon logs operational facts through this
+ * (listen address, slow requests, shutdown); nothing in the hot path
+ * logs per-request at Info.
+ *
+ * Rate limiting is a token bucket (maxPerSec sustained, burst ceiling)
+ * applied to Debug/Info/Warn; Error always passes. Suppressed records
+ * are counted and surfaced as a single "log_suppressed" line the next
+ * time a record passes, so bursts can't silently hide volume.
+ *
+ * The default stream is stderr; tests redirect via setStream(). Writes
+ * happen under a mutex with one fwrite per line, so concurrent callers
+ * never interleave bytes.
+ */
+
+#ifndef HCLOUD_OBS_LOG_HPP
+#define HCLOUD_OBS_LOG_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+namespace hcloud::obs {
+
+class JsonWriter;
+
+enum class LogLevel : std::uint8_t
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+const char* toString(LogLevel level);
+
+/** Logger knobs. */
+struct LogConfig
+{
+    LogLevel minLevel = LogLevel::Info;
+    /** Sustained records/second admitted below Error (0 = unlimited). */
+    double maxPerSec = 50.0;
+    /** Token-bucket ceiling for bursts. */
+    double burst = 100.0;
+};
+
+/** Process-wide structured logger (singleton + injectable instances). */
+class Log
+{
+  public:
+    explicit Log(LogConfig config = {});
+
+    Log(const Log&) = delete;
+    Log& operator=(const Log&) = delete;
+
+    /** The daemon-wide logger. */
+    static Log& instance();
+
+    /**
+     * Emit one record. @p fields appends extra key/value pairs to the
+     * open top-level object (may be empty). Returns false when the
+     * record was filtered (level) or suppressed (rate limit).
+     */
+    bool write(LogLevel level, std::string_view event,
+               const std::function<void(JsonWriter&)>& fields = {});
+
+    bool debug(std::string_view event,
+               const std::function<void(JsonWriter&)>& fields = {})
+    {
+        return write(LogLevel::Debug, event, fields);
+    }
+    bool info(std::string_view event,
+              const std::function<void(JsonWriter&)>& fields = {})
+    {
+        return write(LogLevel::Info, event, fields);
+    }
+    bool warn(std::string_view event,
+              const std::function<void(JsonWriter&)>& fields = {})
+    {
+        return write(LogLevel::Warn, event, fields);
+    }
+    bool error(std::string_view event,
+               const std::function<void(JsonWriter&)>& fields = {})
+    {
+        return write(LogLevel::Error, event, fields);
+    }
+
+    /** Redirect output (tests); nullptr restores stderr. */
+    void setStream(std::FILE* stream);
+
+    void setMinLevel(LogLevel level);
+
+    /** Records dropped by the rate limiter so far. */
+    std::uint64_t suppressed() const;
+
+    /** Records written so far. */
+    std::uint64_t written() const;
+
+  private:
+    LogConfig config_;
+    mutable std::mutex mutex_;
+    std::FILE* stream_ = nullptr; // nullptr = stderr
+    double tokens_;
+    std::uint64_t lastRefillNs_ = 0;
+    std::uint64_t suppressed_ = 0;
+    std::uint64_t written_ = 0;
+};
+
+} // namespace hcloud::obs
+
+#endif // HCLOUD_OBS_LOG_HPP

@@ -1,0 +1,256 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace hcloud::obs {
+
+namespace {
+
+thread_local SpanTracer* tlsTracer = nullptr;
+thread_local SpanContext tlsContext;
+
+/** Serialize one span line into @p out (reused caller buffer). */
+void
+formatSpanLine(std::string& out, std::uint64_t trace, std::uint64_t id,
+               std::uint64_t parent, const char* name,
+               std::uint64_t startNs, std::uint64_t endNs,
+               std::string_view detail)
+{
+    char head[192];
+    const std::uint64_t dur = endNs >= startNs ? endNs - startNs : 0;
+    std::snprintf(head, sizeof(head),
+                  "{\"span\":\"%s\",\"trace\":%" PRIu64 ",\"id\":%" PRIu64
+                  ",\"parent\":%" PRIu64 ",\"startNs\":%" PRIu64
+                  ",\"durNs\":%" PRIu64,
+                  name, trace, id, parent, startNs, dur);
+    out = head;
+    if (!detail.empty()) {
+        out += ",\"detail\":\"";
+        out += escapeJson(detail);
+        out += '"';
+    }
+    out += '}';
+}
+
+} // namespace
+
+SpanTracer::SpanTracer(SpanTracerConfig config) : config_(std::move(config))
+{
+    if (config_.sinkPath.empty())
+        return;
+    sink_ = std::make_unique<TraceSink>(config_.sinkPath);
+    if (!sink_->ok()) {
+        sink_.reset();
+        return;
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+SpanTracer::~SpanTracer()
+{
+    flush();
+}
+
+void
+SpanTracer::span(std::uint64_t trace, std::uint64_t id,
+                 std::uint64_t parent, const char* name,
+                 std::uint64_t startNs, std::uint64_t endNs,
+                 std::string_view detail)
+{
+    if (!enabled())
+        return;
+    std::string line;
+    formatSpanLine(line, trace, id, parent, name, startNs, endNs, detail);
+    append(std::move(line));
+}
+
+void
+SpanTracer::event(std::uint64_t trace, std::uint64_t parent,
+                  const char* name, double simTime,
+                  std::string_view detail)
+{
+    if (!enabled())
+        return;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "{\"event\":\"%s\",\"trace\":%" PRIu64
+                  ",\"parent\":%" PRIu64 ",\"ns\":%" PRIu64,
+                  name, trace, parent, nowNs());
+    std::string line = head;
+    line += ",\"t\":";
+    line += formatDouble(simTime);
+    if (!detail.empty()) {
+        line += ",\"detail\":\"";
+        line += escapeJson(detail);
+        line += '"';
+    }
+    line += '}';
+    append(std::move(line));
+}
+
+void
+SpanTracer::append(std::string&& line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!sink_)
+        return;
+    if (!sink_->appendLine(line)) {
+        // A broken sink (disk full, path vanished) latches the whole
+        // tracer off; span recording must never take a request down.
+        sink_.reset();
+        enabled_.store(false, std::memory_order_relaxed);
+        return;
+    }
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+SpanTracer::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_)
+        sink_->flush();
+}
+
+std::uint64_t
+SpanTracer::nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+SpanContext
+currentSpanContext()
+{
+    return tlsContext;
+}
+
+SpanTracer*
+currentSpanTracer()
+{
+    return tlsTracer;
+}
+
+SpanBinding::SpanBinding(SpanTracer* tracer, SpanContext context)
+    : prevTracer_(tlsTracer), prevContext_(tlsContext)
+{
+    tlsTracer = tracer;
+    tlsContext = context;
+}
+
+SpanBinding::~SpanBinding()
+{
+    tlsTracer = prevTracer_;
+    tlsContext = prevContext_;
+}
+
+SpanScope::SpanScope(const char* name, std::string_view detail)
+{
+    SpanTracer* tracer = tlsTracer;
+    if (!tracer || !tracer->enabled() || !tlsContext.valid())
+        return;
+    tracer_ = tracer;
+    name_ = name;
+    prev_ = tlsContext;
+    id_ = tracer->newSpanId();
+    startNs_ = SpanTracer::nowNs();
+    detail_.assign(detail);
+    tlsContext = SpanContext{prev_.trace, id_};
+}
+
+SpanScope::~SpanScope()
+{
+    if (!tracer_)
+        return;
+    tlsContext = prev_;
+    tracer_->span(prev_.trace, id_, prev_.span, name_, startNs_,
+                  SpanTracer::nowNs(), detail_);
+}
+
+bool
+writeChromeTrace(std::istream& in, std::ostream& out, std::string* error)
+{
+    // Chrome's viewer groups rows by (pid, tid); mapping each trace id
+    // to its own tid renders one request per row. Trace ids are dense
+    // small counters, so the uint64 -> tid map stays tiny.
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    std::string line;
+    std::size_t records = 0;
+    std::size_t skipped = 0;
+    JsonWriter w;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        JsonValue v;
+        try {
+            v = parseJson(line);
+        } catch (const std::exception&) {
+            ++skipped;
+            continue;
+        }
+        const JsonValue* span = v.find("span");
+        const JsonValue* event = v.find("event");
+        const JsonValue* trace = v.find("trace");
+        if ((!span && !event) || !trace) {
+            ++skipped;
+            continue;
+        }
+        if (records > 0)
+            out << ',';
+        w.beginObject();
+        w.field("name", span ? span->stringOr("?") : event->stringOr("?"));
+        w.field("cat", span ? "span" : "event");
+        w.field("pid", 1);
+        w.field("tid", static_cast<std::uint64_t>(trace->numberOr(0.0)));
+        if (span) {
+            w.field("ph", "X");
+            const JsonValue* start = v.find("startNs");
+            const JsonValue* dur = v.find("durNs");
+            w.field("ts", (start ? start->numberOr(0.0) : 0.0) / 1e3);
+            w.field("dur", (dur ? dur->numberOr(0.0) : 0.0) / 1e3);
+        } else {
+            w.field("ph", "i");
+            w.field("s", "t");
+            const JsonValue* ns = v.find("ns");
+            w.field("ts", (ns ? ns->numberOr(0.0) : 0.0) / 1e3);
+        }
+        w.key("args");
+        w.beginObject();
+        if (const JsonValue* detail = v.find("detail"))
+            w.field("detail", detail->stringOr(""));
+        if (const JsonValue* t = v.find("t"))
+            w.field("simTime", t->numberOr(0.0));
+        if (const JsonValue* id = v.find("id"))
+            w.field("span", static_cast<std::uint64_t>(id->numberOr(0.0)));
+        if (const JsonValue* parent = v.find("parent"))
+            w.field("parent",
+                    static_cast<std::uint64_t>(parent->numberOr(0.0)));
+        w.endObject();
+        w.endObject();
+        out << w.take();
+        ++records;
+    }
+    out << "]}";
+    if (records == 0) {
+        if (error)
+            *error = "no span records found";
+        return false;
+    }
+    if (skipped > 0 && error)
+        *error = std::to_string(skipped) + " unrecognized line(s) skipped";
+    return true;
+}
+
+} // namespace hcloud::obs

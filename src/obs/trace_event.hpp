@@ -18,6 +18,7 @@
 #ifndef HCLOUD_OBS_TRACE_EVENT_HPP
 #define HCLOUD_OBS_TRACE_EVENT_HPP
 
+#include <cstdint>
 #include <string>
 
 #include "sim/types.hpp"
@@ -156,6 +157,12 @@ struct TraceEvent
     double value = 0.0;
     /** Short free-form context (instance type name, map target...). */
     std::string detail;
+    /** Wire-request span trace id that caused this event (0 = none;
+     *  stamped by Tracer::setActiveTrace during session-mode calls).
+     *  Last on purpose: existing positional aggregate initializers stay
+     *  valid, and batch runs never set it, so their JSONL stays
+     *  byte-identical. */
+    std::uint64_t trace = 0;
 };
 
 } // namespace hcloud::obs

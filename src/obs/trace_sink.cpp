@@ -36,7 +36,15 @@ TraceSink::append(const TraceEvent& event)
 {
     if (!ok())
         return false;
-    buffer_ += toJson(event);
+    return appendLine(toJson(event));
+}
+
+bool
+TraceSink::appendLine(std::string_view line)
+{
+    if (!ok())
+        return false;
+    buffer_ += line;
     buffer_ += '\n';
     ++written_;
     if (buffer_.size() >= kDrainThreshold)

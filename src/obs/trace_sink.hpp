@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "obs/trace_event.hpp"
 
@@ -48,6 +49,11 @@ class TraceSink
     /** Serialize @p event and buffer it for writing.
      *  @return false when the sink is (or just became) broken. */
     bool append(const TraceEvent& event);
+
+    /** Buffer one pre-serialized JSONL line (no trailing newline —
+     *  the sink adds it). The span tracer streams through this seam.
+     *  @return false when the sink is (or just became) broken. */
+    bool appendLine(std::string_view line);
 
     /** Drain the in-memory buffer through the descriptor. */
     bool flush();

@@ -130,6 +130,8 @@ Tracer::record(TraceEvent event)
         return;
     if (!(config_.categoryMask & categoryBit(categoryOf(event.kind))))
         return;
+    if (activeTrace_ != 0 && event.trace == 0)
+        event.trace = activeTrace_;
     ++recorded_;
     if (onRecord_)
         onRecord_(event);
@@ -252,6 +254,8 @@ toJson(const TraceEvent& event)
     }
     if (!event.detail.empty())
         w.field("detail", event.detail);
+    if (event.trace != 0)
+        w.field("trace", event.trace);
     w.endObject();
     return w.take();
 }
@@ -321,6 +325,8 @@ eventFromJsonLine(const std::string& line, TraceEvent* out)
     }
     if (const JsonValue* detail = v.find("detail"))
         ev.detail = detail->stringOr("");
+    if (const JsonValue* trace = v.find("trace"))
+        ev.trace = static_cast<std::uint64_t>(trace->numberOr(0.0));
     *out = std::move(ev);
     return true;
 }

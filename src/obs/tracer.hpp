@@ -126,6 +126,16 @@ class Tracer
     void record(TraceEvent event);
 
     /**
+     * Stamp every subsequently recorded event with span trace id
+     * @p trace (0 clears). srv::EngineSession sets this around each
+     * session-mode call so trace_inspect can join wire requests to
+     * their provisioning decisions; batch runs never set it, keeping
+     * their JSONL byte-identical.
+     */
+    void setActiveTrace(std::uint64_t trace) { activeTrace_ = trace; }
+    std::uint64_t activeTrace() const { return activeTrace_; }
+
+    /**
      * Install an observer invoked for every event that passes the
      * severity/category filters, before the event enters the ring (so it
      * sees events a full ring would evict). The observer runs on the
@@ -213,6 +223,8 @@ class Tracer
     std::unique_ptr<TraceSink> sink_;
     /** A sink was requested but could not be opened or written. */
     bool sinkFailed_ = false;
+    /** Span trace id stamped onto recorded events (0 = none). */
+    std::uint64_t activeTrace_ = 0;
     /** Post-filter observer (see setOnRecord). */
     std::function<void(const TraceEvent&)> onRecord_;
 };

@@ -1,5 +1,7 @@
 #include "runtime/sharded_executor.hpp"
 
+#include "obs/span.hpp"
+
 namespace hcloud::runtime {
 
 ShardedExecutor::ShardedExecutor(ThreadPool& pool, std::size_t shards)
@@ -21,10 +23,28 @@ void
 ShardedExecutor::post(std::size_t shard, Task task)
 {
     Shard& s = *shards_[shard % shards_.size()];
+    // Span handoff: a strand hop moves work to a pool thread, so the
+    // caller's thread-local binding would be lost. Capture it here and
+    // restore it inside the task — which also makes the queue wait
+    // visible as its own "strand.wait" span.
+    if (obs::SpanTracer* st = obs::currentSpanTracer();
+        st && st->enabled() && obs::currentSpanContext().valid()) {
+        const obs::SpanContext ctx = obs::currentSpanContext();
+        const std::uint64_t enqueuedNs = obs::SpanTracer::nowNs();
+        task = [st, ctx, enqueuedNs, inner = std::move(task)] {
+            const std::uint64_t startNs = obs::SpanTracer::nowNs();
+            st->span(ctx.trace, st->newSpanId(), ctx.span, "strand.wait",
+                     enqueuedNs, startNs);
+            obs::SpanBinding bind(st, ctx);
+            obs::SpanScope exec("strand.exec");
+            inner();
+        };
+    }
     bool schedule = false;
     {
         std::lock_guard<std::mutex> lock(s.mutex);
         s.queue.push_back(std::move(task));
+        s.depth.fetch_add(1, std::memory_order_relaxed);
         if (!s.scheduled) {
             s.scheduled = true;
             schedule = true;
@@ -60,7 +80,30 @@ ShardedExecutor::runShard(std::size_t index)
             s.queue.pop_front();
         }
         task();
+        // Decrement after the task ran: depth counts queued + running,
+        // so a long task shows as backup instead of vanishing early.
+        s.depth.fetch_sub(1, std::memory_order_relaxed);
+        s.executed.fetch_add(1, std::memory_order_relaxed);
     }
+}
+
+std::vector<std::size_t>
+ShardedExecutor::queueDepths() const
+{
+    std::vector<std::size_t> depths;
+    depths.reserve(shards_.size());
+    for (const std::unique_ptr<Shard>& shard : shards_)
+        depths.push_back(shard->depth.load(std::memory_order_relaxed));
+    return depths;
+}
+
+std::uint64_t
+ShardedExecutor::tasksExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_)
+        total += shard->executed.load(std::memory_order_relaxed);
+    return total;
 }
 
 void

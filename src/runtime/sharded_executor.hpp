@@ -32,8 +32,10 @@
 #ifndef HCLOUD_RUNTIME_SHARDED_EXECUTOR_HPP
 #define HCLOUD_RUNTIME_SHARDED_EXECUTOR_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -128,6 +130,23 @@ class ShardedExecutor
     /** Block until every shard's FIFO is empty and no task is running. */
     void drain();
 
+    /**
+     * Tasks currently queued or running on @p shard. Lock-free read of
+     * an atomic maintained by post()/runShard(); /statusz polls this to
+     * make strand backup visible without touching the shard mutexes.
+     */
+    std::size_t queueDepth(std::size_t shard) const
+    {
+        return shards_[shard % shards_.size()]->depth.load(
+            std::memory_order_relaxed);
+    }
+
+    /** queueDepth() for every shard, in shard order. */
+    std::vector<std::size_t> queueDepths() const;
+
+    /** Tasks completed across all shards since construction. */
+    std::uint64_t tasksExecuted() const;
+
   private:
     struct Shard
     {
@@ -135,6 +154,10 @@ class ShardedExecutor
         std::deque<Task> queue;
         bool scheduled = false; ///< a drain job is queued or running
         std::condition_variable idle;
+        /** Queued + running tasks (inc on post, dec after run). */
+        std::atomic<std::size_t> depth{0};
+        /** Tasks completed on this shard. */
+        std::atomic<std::uint64_t> executed{0};
     };
 
     void runShard(std::size_t index);

@@ -4,11 +4,39 @@
 
 #include "cloud/provider_profile.hpp"
 #include "exp/report_json.hpp"
+#include "obs/span.hpp"
 #include "workload/scenario.hpp"
 
 namespace hcloud::srv {
 
 namespace {
+
+/**
+ * RAII: stamp the engine tracer's active trace id from the current
+ * thread-local span context for the duration of one session operation,
+ * so every decision TraceEvent it records carries the wire request's
+ * trace id. Restores the previous stamp (operations nest: submitJob
+ * calls advanceTo).
+ */
+class ActiveTraceStamp
+{
+  public:
+    explicit ActiveTraceStamp(obs::Tracer& tracer)
+        : tracer_(tracer), prev_(tracer.activeTrace())
+    {
+        const obs::SpanContext ctx = obs::currentSpanContext();
+        if (ctx.valid())
+            tracer_.setActiveTrace(ctx.trace);
+    }
+    ~ActiveTraceStamp() { tracer_.setActiveTrace(prev_); }
+
+    ActiveTraceStamp(const ActiveTraceStamp&) = delete;
+    ActiveTraceStamp& operator=(const ActiveTraceStamp&) = delete;
+
+  private:
+    obs::Tracer& tracer_;
+    std::uint64_t prev_;
+};
 
 /** Engine config with the tracing the session machinery requires. */
 core::EngineConfig
@@ -63,13 +91,31 @@ EngineSession::EngineSession(SessionConfig config)
         decisions_.push_back(DecisionRecord{event.time, event.job,
                                             event.reason, event.value,
                                             event.detail});
+        // Mirror the decision into the request's span stream (the
+        // strand restored the caller's binding), joining the virtual
+        // and wall-clock worlds at the individual decision.
+        if (obs::SpanTracer* st = obs::currentSpanTracer();
+            st && st->enabled()) {
+            const obs::SpanContext ctx = obs::currentSpanContext();
+            if (ctx.valid()) {
+                std::string detail = "job ";
+                detail += std::to_string(event.job);
+                detail += ' ';
+                detail += obs::toString(event.reason);
+                st->event(ctx.trace, ctx.span, "decision", event.time,
+                          detail);
+            }
+        }
     });
     engine_.beginSession(trace_);
+    updateLive();
 }
 
 SubmitOutcome
 EngineSession::submitJob(workload::JobSpec spec)
 {
+    obs::SpanScope span("engine.submit");
+    ActiveTraceStamp stamp(engine_.tracer());
     SubmitOutcome outcome;
     if (spec.id == 0)
         spec.id = nextId_;
@@ -92,18 +138,24 @@ EngineSession::submitJob(workload::JobSpec spec)
     }
     if (const workload::Job* job = engine_.job(spec.id))
         outcome.state = jobStateName(job->state);
+    updateLive();
     return outcome;
 }
 
 void
 EngineSession::advanceTo(sim::Time t)
 {
+    obs::SpanScope span("engine.advance");
+    ActiveTraceStamp stamp(engine_.tracer());
     engine_.advanceTo(t);
+    updateLive();
 }
 
 std::string
 EngineSession::reportJson()
 {
+    obs::SpanScope span("engine.report");
+    ActiveTraceStamp stamp(engine_.tracer());
     core::RunResult result =
         engine_.liveResult(workload::toString(config_.scenario.kind));
 
@@ -133,7 +185,18 @@ EngineSession::reportJson()
     }
     w.endArray();
     w.endObject();
+    updateLive();
     return w.take();
+}
+
+void
+EngineSession::updateLive()
+{
+    live_.now.store(engine_.now(), std::memory_order_relaxed);
+    live_.jobs.store(engine_.jobCount(), std::memory_order_relaxed);
+    live_.finished.store(engine_.finishedCount(),
+                         std::memory_order_relaxed);
+    live_.decisions.store(decisions_.size(), std::memory_order_relaxed);
 }
 
 } // namespace hcloud::srv

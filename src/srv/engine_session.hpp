@@ -27,6 +27,7 @@
 #ifndef HCLOUD_SRV_ENGINE_SESSION_HPP
 #define HCLOUD_SRV_ENGINE_SESSION_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -109,12 +110,32 @@ class EngineSession
      */
     std::string reportJson();
 
+    /**
+     * Lock-free snapshot of the session's headline numbers, refreshed
+     * after every strand operation. /statusz reads these atomics
+     * directly instead of hopping onto the session's strand, so a
+     * wedged or busy shard cannot wedge the status page.
+     */
+    struct LiveStats
+    {
+        std::atomic<double> now{0.0};
+        std::atomic<std::uint64_t> jobs{0};
+        std::atomic<std::uint64_t> finished{0};
+        std::atomic<std::uint64_t> decisions{0};
+    };
+
+    const LiveStats& liveStats() const { return live_; }
+
   private:
+    /** Refresh live_ from the engine (strand thread only). */
+    void updateLive();
+
     SessionConfig config_;
     workload::ArrivalTrace trace_;
     core::EngineRun engine_; ///< after trace_: beginSession needs it
     std::vector<DecisionRecord> decisions_;
     sim::JobId nextId_ = 1;
+    LiveStats live_;
 };
 
 } // namespace hcloud::srv

@@ -13,6 +13,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/span.hpp"
+
 namespace hcloud::srv {
 
 namespace {
@@ -211,6 +213,7 @@ HttpServer::HttpServer(HttpServerConfig config) : config_(std::move(config))
         config_.workers = 1;
     if (config_.maxPendingConnections == 0)
         config_.maxPendingConnections = 1;
+    observing_ = config_.spans != nullptr || config_.onRequest != nullptr;
 }
 
 HttpServer::~HttpServer()
@@ -228,6 +231,7 @@ HttpServer::route(std::string_view method, std::string_view pattern,
                    [](unsigned char c) {
                        return static_cast<char>(std::toupper(c));
                    });
+    r.pattern = std::string(pattern);
     r.segments = splitSegments(pattern);
     r.handler = std::move(handler);
     routes_.push_back(std::move(r));
@@ -307,8 +311,8 @@ HttpServer::stop()
     // server owes brand-new work.
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
-        for (int fd : pendingFds_)
-            ::close(fd);
+        for (const PendingConn& conn : pendingFds_)
+            ::close(conn.fd);
         pendingFds_.clear();
     }
     closeQuietly(listenFd_);
@@ -353,7 +357,11 @@ HttpServer::acceptLoop()
         {
             std::lock_guard<std::mutex> lock(queueMutex_);
             if (pendingFds_.size() < config_.maxPendingConnections) {
-                pendingFds_.push_back(client);
+                PendingConn conn;
+                conn.fd = client;
+                if (observing_)
+                    conn.acceptNs = obs::SpanTracer::nowNs();
+                pendingFds_.push_back(conn);
                 accepted = true;
             }
         }
@@ -375,7 +383,7 @@ void
 HttpServer::workerLoop()
 {
     for (;;) {
-        int fd = -1;
+        PendingConn conn;
         {
             std::unique_lock<std::mutex> lock(queueMutex_);
             queueCv_.wait(lock, [this] {
@@ -383,11 +391,11 @@ HttpServer::workerLoop()
             });
             if (pendingFds_.empty())
                 return; // stopping and drained
-            fd = pendingFds_.front();
+            conn = pendingFds_.front();
             pendingFds_.pop_front();
         }
-        handleConnection(fd);
-        ::close(fd);
+        handleConnection(conn.fd, conn.acceptNs);
+        ::close(conn.fd);
     }
 }
 
@@ -418,18 +426,28 @@ HttpServer::waitReadable(int fd, int timeoutMs)
 }
 
 void
-HttpServer::handleConnection(int fd)
+HttpServer::handleConnection(int fd, std::uint64_t acceptNs)
 {
     std::string buffer;
     while (running_) {
-        if (!serveOne(fd, buffer))
+        if (!serveOne(fd, buffer, acceptNs))
             return;
+        acceptNs = 0; // queue wait belongs to the first request only
     }
 }
 
 bool
-HttpServer::serveOne(int fd, std::string& buffer)
+HttpServer::serveOne(int fd, std::string& buffer, std::uint64_t acceptNs)
 {
+    // Stage clocks: t0 = first request byte available, t1 = head+body
+    // read and parsed, t2 = routed, t3 = handler returned, t4 = response
+    // sent. Contiguous by construction, so the stage durations sum to
+    // the request's wall time. Every sample is gated on observing_ —
+    // an unobserved server takes zero clock reads per request.
+    std::uint64_t t0 = 0;
+    if (observing_ && !buffer.empty())
+        t0 = obs::SpanTracer::nowNs(); // pipelined request already here
+
     // ---- Read the request head (bounded, idle-timed) -------------------
     std::size_t head_end;
     while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
@@ -448,6 +466,8 @@ HttpServer::serveOne(int fd, std::string& buffer)
         } while (n < 0 && errno == EINTR);
         if (n <= 0)
             return false; // EOF or error
+        if (observing_ && t0 == 0)
+            t0 = obs::SpanTracer::nowNs();
         buffer.append(chunk, static_cast<std::size_t>(n));
     }
 
@@ -485,11 +505,13 @@ HttpServer::serveOne(int fd, std::string& buffer)
     // Keep pipelined bytes beyond this request for the next iteration.
     buffer.erase(0, body_start + head.contentLength);
 
+    const std::uint64_t t1 = observing_ ? obs::SpanTracer::nowNs() : 0;
+
     // ---- Route ----------------------------------------------------------
     requestsServed_.fetch_add(1, std::memory_order_relaxed);
     const std::vector<std::string> segments = splitSegments(req.path);
     const Route* matched = nullptr;
-    bool path_known = false;
+    const Route* pathRoute = nullptr; ///< path matched, method did not
     for (const Route& route : routes_) {
         if (route.segments.size() != segments.size())
             continue;
@@ -501,11 +523,30 @@ HttpServer::serveOne(int fd, std::string& buffer)
         }
         if (!ok)
             continue;
-        path_known = true;
         if (route.method == req.method) {
             matched = &route;
             break;
         }
+        if (!pathRoute)
+            pathRoute = &route;
+    }
+
+    const std::uint64_t t2 = observing_ ? obs::SpanTracer::nowNs() : 0;
+
+    // Span setup: allocate ids before the handler so everything it does
+    // (strand hops, engine calls) parents under this request's trace,
+    // but emit no span lines until the response is on the wire — sink
+    // serialization must not open gaps between the stage clocks.
+    obs::SpanTracer* st =
+        (config_.spans && config_.spans->enabled()) ? config_.spans
+                                                    : nullptr;
+    std::uint64_t traceId = 0;
+    std::uint64_t rootId = 0;
+    std::uint64_t handleId = 0;
+    if (st) {
+        traceId = st->newTraceId();
+        rootId = st->newSpanId();
+        handleId = st->newSpanId();
     }
 
     HttpResponse response;
@@ -515,21 +556,76 @@ HttpServer::serveOne(int fd, std::string& buffer)
                 req.params.push_back(segments[i]);
         }
         try {
-            response = matched->handler(req);
+            if (st) {
+                // The handle span itself is emitted below with the t2/t3
+                // stage clocks; here we only bind it as the thread-local
+                // parent for the handler's strand hops and engine spans.
+                obs::SpanBinding bind(
+                    st, obs::SpanContext{traceId, handleId});
+                response = matched->handler(req);
+            } else {
+                response = matched->handler(req);
+            }
         } catch (const std::exception& e) {
             response = errorFor(500, e.what());
         } catch (...) {
             response = errorFor(500, "handler failed");
         }
-    } else if (path_known) {
+    } else if (pathRoute) {
         response = errorFor(405, "method not allowed");
     } else {
         response = errorFor(404, "not found");
     }
 
+    const std::uint64_t t3 = observing_ ? obs::SpanTracer::nowNs() : 0;
+
     const bool keep = config_.keepAlive && head.http11 &&
         !head.clientClose && !response.closeConnection && running_;
-    if (!sendResponse(fd, &req, response, keep))
+    const bool sent = sendResponse(fd, &req, response, keep);
+
+    if (observing_) {
+        const std::uint64_t t4 = obs::SpanTracer::nowNs();
+        const Route* labeled = matched ? matched : pathRoute;
+        if (st) {
+            // All spans share the t0..t4 stage clocks, so the child
+            // durations sum exactly to the root's wall time.
+            if (acceptNs != 0 && acceptNs <= t0)
+                st->span(traceId, st->newSpanId(), rootId,
+                         "http.accept_wait", acceptNs, t0);
+            st->span(traceId, st->newSpanId(), rootId, "http.read", t0,
+                     t1);
+            st->span(traceId, st->newSpanId(), rootId, "http.route", t1,
+                     t2);
+            st->span(traceId, handleId, rootId, "http.handle", t2, t3);
+            st->span(traceId, st->newSpanId(), rootId, "http.write", t3,
+                     t4);
+            std::string detail = req.method;
+            detail += ' ';
+            detail += labeled ? labeled->pattern : req.path;
+            detail += ' ';
+            detail += std::to_string(response.status);
+            st->span(traceId, rootId, 0, "http.request", t0, t4, detail);
+        }
+        if (config_.onRequest) {
+            RequestSummary summary;
+            summary.method = req.method;
+            summary.route = labeled ? labeled->pattern : "unmatched";
+            summary.status = response.status;
+            summary.trace = traceId;
+            summary.endNs = t4;
+            summary.stages.readNs = t1 - t0;
+            summary.stages.routeNs = t2 - t1;
+            summary.stages.handleNs = t3 - t2;
+            summary.stages.writeNs = t4 - t3;
+            try {
+                config_.onRequest(summary);
+            } catch (...) {
+                // Observation must never take the connection down.
+            }
+        }
+    }
+
+    if (!sent)
         return false;
     return keep;
 }

@@ -49,6 +49,10 @@
 #include <utility>
 #include <vector>
 
+namespace hcloud::obs {
+class SpanTracer;
+}
+
 namespace hcloud::srv {
 
 /** One parsed request, as handed to a route handler. */
@@ -98,6 +102,43 @@ struct HttpResponse
 /** Standard reason phrase for @p status ("OK", "Not Found", ...). */
 const char* statusReason(int status);
 
+/**
+ * Wall-clock stage durations of one served request, in steady-clock
+ * nanoseconds. The stages are contiguous — read starts at the first
+ * request byte, write ends when the response hit the socket — so their
+ * sum is the request's wall time (accept-queue wait is reported
+ * separately: it precedes the first byte and belongs to the connection,
+ * not the request).
+ */
+struct RequestStages
+{
+    std::uint64_t readNs = 0;   ///< first byte -> head+body read+parsed
+    std::uint64_t routeNs = 0;  ///< route-table match
+    std::uint64_t handleNs = 0; ///< handler execution
+    std::uint64_t writeNs = 0;  ///< response serialization + send
+
+    std::uint64_t totalNs() const
+    {
+        return readNs + routeNs + handleNs + writeNs;
+    }
+};
+
+/** Per-request record handed to HttpServerConfig::onRequest. */
+struct RequestSummary
+{
+    std::string method;
+    /** Matched route pattern (wildcard segments kept as "*", e.g.
+     *  "/v1/tenants/STAR/jobs" with STAR spelled as the asterisk);
+     *  "unmatched" for 404s so label cardinality stays bounded. */
+    std::string route;
+    int status = 0;
+    /** Span trace id of this request (0 = span tracing off). */
+    std::uint64_t trace = 0;
+    /** steady-clock ns when the response finished sending. */
+    std::uint64_t endNs = 0;
+    RequestStages stages;
+};
+
 struct HttpServerConfig
 {
     /** Worker threads serving accepted connections. */
@@ -118,6 +159,22 @@ struct HttpServerConfig
      */
     std::function<HttpResponse(int status, std::string_view message)>
         errorResponse;
+    /**
+     * Span tracer for end-to-end request tracing; nullptr (the default)
+     * or a disabled tracer keeps the hot path free of clock samples.
+     * When enabled, each routed request gets a trace id, an
+     * "http.request" root span with read/route/handle/write children,
+     * and the (tracer, context) pair is bound thread-locally around the
+     * handler so downstream strand hops and engine calls join the trace.
+     */
+    obs::SpanTracer* spans = nullptr;
+    /**
+     * Invoked on the worker thread after every routed request (matched,
+     * 404 or 405 — not connection-level parse failures). The serving
+     * layer derives latency histograms, the /statusz slow-request table
+     * and the slow-request log line from this.
+     */
+    std::function<void(const RequestSummary&)> onRequest;
 };
 
 /**
@@ -175,16 +232,26 @@ class HttpServer
     struct Route
     {
         std::string method;
+        std::string pattern; ///< original pattern, for RequestSummary
         std::vector<std::string> segments;
         Handler handler;
     };
 
+    /** A connection waiting for a worker (acceptNs = 0 unless the
+     *  server is observing requests). */
+    struct PendingConn
+    {
+        int fd = -1;
+        std::uint64_t acceptNs = 0;
+    };
+
     void acceptLoop();
     void workerLoop();
-    void handleConnection(int fd);
-    /** Serve one request from @p buffer/@p fd. @return keep the
+    void handleConnection(int fd, std::uint64_t acceptNs);
+    /** Serve one request from @p buffer/@p fd; @p acceptNs is nonzero
+     *  only for the connection's first request. @return keep the
      *  connection? */
-    bool serveOne(int fd, std::string& buffer);
+    bool serveOne(int fd, std::string& buffer, std::uint64_t acceptNs);
     /** The built error response for @p status. */
     HttpResponse errorFor(int status, std::string_view message) const;
     bool sendResponse(int fd, const HttpRequest* request,
@@ -206,9 +273,13 @@ class HttpServer
     std::atomic<std::uint64_t> requestsServed_{0};
     std::atomic<std::uint64_t> connectionsRejected_{0};
 
+    /** True when onRequest or a span tracer is configured; gates every
+     *  clock sample so the default server stays observation-free. */
+    bool observing_ = false;
+
     std::mutex queueMutex_;
     std::condition_variable queueCv_;
-    std::deque<int> pendingFds_;
+    std::deque<PendingConn> pendingFds_;
 };
 
 } // namespace hcloud::srv

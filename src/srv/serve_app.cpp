@@ -1,9 +1,13 @@
 #include "srv/serve_app.hpp"
 
+#include <cstdlib>
 #include <utility>
+
+#include <unistd.h>
 
 #include "exp/report_json.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/prom_text.hpp"
 #include "srv/json_api.hpp"
 
@@ -39,12 +43,44 @@ decisionJson(obs::JsonWriter& w, const DecisionRecord& d)
     w.endObject();
 }
 
-srv::HttpServerConfig
-serverConfig(const ServeConfig& config)
+/** Span sink path: explicit config wins, then HCLOUD_SPANS. */
+obs::SpanTracerConfig
+spanConfig(const ServeConfig& config)
+{
+    obs::SpanTracerConfig sc;
+    sc.sinkPath = config.spanPath;
+    if (sc.sinkPath.empty()) {
+        if (const char* env = std::getenv("HCLOUD_SPANS"))
+            sc.sinkPath = env;
+    }
+    return sc;
+}
+
+/** Slow threshold: explicit config wins, then HCLOUD_SLOW_MS. */
+double
+resolveSlowMs(double configured)
+{
+    if (configured > 0.0)
+        return configured;
+    if (const char* env = std::getenv("HCLOUD_SLOW_MS"))
+        return std::atof(env);
+    return 0.0;
+}
+
+} // namespace
+
+HttpServerConfig
+ServeApp::makeServerConfig(const ServeConfig& config)
 {
     HttpServerConfig http;
     http.workers = config.httpWorkers;
     http.maxPendingConnections = config.maxPendingConnections;
+    // `this` outlives server_ (declared last), and onRequest only fires
+    // while the server runs, so the capture is safe.
+    http.spans = &spans_;
+    http.onRequest = [this](const RequestSummary& summary) {
+        observeRequest(summary);
+    };
     // Transport-level failures (404/405/413/503/500) speak the same
     // structured-error JSON as the API handlers.
     http.errorResponse = [](int status, std::string_view message) {
@@ -77,14 +113,19 @@ serverConfig(const ServeConfig& config)
     return http;
 }
 
-} // namespace
-
 ServeApp::ServeApp(ServeConfig config, obs::ProcessMetrics& metrics)
-    : metrics_(metrics), pool_(config.threads),
+    : metrics_(metrics), spans_(spanConfig(config)),
+      status_(config.statusRequests),
+      slowMs_(resolveSlowMs(config.slowMs)),
+      startNs_(obs::SpanTracer::nowNs()), pool_(config.threads),
       sessions_(pool_, config.shards, metrics_),
-      server_(serverConfig(config))
+      server_(makeServerConfig(config))
 {
     routes();
+    metrics_
+        .gauge("hcloud_spans_enabled",
+               "1 when span tracing has an open sink")
+        .set(spans_.enabled() ? 1.0 : 0.0);
 }
 
 ServeApp::~ServeApp()
@@ -105,6 +146,64 @@ ServeApp::stop()
     // work already accepted. SessionManager's destructor drains again,
     // so stop() + destruction is safe in either order.
     server_.stop();
+    spans_.flush();
+}
+
+void
+ServeApp::observeRequest(const RequestSummary& summary)
+{
+    const double totalSec =
+        static_cast<double>(summary.stages.totalNs()) / 1e9;
+    metrics_
+        .histogram("hcloud_http_request_seconds",
+                   "Request wall time per route",
+                   {{"route", summary.route},
+                    {"method", summary.method}})
+        .observe(totalSec);
+    const std::pair<const char*, std::uint64_t> stages[] = {
+        {"read", summary.stages.readNs},
+        {"route", summary.stages.routeNs},
+        {"handle", summary.stages.handleNs},
+        {"write", summary.stages.writeNs},
+    };
+    for (const auto& [stage, ns] : stages) {
+        metrics_
+            .histogram("hcloud_http_stage_seconds",
+                       "Request wall time per processing stage",
+                       {{"stage", stage}})
+            .observe(static_cast<double>(ns) / 1e9);
+    }
+    metrics_
+        .counter("hcloud_http_responses_total",
+                 "Responses per route and status",
+                 {{"route", summary.route},
+                  {"status", std::to_string(summary.status)}})
+        .inc();
+    status_.add(summary);
+
+    const double totalMs = totalSec * 1e3;
+    if (slowMs_ > 0.0 && totalMs >= slowMs_) {
+        obs::Log::instance().warn(
+            "slow_request", [&](obs::JsonWriter& w) {
+                w.field("method", summary.method);
+                w.field("route", summary.route);
+                w.field("status", summary.status);
+                if (summary.trace != 0)
+                    w.field("trace", summary.trace);
+                w.field("totalMs", totalMs);
+                w.field("readMs",
+                        static_cast<double>(summary.stages.readNs) / 1e6);
+                w.field("routeMs",
+                        static_cast<double>(summary.stages.routeNs) /
+                            1e6);
+                w.field("handleMs",
+                        static_cast<double>(summary.stages.handleNs) /
+                            1e6);
+                w.field("writeMs",
+                        static_cast<double>(summary.stages.writeNs) /
+                            1e6);
+            });
+    }
 }
 
 void
@@ -136,8 +235,11 @@ ServeApp::routes()
         response.body = obs::renderPromText(metrics_);
         return response;
     });
-    server_.route("GET", "/healthz", [](const HttpRequest&) {
-        return HttpResponse::text(200, "ok\n");
+    server_.route("GET", "/healthz", [this](const HttpRequest& r) {
+        return handleHealthz(r);
+    });
+    server_.route("GET", "/statusz", [this](const HttpRequest& r) {
+        return handleStatusz(r);
     });
 }
 
@@ -247,6 +349,47 @@ ServeApp::handleReport(const HttpRequest& request)
     std::string report = sessions_.with(
         tenant, [](EngineSession& s) { return s.reportJson(); });
     return HttpResponse::json(200, std::move(report));
+}
+
+HttpResponse
+ServeApp::handleHealthz(const HttpRequest&)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("status", "ok");
+    w.field("service", "hcloud_serve");
+    w.field("schemaVersion", exp::kReportSchemaVersion);
+    w.field("pid", static_cast<std::int64_t>(::getpid()));
+#if defined(__VERSION__)
+    w.field("compiler", __VERSION__);
+#endif
+    w.field("uptimeSeconds",
+            static_cast<double>(obs::SpanTracer::nowNs() - startNs_) /
+                1e9);
+    w.field("sessions",
+            static_cast<std::uint64_t>(sessions_.sessionCount()));
+    w.field("spans", spans_.enabled());
+    w.endObject();
+    return HttpResponse::json(200, w.take());
+}
+
+HttpResponse
+ServeApp::handleStatusz(const HttpRequest&)
+{
+    StatuszInfo info;
+    info.uptimeSeconds =
+        static_cast<double>(obs::SpanTracer::nowNs() - startNs_) / 1e9;
+    info.requestsServed = server_.requestsServed();
+    info.connectionsRejected = server_.connectionsRejected();
+    info.spansEnabled = spans_.enabled();
+    info.spanPath = spans_.sinkPath();
+    info.spansRecorded = spans_.recorded();
+    info.slowMs = slowMs_;
+    info.sessions = sessions_.status();
+    info.queueDepths = sessions_.queueDepths();
+    info.tasksExecuted = sessions_.tasksExecuted();
+    info.slowest = status_.slowest(10);
+    return HttpResponse::text(200, renderStatusz(info));
 }
 
 } // namespace hcloud::srv

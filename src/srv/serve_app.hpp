@@ -17,8 +17,19 @@
  *   POST /v1/tenants/{id}/advance {"to": seconds}     -> 200 {now}
  *   GET  /v1/tenants/{id}/report schema-versioned report (see
  *                                EngineSession::reportJson)
- *   GET  /metrics                Prometheus text (per-tenant series)
- *   GET  /healthz                "ok"
+ *   GET  /metrics                Prometheus text (per-tenant series +
+ *                                per-route/per-stage latency histograms)
+ *   GET  /healthz                liveness: 200 + build-info JSON
+ *   GET  /statusz                human status page: session table,
+ *                                strand queue depths, slowest requests
+ *
+ * Observability: every routed request feeds per-route and per-stage
+ * latency histograms and the /statusz slow-request ring; when span
+ * tracing is on (--span-trace / HCLOUD_SPANS) each request becomes a
+ * trace whose spans cover the HTTP stages, strand wait/exec and engine
+ * work, with decision events stamped by trace id. Requests slower than
+ * --slow-ms / HCLOUD_SLOW_MS emit one structured warn line with the
+ * full stage breakdown through obs::Log.
  *
  * Every client-caused failure is a 4xx with the structured body
  * {"error":{"code","message"}} (the server-wide error formatter is
@@ -34,9 +45,11 @@
 #include <string>
 
 #include "obs/process_metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/thread_pool.hpp"
 #include "srv/http_server.hpp"
 #include "srv/session_manager.hpp"
+#include "srv/statusz.hpp"
 
 namespace hcloud::srv {
 
@@ -50,6 +63,13 @@ struct ServeConfig
     std::size_t httpWorkers = 8;
     /** Accepted-connection queue bound (then 503). */
     std::size_t maxPendingConnections = 256;
+    /** Span JSONL output path; "" defers to HCLOUD_SPANS (unset=off). */
+    std::string spanPath;
+    /** Slow-request log threshold in ms; 0 defers to HCLOUD_SLOW_MS
+     *  (unset = no slow-request logging). */
+    double slowMs = 0.0;
+    /** Recent requests kept for the /statusz slow table. */
+    std::size_t statusRequests = 512;
 };
 
 /** The daemon: sharded multi-tenant sessions behind an HTTP API. */
@@ -81,19 +101,33 @@ class ServeApp
 
     SessionManager& sessions() { return sessions_; }
     const HttpServer& server() const { return server_; }
+    obs::SpanTracer& spans() { return spans_; }
+    const StatusBoard& statusBoard() const { return status_; }
+    /** Resolved slow-request threshold (after HCLOUD_SLOW_MS). */
+    double slowMs() const { return slowMs_; }
 
   private:
     void routes();
+    /** Transport config wiring spans + the onRequest observer. */
+    HttpServerConfig makeServerConfig(const ServeConfig& config);
+    /** onRequest sink: histograms, status ring, slow-request log. */
+    void observeRequest(const RequestSummary& summary);
     HttpResponse handleCreateTenant(const HttpRequest& request);
     HttpResponse handleListTenants(const HttpRequest& request);
     HttpResponse handleSubmitJob(const HttpRequest& request);
     HttpResponse handleAdvance(const HttpRequest& request);
     HttpResponse handleReport(const HttpRequest& request);
+    HttpResponse handleHealthz(const HttpRequest& request);
+    HttpResponse handleStatusz(const HttpRequest& request);
 
     obs::ProcessMetrics& metrics_;
+    obs::SpanTracer spans_;
+    StatusBoard status_;
+    double slowMs_ = 0.0;
+    std::uint64_t startNs_ = 0; ///< construction time, for uptime
     runtime::ThreadPool pool_;
     SessionManager sessions_;
-    HttpServer server_;
+    HttpServer server_; ///< last: its config captures `this`
 };
 
 } // namespace hcloud::srv

@@ -9,7 +9,7 @@
  *
  * Usage:
  *   hcloud_serve [--port N] [--shards N] [--threads N]
- *                [--http-workers N]
+ *                [--http-workers N] [--span-trace PATH] [--slow-ms N]
  */
 
 #include <cerrno>
@@ -41,13 +41,18 @@ usage(const char* argv0)
     std::fprintf(
         stderr,
         "usage: %s [--port N] [--shards N] [--threads N]\n"
-        "          [--http-workers N]\n"
+        "          [--http-workers N] [--span-trace PATH] "
+        "[--slow-ms N]\n"
         "\n"
         "  --port N          listen port (default 8080, 0 = ephemeral)\n"
         "  --shards N        tenant session strands (default 8)\n"
         "  --threads N       engine worker threads (default: "
         "HCLOUD_THREADS or hardware)\n"
-        "  --http-workers N  HTTP connection workers (default 8)\n",
+        "  --http-workers N  HTTP connection workers (default 8)\n"
+        "  --span-trace P    write request spans as JSONL to P\n"
+        "                    (default: HCLOUD_SPANS, unset = off)\n"
+        "  --slow-ms N       warn-log requests slower than N ms\n"
+        "                    (default: HCLOUD_SLOW_MS, unset = off)\n",
         argv0);
 }
 
@@ -101,6 +106,17 @@ main(int argc, char** argv)
             if (!next(&value) || value == 0)
                 return 2;
             config.httpWorkers = static_cast<std::size_t>(value);
+        } else if (std::strcmp(arg, "--span-trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "serve: --span-trace requires a path\n");
+                return 2;
+            }
+            config.spanPath = argv[++i];
+        } else if (std::strcmp(arg, "--slow-ms") == 0) {
+            if (!next(&value))
+                return 2;
+            config.slowMs = static_cast<double>(value);
         } else {
             std::fprintf(stderr, "serve: unknown option %s\n", arg);
             usage(argv[0]);
@@ -129,6 +145,12 @@ main(int argc, char** argv)
     std::printf("serve: listening http://127.0.0.1:%u/ "
                 "(shards=%zu, http-workers=%zu)\n",
                 app.boundPort(), config.shards, config.httpWorkers);
+    if (app.spans().enabled())
+        std::printf("serve: span trace -> %s\n",
+                    app.spans().sinkPath().c_str());
+    if (app.slowMs() > 0.0)
+        std::printf("serve: slow-request log at >= %.1f ms\n",
+                    app.slowMs());
     std::fflush(stdout);
 
     char byte;

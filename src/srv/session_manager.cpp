@@ -107,4 +107,31 @@ SessionManager::tenantIds() const
     return order_;
 }
 
+std::vector<SessionManager::SessionStatus>
+SessionManager::status() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SessionStatus> out;
+    out.reserve(order_.size());
+    for (const std::string& id : order_) {
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end())
+            continue;
+        SessionStatus row;
+        row.id = id;
+        row.shard = it->second.shard;
+        if (const EngineSession* session = it->second.session.get()) {
+            const EngineSession::LiveStats& live = session->liveStats();
+            row.ready = true;
+            row.now = live.now.load(std::memory_order_relaxed);
+            row.jobs = live.jobs.load(std::memory_order_relaxed);
+            row.finished = live.finished.load(std::memory_order_relaxed);
+            row.decisions =
+                live.decisions.load(std::memory_order_relaxed);
+        }
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
 } // namespace hcloud::srv

@@ -89,6 +89,37 @@ class SessionManager
     std::vector<std::string> tenantIds() const;
     std::size_t shards() const { return executor_.shards(); }
 
+    /** One /statusz row per tenant, from lock-free LiveStats reads. */
+    struct SessionStatus
+    {
+        std::string id;
+        std::size_t shard = 0;
+        bool ready = false; ///< false while still constructing
+        double now = 0.0;
+        std::uint64_t jobs = 0;
+        std::uint64_t finished = 0;
+        std::uint64_t decisions = 0;
+    };
+
+    /**
+     * Snapshot of every session, in creation order. Never hops onto a
+     * strand — reads EngineSession::LiveStats atomics under the map
+     * lock, so the status page works even with every shard busy.
+     */
+    std::vector<SessionStatus> status() const;
+
+    /** Queued + running tasks per strand (see ShardedExecutor). */
+    std::vector<std::size_t> queueDepths() const
+    {
+        return executor_.queueDepths();
+    }
+
+    /** Strand tasks completed since startup. */
+    std::uint64_t tasksExecuted() const
+    {
+        return executor_.tasksExecuted();
+    }
+
   private:
     struct Entry
     {

@@ -1,0 +1,159 @@
+#include "srv/statusz.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hcloud::srv {
+
+namespace {
+
+std::string
+formatMs(std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+    return buf;
+}
+
+} // namespace
+
+StatusBoard::StatusBoard(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+    ring_.reserve(capacity_);
+}
+
+void
+StatusBoard::add(const RequestSummary& summary)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++total_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(summary);
+        return;
+    }
+    ring_[next_] = summary;
+    next_ = (next_ + 1) % capacity_;
+}
+
+std::uint64_t
+StatusBoard::total() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+std::vector<RequestSummary>
+StatusBoard::slowest(std::size_t n) const
+{
+    std::vector<RequestSummary> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = ring_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RequestSummary& a, const RequestSummary& b) {
+                  return a.stages.totalNs() > b.stages.totalNs();
+              });
+    if (out.size() > n)
+        out.resize(n);
+    return out;
+}
+
+std::string
+renderStatusz(const StatuszInfo& info)
+{
+    std::string out;
+    out.reserve(2048);
+    char line[256];
+
+    out += "hcloud serve status\n";
+    std::snprintf(line, sizeof(line), "uptime_seconds: %.1f\n",
+                  info.uptimeSeconds);
+    out += line;
+    std::snprintf(line, sizeof(line), "requests_served: %llu\n",
+                  static_cast<unsigned long long>(info.requestsServed));
+    out += line;
+    std::snprintf(line, sizeof(line), "connections_rejected: %llu\n",
+                  static_cast<unsigned long long>(
+                      info.connectionsRejected));
+    out += line;
+    if (info.spansEnabled) {
+        std::snprintf(line, sizeof(line),
+                      "span_trace: %s (%llu records)\n",
+                      info.spanPath.c_str(),
+                      static_cast<unsigned long long>(
+                          info.spansRecorded));
+        out += line;
+    } else {
+        out += "span_trace: off\n";
+    }
+    if (info.slowMs > 0.0) {
+        std::snprintf(line, sizeof(line),
+                      "slow_request_log: >= %.1f ms\n", info.slowMs);
+        out += line;
+    } else {
+        out += "slow_request_log: off\n";
+    }
+
+    out += "\nstrand queue depths:";
+    for (std::size_t depth : info.queueDepths) {
+        std::snprintf(line, sizeof(line), " %zu", depth);
+        out += line;
+    }
+    std::snprintf(line, sizeof(line), " (tasks executed: %llu)\n",
+                  static_cast<unsigned long long>(info.tasksExecuted));
+    out += line;
+
+    std::snprintf(line, sizeof(line), "\nsessions (%zu):\n",
+                  info.sessions.size());
+    out += line;
+    out += "  tenant            shard  sim_now      jobs  finished  "
+           "decisions\n";
+    for (const SessionManager::SessionStatus& s : info.sessions) {
+        if (!s.ready) {
+            std::snprintf(line, sizeof(line),
+                          "  %-16s  %5zu  (initializing)\n", s.id.c_str(),
+                          s.shard);
+            out += line;
+            continue;
+        }
+        std::snprintf(line, sizeof(line),
+                      "  %-16s  %5zu  %11.1f  %4llu  %8llu  %9llu\n",
+                      s.id.c_str(), s.shard, s.now,
+                      static_cast<unsigned long long>(s.jobs),
+                      static_cast<unsigned long long>(s.finished),
+                      static_cast<unsigned long long>(s.decisions));
+        out += line;
+    }
+
+    std::snprintf(line, sizeof(line), "\nslowest recent requests (%zu):\n",
+                  info.slowest.size());
+    out += line;
+    for (const RequestSummary& r : info.slowest) {
+        out += "  ";
+        out += formatMs(r.stages.totalNs());
+        out += "ms ";
+        out += r.method;
+        out += ' ';
+        out += r.route;
+        out += ' ';
+        out += std::to_string(r.status);
+        if (r.trace != 0) {
+            out += " trace=";
+            out += std::to_string(r.trace);
+        }
+        out += " read=";
+        out += formatMs(r.stages.readNs);
+        out += "ms route=";
+        out += formatMs(r.stages.routeNs);
+        out += "ms handle=";
+        out += formatMs(r.stages.handleNs);
+        out += "ms write=";
+        out += formatMs(r.stages.writeNs);
+        out += "ms\n";
+    }
+    return out;
+}
+
+} // namespace hcloud::srv

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * /statusz: live human-readable daemon status.
+ *
+ * StatusBoard keeps a bounded ring of recent RequestSummary records
+ * (fed from HttpServerConfig::onRequest) so /statusz can show the N
+ * slowest recent requests with their stage breakdowns. renderStatusz
+ * assembles the full page: uptime and request counters, the live
+ * session table (from SessionManager::status(), lock-free per row),
+ * strand queue depths (lock-free atomics) and the slow-request table.
+ * Plain text on purpose — it's for humans mid-incident, curl and eyes,
+ * while /metrics stays the machine surface.
+ */
+
+#ifndef HCLOUD_SRV_STATUSZ_HPP
+#define HCLOUD_SRV_STATUSZ_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "srv/http_server.hpp"
+#include "srv/session_manager.hpp"
+
+namespace hcloud::srv {
+
+/** Bounded ring of recent request summaries (thread-safe). */
+class StatusBoard
+{
+  public:
+    explicit StatusBoard(std::size_t capacity = 512);
+
+    StatusBoard(const StatusBoard&) = delete;
+    StatusBoard& operator=(const StatusBoard&) = delete;
+
+    void add(const RequestSummary& summary);
+
+    /** Requests recorded since startup (not bounded by the ring). */
+    std::uint64_t total() const;
+
+    /** Up to @p n slowest requests still in the ring, slowest first. */
+    std::vector<RequestSummary> slowest(std::size_t n) const;
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<RequestSummary> ring_;
+    std::size_t next_ = 0; ///< ring insertion cursor
+    std::uint64_t total_ = 0;
+};
+
+/** Everything renderStatusz needs, gathered by the caller. */
+struct StatuszInfo
+{
+    double uptimeSeconds = 0.0;
+    std::uint64_t requestsServed = 0;
+    std::uint64_t connectionsRejected = 0;
+    bool spansEnabled = false;
+    std::string spanPath;
+    std::uint64_t spansRecorded = 0;
+    double slowMs = 0.0; ///< slow-request log threshold (0 = off)
+    std::vector<SessionManager::SessionStatus> sessions;
+    std::vector<std::size_t> queueDepths;
+    std::uint64_t tasksExecuted = 0;
+    std::vector<RequestSummary> slowest;
+};
+
+/** Render the plain-text /statusz page. */
+std::string renderStatusz(const StatuszInfo& info);
+
+} // namespace hcloud::srv
+
+#endif // HCLOUD_SRV_STATUSZ_HPP

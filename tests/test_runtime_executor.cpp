@@ -9,11 +9,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "obs/span.hpp"
 #include "runtime/sharded_executor.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -195,6 +204,136 @@ TEST(ShardedExecutor, ShardIndexWrapsModuloShardCount)
     executor.post(3 * 7 + 2, [&] { hits.fetch_add(1); });
     executor.drain();
     EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(ShardedExecutor, QueueDepthTracksQueuedAndRunningWork)
+{
+    runtime::ThreadPool pool(4);
+    runtime::ShardedExecutor executor(pool, 2);
+
+    // Block shard 0 so posts behind the blocker pile up visibly.
+    std::mutex gateMutex;
+    std::condition_variable gateCv;
+    bool open = false;
+    std::atomic<bool> blockerRunning{false};
+    executor.post(0, [&] {
+        blockerRunning.store(true);
+        std::unique_lock<std::mutex> lock(gateMutex);
+        gateCv.wait(lock, [&] { return open; });
+    });
+    while (!blockerRunning.load())
+        std::this_thread::yield();
+
+    for (int i = 0; i < 10; ++i)
+        executor.post(0, [] {});
+    // The blocker is running and 10 tasks are queued behind it.
+    EXPECT_EQ(executor.queueDepth(0), 11u);
+
+    {
+        std::lock_guard<std::mutex> lock(gateMutex);
+        open = true;
+    }
+    gateCv.notify_all();
+    executor.drain();
+
+    for (std::size_t depth : executor.queueDepths())
+        EXPECT_EQ(depth, 0u);
+    EXPECT_EQ(executor.tasksExecuted(), 11u);
+}
+
+TEST(ShardedExecutor, QueueDepthAccountingUnderContention)
+{
+    runtime::ThreadPool pool(4);
+    runtime::ShardedExecutor executor(pool, 4);
+    constexpr int kPosters = 4;
+    constexpr int kPerPoster = 500;
+
+    // Hammer all shards from several threads while sampling depths
+    // concurrently: every sample must be coherent (bounded by what was
+    // posted), and the books must balance exactly after drain().
+    std::atomic<bool> sampling{true};
+    std::thread sampler([&] {
+        while (sampling.load()) {
+            for (std::size_t depth : executor.queueDepths())
+                EXPECT_LE(depth, static_cast<std::size_t>(
+                                     kPosters * kPerPoster));
+            std::this_thread::yield();
+        }
+    });
+    std::vector<std::thread> posters;
+    std::atomic<int> executed{0};
+    for (int p = 0; p < kPosters; ++p) {
+        posters.emplace_back([&, p] {
+            for (int i = 0; i < kPerPoster; ++i) {
+                executor.post(static_cast<std::size_t>(p * kPerPoster + i),
+                              [&] { executed.fetch_add(1); });
+            }
+        });
+    }
+    for (std::thread& t : posters)
+        t.join();
+    executor.drain();
+    sampling.store(false);
+    sampler.join();
+
+    EXPECT_EQ(executed.load(), kPosters * kPerPoster);
+    EXPECT_EQ(executor.tasksExecuted(),
+              static_cast<std::uint64_t>(kPosters * kPerPoster));
+    for (std::size_t depth : executor.queueDepths())
+        EXPECT_EQ(depth, 0u);
+}
+
+TEST(ShardedExecutor, SpanBindingCrossesStrandHop)
+{
+    const std::string path = "/tmp/hcloud_test_executor_spans_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    obs::SpanTracerConfig config;
+    config.sinkPath = path;
+    {
+        obs::SpanTracer tracer(config);
+        ASSERT_TRUE(tracer.enabled());
+        runtime::ThreadPool pool(2);
+        runtime::ShardedExecutor executor(pool, 1);
+
+        const obs::SpanContext ctx{tracer.newTraceId(),
+                                   tracer.newSpanId()};
+        std::atomic<std::uint64_t> insideTrace{0};
+        {
+            obs::SpanBinding bind(&tracer, ctx);
+            executor.post(0, [&] {
+                insideTrace.store(obs::currentSpanContext().trace);
+            });
+        }
+        executor.drain();
+        tracer.flush();
+        // The pool thread saw the originating request's trace.
+        EXPECT_EQ(insideTrace.load(), ctx.trace);
+    }
+
+    // strand.wait + strand.exec spans landed, joined to the trace.
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("\"span\":\"strand.wait\""),
+              std::string::npos);
+    EXPECT_NE(contents.find("\"span\":\"strand.exec\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ShardedExecutor, NoSpanOverheadWithoutBinding)
+{
+    // Without a bound tracer, post() must not wrap tasks: the executed
+    // task sees no span context on the pool thread.
+    runtime::ThreadPool pool(2);
+    runtime::ShardedExecutor executor(pool, 1);
+    std::atomic<bool> hadContext{true};
+    executor.post(0, [&] {
+        hadContext.store(obs::currentSpanContext().valid() ||
+                         obs::currentSpanTracer() != nullptr);
+    });
+    executor.drain();
+    EXPECT_FALSE(hadContext.load());
 }
 
 } // namespace
