@@ -17,8 +17,14 @@
  * (the acceptance path: every HTTP request must join its engine
  * decisions by trace id in the emitted JSONL).
  *
+ * --data-dir runs the bench with session journaling on (the durability
+ * tax path: every accepted submit/advance appends one journal record,
+ * fsynced per --fsync), so CI can gate the journaling overhead as a
+ * journal-on vs journal-off qps ratio.
+ *
  * Usage: bench_serve [--tenants N] [--clients N] [--jobs N]
  *                    [--advances N] [--span-trace PATH] [--out PATH]
+ *                    [--data-dir DIR] [--fsync always|interval|never]
  */
 
 #include <algorithm>
@@ -150,6 +156,8 @@ main(int argc, char** argv)
     std::size_t advances = 3;
     std::string outPath = "BENCH_serve.json";
     std::string spanPath;
+    std::string dataDir;
+    srv::FsyncPolicy fsync = srv::FsyncPolicy::Interval;
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* {
             return i + 1 < argc ? argv[++i] : "";
@@ -166,7 +174,16 @@ main(int argc, char** argv)
             spanPath = next();
         else if (std::strcmp(argv[i], "--out") == 0)
             outPath = next();
-        else {
+        else if (std::strcmp(argv[i], "--data-dir") == 0)
+            dataDir = next();
+        else if (std::strcmp(argv[i], "--fsync") == 0) {
+            if (!srv::parseFsyncPolicy(next(), &fsync)) {
+                std::fprintf(stderr,
+                             "bench_serve: --fsync requires always, "
+                             "interval or never\n");
+                return 2;
+            }
+        } else {
             std::fprintf(stderr, "bench_serve: unknown option %s\n",
                          argv[i]);
             return 2;
@@ -182,6 +199,8 @@ main(int argc, char** argv)
     config.httpWorkers = clients;
     config.maxPendingConnections = 2 * clients + 16;
     config.spanPath = spanPath;
+    config.journal.dataDir = dataDir;
+    config.journal.fsync = fsync;
     srv::ServeApp app(config, metrics);
     if (!spanPath.empty() && !app.spans().enabled()) {
         std::fprintf(stderr, "bench_serve: cannot open span sink %s\n",
@@ -317,6 +336,12 @@ main(int argc, char** argv)
             w.join();
     }
 
+    // Durability tax accounting, sampled before shutdown closes fds.
+    std::uint64_t journalBytes = 0;
+    if (!dataDir.empty())
+        for (const auto& row : app.sessions().status())
+            journalBytes += row.journalBytes;
+
     app.stop();
 
     std::vector<double> all;
@@ -347,6 +372,12 @@ main(int argc, char** argv)
                     advanceStats.requests, advanceStats.p50Ms,
                     advanceStats.p90Ms, advanceStats.p99Ms,
                     advanceStats.maxMs, advanceFailures.load());
+    if (!dataDir.empty())
+        std::printf("bench_serve: journaling to %s (fsync=%s, "
+                    "%.1f MiB across %zu tenants)\n",
+                    dataDir.c_str(), srv::toString(fsync),
+                    static_cast<double>(journalBytes) / (1 << 20),
+                    tenants);
     if (app.spans().enabled())
         std::printf("bench_serve: %llu span records -> %s\n",
                     static_cast<unsigned long long>(
@@ -373,6 +404,14 @@ main(int argc, char** argv)
     w.field("p90Ms", p90);
     w.field("p99Ms", p99);
     w.field("maxMs", worst);
+    w.key("journal");
+    w.beginObject();
+    w.field("enabled", !dataDir.empty());
+    if (!dataDir.empty()) {
+        w.field("fsync", srv::toString(fsync));
+        w.field("bytes", journalBytes);
+    }
+    w.endObject();
     w.field("spans", app.spans().enabled());
     if (app.spans().enabled())
         w.field("spanRecords", app.spans().recorded());

@@ -376,13 +376,14 @@ EngineRun::submit(const workload::JobSpec& spec)
     return SubmitStatus::Accepted;
 }
 
-void
+bool
 EngineRun::advanceTo(sim::Time t)
 {
     if (t < simulator_.now())
-        return;
+        return false;
     obs::PhaseProfiler::Scope sim_scope(phases_, "sim-loop");
     simulator_.runUntil(t);
+    return true;
 }
 
 const workload::Job*

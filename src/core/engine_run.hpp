@@ -122,8 +122,10 @@ class EngineRun
      */
     SubmitStatus submit(const workload::JobSpec& spec);
 
-    /** Run the simulation forward to virtual time @p t (>= now). */
-    void advanceTo(sim::Time t);
+    /** Run the simulation forward to virtual time @p t.
+     *  @return false (and do nothing) when t < now(): virtual time is
+     *  monotonic and callers must surface the rejection, not hide it. */
+    bool advanceTo(sim::Time t);
 
     /** The job with @p id, or nullptr (session mode only). */
     const workload::Job* job(sim::JobId id) const;

@@ -53,6 +53,14 @@ class JsonWriter
     void value(bool v);
     void valueNull();
 
+    /**
+     * Format doubles with std::to_chars instead of the snprintf/strtod
+     * shortest-round-trip search. Same parsed values, not the same
+     * bytes — only for streams that are re-parsed, never byte-compared
+     * (the session journal hot path).
+     */
+    void rawDoubles(bool on) { rawDoubles_ = on; }
+
     /** Shorthand for key(name) followed by value(v). */
     template <typename T>
     void field(std::string_view name, T&& v)
@@ -71,6 +79,7 @@ class JsonWriter
     /** One entry per open container: does the next item need a comma? */
     std::vector<bool> needComma_;
     bool pendingKey_ = false;
+    bool rawDoubles_ = false;
 };
 
 /** Parsed JSON value (order-preserving object representation). */

@@ -220,6 +220,29 @@ ProcessMetrics::snapshot() const
     return out;
 }
 
+bool
+ProcessMetrics::remove(std::string_view name, const MetricLabels& labels)
+{
+    const std::string family_name = sanitizeMetricName(name);
+    MetricLabels sorted;
+    sorted.reserve(labels.size());
+    for (const auto& [label_name, value] : labels)
+        sorted.emplace_back(sanitizeLabelName(label_name), value);
+    std::sort(sorted.begin(), sorted.end());
+    const std::string key = seriesKey(sorted);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = families_.find(family_name);
+    if (it == families_.end())
+        return false;
+    auto sit = it->second.series.find(key);
+    if (sit == it->second.series.end())
+        return false;
+    retired_.push_back(std::move(sit->second));
+    it->second.series.erase(sit);
+    return true;
+}
+
 std::size_t
 ProcessMetrics::seriesCount() const
 {

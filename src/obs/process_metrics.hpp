@@ -196,6 +196,17 @@ class ProcessMetrics
     /** Total series across all families. */
     std::size_t seriesCount() const;
 
+    /**
+     * Retire one series: it disappears from snapshot()/seriesCount()
+     * (and thus the exposition page) but its storage is kept on a
+     * graveyard for the registry's lifetime, preserving the documented
+     * reference-stability contract — a caller still holding the
+     * reference keeps a valid (now invisible) series. A fresh lookup of
+     * the same (name, labels) creates a new series starting from zero.
+     * @return true when the series existed.
+     */
+    bool remove(std::string_view name, const MetricLabels& labels);
+
   private:
     struct Series
     {
@@ -220,6 +231,8 @@ class ProcessMetrics
 
     mutable std::mutex mutex_;
     std::map<std::string, Family, std::less<>> families_;
+    /** Retired series, kept alive for reference stability. */
+    std::vector<std::unique_ptr<Series>> retired_;
 };
 
 } // namespace hcloud::obs

@@ -111,11 +111,24 @@ EngineSession::EngineSession(SessionConfig config)
     updateLive();
 }
 
+void
+EngineSession::checkQuota() const
+{
+    if (journal_ && journal_->overQuota())
+        throw ApiError{429, "journal_quota_exceeded",
+                       "tenant \"" + config_.id +
+                           "\" journal is at its size cap (" +
+                           std::to_string(journal_->bytes()) +
+                           " bytes); delete the tenant or raise "
+                           "--max-journal-mb"};
+}
+
 SubmitOutcome
 EngineSession::submitJob(workload::JobSpec spec)
 {
     obs::SpanScope span("engine.submit");
     ActiveTraceStamp stamp(engine_.tracer());
+    checkQuota();
     SubmitOutcome outcome;
     if (spec.id == 0)
         spec.id = nextId_;
@@ -126,12 +139,18 @@ EngineSession::submitJob(workload::JobSpec spec)
         return outcome;
     if (spec.id >= nextId_)
         nextId_ = spec.id + 1;
+    // Journal the accepted spec with its resolved id so replay submits
+    // the exact same job. The engine already accepted: an append failure
+    // throws 503 but the in-memory session keeps the job — the journal
+    // is poisoned from here on, so the divergence cannot reach disk.
+    if (journal_)
+        journal_->appendSubmit(spec);
 
     const std::size_t decisionsBefore = decisions_.size();
     // Make the arrival happen now: with profiling off the provisioning
     // decision lands synchronously; with profiling on it lands after the
     // profiling delay, observable via a later advance or the report.
-    advanceTo(spec.arrival);
+    step(spec.arrival);
     for (std::size_t i = decisionsBefore; i < decisions_.size(); ++i) {
         if (decisions_[i].job == spec.id)
             outcome.decisions.push_back(decisions_[i]);
@@ -142,8 +161,22 @@ EngineSession::submitJob(workload::JobSpec spec)
     return outcome;
 }
 
-void
+bool
 EngineSession::advanceTo(sim::Time t)
+{
+    obs::SpanScope span("engine.advance");
+    ActiveTraceStamp stamp(engine_.tracer());
+    checkQuota();
+    if (!engine_.advanceTo(t))
+        return false;
+    if (journal_)
+        journal_->appendAdvance(t);
+    updateLive();
+    return true;
+}
+
+void
+EngineSession::step(sim::Time t)
 {
     obs::SpanScope span("engine.advance");
     ActiveTraceStamp stamp(engine_.tracer());
@@ -158,6 +191,14 @@ EngineSession::reportJson()
     ActiveTraceStamp stamp(engine_.tracer());
     core::RunResult result =
         engine_.liveResult(workload::toString(config_.scenario.kind));
+    // Zero the wall-clock telemetry: the report must be a pure function
+    // of the command stream so a journal-replayed session reproduces it
+    // byte-for-byte. eventsProcessed is deterministic and stays.
+    result.telemetry.traceGenSec = 0.0;
+    result.telemetry.setupSec = 0.0;
+    result.telemetry.simLoopSec = 0.0;
+    result.telemetry.finalizeSec = 0.0;
+    result.telemetry.eventsPerSec = 0.0;
 
     obs::JsonWriter w;
     w.beginObject();

@@ -30,11 +30,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine_run.hpp"
 #include "srv/json_api.hpp"
+#include "srv/session_journal.hpp"
 #include "workload/trace.hpp"
 
 namespace hcloud::srv {
@@ -91,11 +93,34 @@ class EngineSession
      * mapping decision (profiling off) or profiling kickoff happens
      * before returning. spec.id 0 = assign the next free id; explicit
      * ids must not repeat and arrivals must be >= now().
+     *
+     * When a journal is attached, the accepted spec (with its resolved
+     * id) is appended after the engine accepts it; the internal advance
+     * to spec.arrival is NOT separately journaled because replaying the
+     * submit reproduces it.
      */
     SubmitOutcome submitJob(workload::JobSpec spec);
 
-    /** Run the session forward to virtual time @p t (no-op if past). */
-    void advanceTo(sim::Time t);
+    /**
+     * Run the session forward to virtual time @p t and journal the
+     * explicit advance. @return false (nothing happens, nothing is
+     * journaled) when t < now().
+     */
+    bool advanceTo(sim::Time t);
+
+    /**
+     * Adopt @p journal as this session's write-ahead log. The manager
+     * attaches it after construction (fresh create) or after replay
+     * (restore/revival), so replayed commands are never re-journaled.
+     * Strand thread only, like every other mutation.
+     */
+    void attachJournal(std::unique_ptr<SessionJournal> journal)
+    {
+        journal_ = std::move(journal);
+    }
+
+    /** The attached journal, or nullptr (journaling off / replaying). */
+    SessionJournal* journal() const { return journal_.get(); }
 
     /** Every job!=0 decision so far, in emission order. */
     const std::vector<DecisionRecord>& decisions() const
@@ -106,7 +131,10 @@ class EngineSession
     /**
      * Schema-versioned report: tenant identity, clock, job counts, the
      * full exp::runResultJson summary of a live (non-destructive) result
-     * snapshot, and the decision log.
+     * snapshot, and the decision log. Wall-clock telemetry fields
+     * (setup/sim-loop seconds, events/sec) are zeroed so the report is a
+     * pure function of the command stream — the byte-identity anchor for
+     * journal replay (events_processed is deterministic and kept).
      */
     std::string reportJson();
 
@@ -130,11 +158,20 @@ class EngineSession
     /** Refresh live_ from the engine (strand thread only). */
     void updateLive();
 
+    /** Advance without journaling (submitJob's internal step). */
+    void step(sim::Time t);
+
+    /** 429 journal_quota_exceeded when the journal is at its cap —
+     *  checked BEFORE the engine op so engine and journal never
+     *  diverge on a shed command. */
+    void checkQuota() const;
+
     SessionConfig config_;
     workload::ArrivalTrace trace_;
     core::EngineRun engine_; ///< after trace_: beginSession needs it
     std::vector<DecisionRecord> decisions_;
     sim::JobId nextId_ = 1;
+    std::unique_ptr<SessionJournal> journal_;
     LiveStats live_;
 };
 

@@ -114,6 +114,12 @@ HttpClient::post(std::string_view target, std::string_view body,
 }
 
 ClientResponse
+HttpClient::del(std::string_view target)
+{
+    return request("DELETE", target, {}, {});
+}
+
+ClientResponse
 HttpClient::request(std::string_view method, std::string_view target,
                     std::string_view body, std::string_view contentType)
 {

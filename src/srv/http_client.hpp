@@ -43,6 +43,7 @@ class HttpClient
     ClientResponse post(std::string_view target, std::string_view body,
                         std::string_view contentType =
                             "application/json");
+    ClientResponse del(std::string_view target);
 
     /** Close the connection (next request reconnects). */
     void disconnect();

@@ -201,6 +201,7 @@ statusReason(int status)
       case 409: return "Conflict";
       case 413: return "Payload Too Large";
       case 422: return "Unprocessable Entity";
+      case 429: return "Too Many Requests";
       case 500: return "Internal Server Error";
       case 503: return "Service Unavailable";
       default:  return "Unknown";

@@ -265,4 +265,28 @@ jobSpecJson(obs::JsonWriter& w, const workload::JobSpec& spec)
     w.endObject();
 }
 
+void
+sessionConfigJson(obs::JsonWriter& w, const SessionConfig& config)
+{
+    w.beginObject();
+    w.field("id", config.id);
+    w.field("strategy", core::toString(config.strategy));
+    w.key("scenario");
+    w.beginObject();
+    w.field("kind", workload::toString(config.scenario.kind));
+    w.field("duration", config.scenario.duration);
+    w.field("seed", static_cast<std::uint64_t>(config.scenario.seed));
+    w.field("loadScale", config.scenario.loadScale);
+    w.field("sensitiveFraction", config.scenario.sensitiveFraction);
+    w.endObject();
+    w.key("engine");
+    w.beginObject();
+    w.field("seed", static_cast<std::uint64_t>(config.engine.seed));
+    w.field("useProfiling", config.engine.useProfiling);
+    w.field("retentionMultiple", config.engine.retentionMultiple);
+    w.field("maxRuntime", config.engine.maxRuntime);
+    w.endObject();
+    w.endObject();
+}
+
 } // namespace hcloud::srv

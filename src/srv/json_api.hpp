@@ -76,6 +76,10 @@ bool parseAppKind(const std::string& name, workload::AppKind* out);
 /** JobSpec as a JSON object (round-trips bit-exactly via parseJobSpec). */
 void jobSpecJson(obs::JsonWriter& w, const workload::JobSpec& spec);
 
+/** SessionConfig as a JSON object (round-trips bit-exactly via
+ *  parseSessionConfig) — the journal's "create" record payload. */
+void sessionConfigJson(obs::JsonWriter& w, const SessionConfig& config);
+
 } // namespace hcloud::srv
 
 #endif // HCLOUD_SRV_JSON_API_HPP

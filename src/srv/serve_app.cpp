@@ -1,5 +1,6 @@
 #include "srv/serve_app.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <utility>
 
@@ -117,8 +118,10 @@ ServeApp::ServeApp(ServeConfig config, obs::ProcessMetrics& metrics)
     : metrics_(metrics), spans_(spanConfig(config)),
       status_(config.statusRequests),
       slowMs_(resolveSlowMs(config.slowMs)),
+      maxAdvance_(config.maxAdvance),
       startNs_(obs::SpanTracer::nowNs()), pool_(config.threads),
-      sessions_(pool_, config.shards, metrics_),
+      sessions_(pool_, config.shards, config.journal, config.limits,
+                metrics_),
       server_(makeServerConfig(config))
 {
     routes();
@@ -126,6 +129,10 @@ ServeApp::ServeApp(ServeConfig config, obs::ProcessMetrics& metrics)
         .gauge("hcloud_spans_enabled",
                "1 when span tracing has an open sink")
         .set(spans_.enabled() ? 1.0 : 0.0);
+    // Replay-restore every journaled tenant before the server can be
+    // started: a restarted daemon answers its first request with every
+    // pre-crash session already rebuilt.
+    sessions_.restoreAll();
 }
 
 ServeApp::~ServeApp()
@@ -180,6 +187,9 @@ ServeApp::observeRequest(const RequestSummary& summary)
                   {"status", std::to_string(summary.status)}})
         .inc();
     status_.add(summary);
+    // Piggyback idle eviction on request traffic (rate-limited inside),
+    // so durability needs no dedicated timer thread.
+    sessions_.maybeSweep();
 
     const double totalMs = totalSec * 1e3;
     if (slowMs_ > 0.0 && totalMs >= slowMs_) {
@@ -220,6 +230,9 @@ ServeApp::routes()
                   }));
     server_.route("POST", "/v1/tenants/*/advance", api([this](auto& r) {
                       return handleAdvance(r);
+                  }));
+    server_.route("DELETE", "/v1/tenants/*", api([this](auto& r) {
+                      return handleDeleteTenant(r);
                   }));
     server_.route("GET", "/v1/tenants/*/report", api([this](auto& r) {
                       return handleReport(r);
@@ -322,9 +335,33 @@ ServeApp::handleAdvance(const HttpRequest& request)
     if (!to || to->type != obs::JsonValue::Type::Number)
         throw ApiError{422, "invalid_field",
                        "field \"to\" must be a number"};
+    // Validate BEFORE touching the strand: a non-finite target (1e309
+    // overflows strtod to +inf) would make runUntil spin forever —
+    // external-load processes self-reschedule — pinning the shard and
+    // starving every tenant on it.
+    if (!std::isfinite(to->number) || to->number < 0.0)
+        throw ApiError{422, "invalid_field",
+                       "field \"to\" must be a finite number >= 0"};
 
     const std::pair<sim::Time, std::size_t> advanced = sessions_.with(
-        tenant, [t = to->number](EngineSession& s) {
+        tenant,
+        [t = to->number, maxAdvance = maxAdvance_](EngineSession& s) {
+            const sim::Time now = s.now();
+            if (t < now)
+                throw ApiError{
+                    422, "clock_regression",
+                    "field \"to\" (" + std::to_string(t) +
+                        ") is behind the session clock (" +
+                        std::to_string(now) +
+                        "); virtual time is monotonic"};
+            if (maxAdvance > 0.0 && t - now > maxAdvance)
+                throw ApiError{
+                    422, "invalid_field",
+                    "field \"to\" advances " + std::to_string(t - now) +
+                        "s past the session clock; the per-call "
+                        "horizon is " +
+                        std::to_string(maxAdvance) +
+                        "s (--max-advance)"};
             const std::size_t before = s.decisions().size();
             s.advanceTo(t);
             return std::pair<sim::Time, std::size_t>(
@@ -338,6 +375,21 @@ ServeApp::handleAdvance(const HttpRequest& request)
     w.field("now", advanced.first);
     w.field("decisions",
             static_cast<std::uint64_t>(advanced.second));
+    w.endObject();
+    return HttpResponse::json(200, w.take());
+}
+
+HttpResponse
+ServeApp::handleDeleteTenant(const HttpRequest& request)
+{
+    const std::string& tenant = request.params[0];
+    sessions_.erase(tenant);
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("tenant", tenant);
+    w.field("deleted", true);
+    w.field("sessions",
+            static_cast<std::uint64_t>(sessions_.sessionCount()));
     w.endObject();
     return HttpResponse::json(200, w.take());
 }
@@ -385,6 +437,13 @@ ServeApp::handleStatusz(const HttpRequest&)
     info.spanPath = spans_.sinkPath();
     info.spansRecorded = spans_.recorded();
     info.slowMs = slowMs_;
+    const JournalConfig& journal = sessions_.journalConfig();
+    info.journalEnabled = journal.enabled();
+    info.dataDir = journal.dataDir;
+    info.fsyncPolicy = toString(journal.fsync);
+    info.maxSessions = sessions_.limits().maxSessions;
+    info.idleEvictSeconds = sessions_.limits().idleEvictSeconds;
+    info.lifecycle = sessions_.lifecycleStats();
     info.sessions = sessions_.status();
     info.queueDepths = sessions_.queueDepths();
     info.tasksExecuted = sessions_.tasksExecuted();

@@ -15,6 +15,10 @@
  *   POST /v1/tenants/{id}/jobs   submit a job, advance to its arrival
  *                                -> 200 {job, state, decisions:[..]}
  *   POST /v1/tenants/{id}/advance {"to": seconds}     -> 200 {now}
+ *                                (to must be finite, >= 0, >= now and
+ *                                within --max-advance of now -> else 422)
+ *   DELETE /v1/tenants/{id}      remove session + journal + metric
+ *                                series -> 200 {tenant, deleted}
  *   GET  /v1/tenants/{id}/report schema-versioned report (see
  *                                EngineSession::reportJson)
  *   GET  /metrics                Prometheus text (per-tenant series +
@@ -70,6 +74,14 @@ struct ServeConfig
     double slowMs = 0.0;
     /** Recent requests kept for the /statusz slow table. */
     std::size_t statusRequests = 512;
+    /** Durability: journal.dataDir empty = journaling (and restore,
+     *  eviction, revival) off. */
+    JournalConfig journal;
+    /** Admission cap + idle eviction (see SessionManager::Limits). */
+    SessionManager::Limits limits;
+    /** Max virtual seconds one advance call may cover (0 = unbounded);
+     *  the guard that keeps `{"to": 1e308}` from pinning a strand. */
+    double maxAdvance = 1e7;
 };
 
 /** The daemon: sharded multi-tenant sessions behind an HTTP API. */
@@ -86,7 +98,8 @@ class ServeApp
     ServeApp(const ServeApp&) = delete;
     ServeApp& operator=(const ServeApp&) = delete;
 
-    /** Bind 127.0.0.1:@p port (0 = ephemeral) and serve. */
+    /** Bind 127.0.0.1:@p port (0 = ephemeral) and serve. Journaled
+     *  sessions were already restored during construction. */
     bool start(std::uint16_t port, std::string* error = nullptr);
 
     /**
@@ -116,6 +129,7 @@ class ServeApp
     HttpResponse handleListTenants(const HttpRequest& request);
     HttpResponse handleSubmitJob(const HttpRequest& request);
     HttpResponse handleAdvance(const HttpRequest& request);
+    HttpResponse handleDeleteTenant(const HttpRequest& request);
     HttpResponse handleReport(const HttpRequest& request);
     HttpResponse handleHealthz(const HttpRequest& request);
     HttpResponse handleStatusz(const HttpRequest& request);
@@ -124,6 +138,7 @@ class ServeApp
     obs::SpanTracer spans_;
     StatusBoard status_;
     double slowMs_ = 0.0;
+    double maxAdvance_ = 0.0;
     std::uint64_t startNs_ = 0; ///< construction time, for uptime
     runtime::ThreadPool pool_;
     SessionManager sessions_;

@@ -10,6 +10,10 @@
  * Usage:
  *   hcloud_serve [--port N] [--shards N] [--threads N]
  *                [--http-workers N] [--span-trace PATH] [--slow-ms N]
+ *                [--data-dir DIR] [--fsync POLICY]
+ *                [--fsync-interval-ms N] [--max-journal-mb N]
+ *                [--max-sessions N] [--idle-evict-s N]
+ *                [--max-advance N]
  */
 
 #include <cerrno>
@@ -43,6 +47,10 @@ usage(const char* argv0)
         "usage: %s [--port N] [--shards N] [--threads N]\n"
         "          [--http-workers N] [--span-trace PATH] "
         "[--slow-ms N]\n"
+        "          [--data-dir DIR] [--fsync always|interval|never]\n"
+        "          [--fsync-interval-ms N] [--max-journal-mb N]\n"
+        "          [--max-sessions N] [--idle-evict-s N] "
+        "[--max-advance N]\n"
         "\n"
         "  --port N          listen port (default 8080, 0 = ephemeral)\n"
         "  --shards N        tenant session strands (default 8)\n"
@@ -52,7 +60,25 @@ usage(const char* argv0)
         "  --span-trace P    write request spans as JSONL to P\n"
         "                    (default: HCLOUD_SPANS, unset = off)\n"
         "  --slow-ms N       warn-log requests slower than N ms\n"
-        "                    (default: HCLOUD_SLOW_MS, unset = off)\n",
+        "                    (default: HCLOUD_SLOW_MS, unset = off)\n"
+        "  --data-dir D      journal sessions to D/<tenant>.journal and\n"
+        "                    restore them on startup (default: off —\n"
+        "                    sessions are lost on restart)\n"
+        "  --fsync P         journal fsync policy: always, interval\n"
+        "                    (default) or never\n"
+        "  --fsync-interval-ms N  background flusher period under the\n"
+        "                    interval policy (default 50)\n"
+        "  --max-journal-mb N  per-tenant journal cap in MiB; writes\n"
+        "                    past it shed 429 (default 64, 0 = "
+        "unbounded)\n"
+        "  --max-sessions N  live-session admission cap; creates past\n"
+        "                    it shed 429 (default 0 = unlimited)\n"
+        "  --idle-evict-s N  evict sessions idle N seconds to their\n"
+        "                    journal, reviving lazily (default 0 = "
+        "never;\n"
+        "                    requires --data-dir)\n"
+        "  --max-advance N   max virtual seconds one advance may cover\n"
+        "                    (default 10000000, 0 = unbounded)\n",
         argv0);
 }
 
@@ -117,6 +143,43 @@ main(int argc, char** argv)
             if (!next(&value))
                 return 2;
             config.slowMs = static_cast<double>(value);
+        } else if (std::strcmp(arg, "--data-dir") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "serve: --data-dir requires a path\n");
+                return 2;
+            }
+            config.journal.dataDir = argv[++i];
+        } else if (std::strcmp(arg, "--fsync") == 0) {
+            if (i + 1 >= argc ||
+                !hcloud::srv::parseFsyncPolicy(argv[++i],
+                                               &config.journal.fsync)) {
+                std::fprintf(stderr,
+                             "serve: --fsync requires always, interval "
+                             "or never\n");
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--fsync-interval-ms") == 0) {
+            if (!next(&value))
+                return 2;
+            config.journal.fsyncIntervalMs = static_cast<double>(value);
+        } else if (std::strcmp(arg, "--max-journal-mb") == 0) {
+            if (!next(&value))
+                return 2;
+            config.journal.maxBytesPerTenant =
+                static_cast<std::uint64_t>(value) << 20;
+        } else if (std::strcmp(arg, "--max-sessions") == 0) {
+            if (!next(&value))
+                return 2;
+            config.limits.maxSessions = static_cast<std::size_t>(value);
+        } else if (std::strcmp(arg, "--idle-evict-s") == 0) {
+            if (!next(&value))
+                return 2;
+            config.limits.idleEvictSeconds = static_cast<double>(value);
+        } else if (std::strcmp(arg, "--max-advance") == 0) {
+            if (!next(&value))
+                return 2;
+            config.maxAdvance = static_cast<double>(value);
         } else {
             std::fprintf(stderr, "serve: unknown option %s\n", arg);
             usage(argv[0]);
@@ -145,6 +208,15 @@ main(int argc, char** argv)
     std::printf("serve: listening http://127.0.0.1:%u/ "
                 "(shards=%zu, http-workers=%zu)\n",
                 app.boundPort(), config.shards, config.httpWorkers);
+    if (!config.journal.dataDir.empty()) {
+        const auto stats = app.sessions().lifecycleStats();
+        std::printf("serve: journaling to %s (fsync=%s, restored %llu "
+                    "session%s)\n",
+                    config.journal.dataDir.c_str(),
+                    hcloud::srv::toString(config.journal.fsync),
+                    static_cast<unsigned long long>(stats.restored),
+                    stats.restored == 1 ? "" : "s");
+    }
     if (app.spans().enabled())
         std::printf("serve: span trace -> %s\n",
                     app.spans().sinkPath().c_str());

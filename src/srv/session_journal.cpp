@@ -1,0 +1,434 @@
+#include "srv/session_journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace hcloud::srv {
+
+namespace {
+
+constexpr const char* kSuffix = ".journal";
+
+/** Full EINTR-safe write of @p data; false on any hard failure. */
+bool
+writeAll(int fd, const char* data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+const char*
+toString(FsyncPolicy policy)
+{
+    switch (policy) {
+      case FsyncPolicy::Always:
+        return "always";
+      case FsyncPolicy::Interval:
+        return "interval";
+      case FsyncPolicy::Never:
+        return "never";
+    }
+    return "?";
+}
+
+bool
+parseFsyncPolicy(const std::string& name, FsyncPolicy* out)
+{
+    if (name == "always")
+        *out = FsyncPolicy::Always;
+    else if (name == "interval")
+        *out = FsyncPolicy::Interval;
+    else if (name == "never")
+        *out = FsyncPolicy::Never;
+    else
+        return false;
+    return true;
+}
+
+bool
+validTenantId(const std::string& id)
+{
+    if (id.empty() || id.size() > 64)
+        return false;
+    if (id.front() == '.' || id.front() == '-')
+        return false;
+    for (char c : id) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                        c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+SessionJournal::pathFor(const std::string& dataDir,
+                        const std::string& tenant)
+{
+    std::string path = dataDir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += tenant;
+    path += kSuffix;
+    return path;
+}
+
+bool
+SessionJournal::removeFile(const std::string& dataDir,
+                           const std::string& tenant)
+{
+    const std::string path = pathFor(dataDir, tenant);
+    return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+SessionJournal::SessionJournal(const JournalConfig& config,
+                               std::string tenant, bool truncate,
+                               obs::ProcessMetrics& metrics)
+    : config_(config), tenant_(std::move(tenant)),
+      path_(pathFor(config.dataDir, tenant_)), metrics_(metrics)
+{
+    appendsTotal_ =
+        &metrics_.counter("hcloud_journal_appends_total",
+                          "Journal records appended across all tenants");
+    appendBytesTotal_ =
+        &metrics_.counter("hcloud_journal_bytes_total",
+                          "Journal bytes written across all tenants");
+    writeFailuresTotal_ = &metrics_.counter(
+        "hcloud_journal_write_failures_total",
+        "Journal appends that failed and poisoned the log");
+    fsyncsTotal_ =
+        &metrics_.counter("hcloud_journal_fsyncs_total",
+                          "Journal fsync calls across all tenants");
+    fsyncSeconds_ = &metrics_.histogram("hcloud_journal_fsync_seconds",
+                                        "Journal fsync latency");
+
+    int flags = O_WRONLY | O_CREAT | O_APPEND;
+    if (truncate)
+        flags |= O_TRUNC;
+    fd_ = ::open(path_.c_str(), flags, 0644);
+    if (fd_ < 0) {
+        error_ = path_ + ": " + std::strerror(errno);
+        return;
+    }
+    struct stat st{};
+    if (::fstat(fd_, &st) == 0)
+        bytes_.store(static_cast<std::uint64_t>(st.st_size),
+                     std::memory_order_relaxed);
+    preallocate();
+}
+
+SessionJournal::~SessionJournal()
+{
+    if (fd_ < 0)
+        return;
+    sync();
+    // Release unused preallocated extents; logical size is untouched.
+    if (preallocEnd_ > bytes())
+        ::ftruncate(fd_, static_cast<off_t>(bytes()));
+    ::close(fd_);
+    fd_ = -1;
+}
+
+void
+SessionJournal::preallocate()
+{
+    // Extents are preallocated a chunk ahead (KEEP_SIZE: the logical
+    // size — what replay reads and the quota counts — is unchanged) so
+    // the per-append write(2) never does block allocation; delayed
+    // allocation and extent-tree updates on every append were the
+    // dominant journaling cost at bench scale. Best-effort: a
+    // filesystem without fallocate just keeps allocating per append.
+    constexpr std::uint64_t kChunk = 1ull << 20;
+    const std::uint64_t want =
+        ((bytes() / kChunk) + 1) * kChunk;
+    if (::fallocate(fd_, FALLOC_FL_KEEP_SIZE, 0,
+                    static_cast<off_t>(want)) == 0)
+        preallocEnd_ = want;
+}
+
+void
+SessionJournal::append(const std::string& line)
+{
+    if (!ok())
+        throw ApiError{503, "journal_unavailable",
+                       "journal for tenant \"" + tenant_ +
+                           "\" is not writable: " + error_};
+    obs::SpanScope span("journal.append");
+    if (!writeAll(fd_, line.data(), line.size())) {
+        // A failed append poisons the journal: further writes would
+        // leave a hole in the command stream, so the tenant turns
+        // read-only (503) instead of silently diverging from its log.
+        // The fd stays open (closed only at destruction) so the
+        // background flusher never races a close.
+        error_ = path_ + ": " + std::strerror(errno);
+        poisoned_.store(true, std::memory_order_release);
+        writeFailuresTotal_->inc();
+        throw ApiError{503, "journal_unavailable",
+                       "journal write failed for tenant \"" + tenant_ +
+                           "\": " + error_};
+    }
+    bytes_.fetch_add(line.size(), std::memory_order_relaxed);
+    appends_.fetch_add(1, std::memory_order_relaxed);
+    appendsTotal_->inc();
+    appendBytesTotal_->inc(static_cast<double>(line.size()));
+    dirty_.store(true, std::memory_order_release);
+    if (bytes() + 4096 > preallocEnd_)
+        preallocate(); // appends are strand-serialized; see header
+
+    // Always pays the disk inline; Interval leaves the dirty flag for
+    // the SessionManager flusher thread so request strands never block
+    // on a millisecond-scale fsync.
+    if (config_.fsync == FsyncPolicy::Always)
+        flushIfDirty();
+}
+
+void
+SessionJournal::sync()
+{
+    flushIfDirty();
+}
+
+bool
+SessionJournal::flushIfDirty()
+{
+    if (fd_ < 0)
+        return false;
+    if (!dirty_.exchange(false, std::memory_order_acq_rel))
+        return false;
+    obs::SpanScope span("journal.fsync");
+    const std::uint64_t t0 = obs::SpanTracer::nowNs();
+    // fdatasync flushes the data plus the metadata needed to read it
+    // back (including size), which is exactly the replay contract.
+    while (::fdatasync(fd_) != 0 && errno == EINTR) {
+    }
+    const std::uint64_t t1 = obs::SpanTracer::nowNs();
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    recordFsync(static_cast<double>(t1 - t0) / 1e9);
+    return true;
+}
+
+void
+SessionJournal::recordFsync(double seconds)
+{
+    fsyncsTotal_->inc();
+    fsyncSeconds_->observe(seconds);
+}
+
+std::size_t
+SessionJournal::syncBatch(const std::vector<SessionJournal*>& journals)
+{
+    std::vector<SessionJournal*> dirty;
+    dirty.reserve(journals.size());
+    for (SessionJournal* j : journals)
+        if (j && j->fd_ >= 0 &&
+            j->dirty_.exchange(false, std::memory_order_acq_rel))
+            dirty.push_back(j);
+    if (dirty.empty())
+        return 0;
+    obs::SpanScope span("journal.fsync");
+    const std::uint64_t t0 = obs::SpanTracer::nowNs();
+    while (::syncfs(dirty.front()->fd_) != 0 && errno == EINTR) {
+    }
+    const std::uint64_t t1 = obs::SpanTracer::nowNs();
+    // Per-journal fsyncs() counts times this journal's data was made
+    // durable; the process-wide counter/histogram count the syscall.
+    for (SessionJournal* j : dirty)
+        j->fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    dirty.front()->recordFsync(static_cast<double>(t1 - t0) / 1e9);
+    return dirty.size();
+}
+
+void
+SessionJournal::appendCreate(const SessionConfig& config)
+{
+    obs::JsonWriter w;
+    w.rawDoubles(true); // re-parsed on replay, never byte-compared
+    w.beginObject();
+    w.field("v", 1);
+    w.field("op", "create");
+    w.key("config");
+    sessionConfigJson(w, config);
+    w.endObject();
+    std::string line = w.take();
+    line += '\n';
+    append(line);
+}
+
+void
+SessionJournal::appendSubmit(const workload::JobSpec& spec)
+{
+    obs::JsonWriter w;
+    w.rawDoubles(true); // hot path: one snprintf per double
+    w.beginObject();
+    w.field("v", 1);
+    w.field("op", "submit");
+    w.key("job");
+    jobSpecJson(w, spec);
+    w.endObject();
+    std::string line = w.take();
+    line += '\n';
+    append(line);
+}
+
+void
+SessionJournal::appendAdvance(double to)
+{
+    obs::JsonWriter w;
+    w.rawDoubles(true);
+    w.beginObject();
+    w.field("v", 1);
+    w.field("op", "advance");
+    w.field("to", to);
+    w.endObject();
+    std::string line = w.take();
+    line += '\n';
+    append(line);
+}
+
+JournalLoad
+loadJournal(const std::string& path)
+{
+    JournalLoad load;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        load.error = path + ": " + std::strerror(errno);
+        return load;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    load.ok = true;
+
+    std::size_t offset = 0;
+    while (offset < text.size()) {
+        const std::size_t eol = text.find('\n', offset);
+        if (eol == std::string::npos) {
+            // Partial trailing line: the classic SIGKILL-mid-write tail.
+            ++load.droppedLines;
+            break;
+        }
+        const std::string_view line(text.data() + offset, eol - offset);
+        JournalRecord record;
+        bool good = false;
+        try {
+            const obs::JsonValue v = obs::parseJson(line);
+            const obs::JsonValue* op = v.find("op");
+            if (op && op->type == obs::JsonValue::Type::String) {
+                if (op->string == "create") {
+                    const obs::JsonValue* config = v.find("config");
+                    if (config) {
+                        record.op = JournalRecord::Op::Create;
+                        record.config = parseSessionConfig(*config);
+                        good = true;
+                    }
+                } else if (op->string == "submit") {
+                    const obs::JsonValue* job = v.find("job");
+                    if (job) {
+                        record.op = JournalRecord::Op::Submit;
+                        record.job = parseJobSpec(*job);
+                        good = true;
+                    }
+                } else if (op->string == "advance") {
+                    const obs::JsonValue* to = v.find("to");
+                    if (to &&
+                        to->type == obs::JsonValue::Type::Number) {
+                        record.op = JournalRecord::Op::Advance;
+                        record.to = to->number;
+                        good = true;
+                    }
+                }
+            }
+        } catch (const std::exception&) {
+            good = false;
+        } catch (const ApiError&) {
+            good = false;
+        }
+        if (!good) {
+            // First bad line: everything from here on is untrusted.
+            std::size_t dropped = 1;
+            std::size_t scan = eol + 1;
+            while (scan < text.size()) {
+                const std::size_t next = text.find('\n', scan);
+                ++dropped;
+                if (next == std::string::npos)
+                    break;
+                scan = next + 1;
+            }
+            load.droppedLines += dropped;
+            break;
+        }
+        load.records.push_back(std::move(record));
+        offset = eol + 1;
+        load.validBytes = offset;
+    }
+    return load;
+}
+
+bool
+ensureDataDir(const std::string& dataDir)
+{
+    if (dataDir.empty())
+        return false;
+    std::string partial;
+    partial.reserve(dataDir.size());
+    std::size_t pos = 0;
+    while (pos <= dataDir.size()) {
+        const std::size_t slash = dataDir.find('/', pos);
+        const std::size_t end =
+            slash == std::string::npos ? dataDir.size() : slash;
+        partial.assign(dataDir, 0, end);
+        if (!partial.empty() && partial != "/" &&
+            ::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            return false;
+        if (slash == std::string::npos)
+            break;
+        pos = slash + 1;
+    }
+    struct stat st{};
+    return ::stat(dataDir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string>
+listJournals(const std::string& dataDir)
+{
+    std::vector<std::string> tenants;
+    DIR* dir = ::opendir(dataDir.c_str());
+    if (!dir)
+        return tenants;
+    const std::size_t suffixLen = std::strlen(kSuffix);
+    while (struct dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name.size() <= suffixLen ||
+            name.compare(name.size() - suffixLen, suffixLen, kSuffix) !=
+                0)
+            continue;
+        tenants.push_back(name.substr(0, name.size() - suffixLen));
+    }
+    ::closedir(dir);
+    std::sort(tenants.begin(), tenants.end());
+    return tenants;
+}
+
+} // namespace hcloud::srv

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * SessionJournal: per-tenant write-ahead command log for crash recovery.
+ *
+ * The daemon's durability unit is the API-level command stream, not the
+ * engine state: because a session is a deterministic function of its
+ * accepted commands (the PR 6 bit-identity contract between the HTTP
+ * session path and the batch runner), journaling just three record kinds
+ *
+ *     {"v":1,"op":"create","config":{...}}   the session's SessionConfig
+ *     {"v":1,"op":"submit","job":{...}}      every *accepted* JobSpec,
+ *                                            with the resolved job id
+ *     {"v":1,"op":"advance","to":T}          every explicit advance
+ *
+ * is enough to rebuild the session byte-for-byte — replayed decisions,
+ * decision log and /report match the pre-crash session exactly
+ * (tests/test_srv_journal.cpp). Records are JSONL appended to
+ * `<data-dir>/<tenant>.journal` through the same obs::JsonWriter whose
+ * double formatting round-trips bit-exactly, so a replayed JobSpec is
+ * the JobSpec that was submitted.
+ *
+ * Write discipline: one write(2) per record (the tail of the file is
+ * always a prefix of the record stream — a SIGKILL can at worst truncate
+ * the final line, which loadJournal() drops with a structured warning),
+ * fsync per the configured FsyncPolicy:
+ *
+ *   - Always:   fsync after every append, on the append path (survives
+ *     power loss, pays the disk on every request);
+ *   - Interval: appends only mark the journal dirty; the owning
+ *     SessionManager's background flusher group-commits every dirty
+ *     journal with one syncfs(2) per fsyncIntervalMs (the default —
+ *     survives process death immediately because the page cache holds
+ *     completed writes, bounds data-at-risk on kernel crash to about
+ *     one interval, and keeps disk syncs off the request strands
+ *     entirely at constant syscall cost per pass);
+ *   - Never:    no fsync until close (process-death durability only).
+ *
+ * Extents are fallocate'd a chunk ahead (KEEP_SIZE) so the per-append
+ * write(2) never pays block allocation; unused preallocation is
+ * trimmed on clean close.
+ *
+ * Appends happen on the session's shard strand (EngineSession owns the
+ * journal and appends right after the engine op succeeds), so the
+ * journal order IS the execution order without any extra locking.
+ * flushIfDirty() is the one cross-thread entry point (flusher thread,
+ * while the strand may be appending): fsyncing concurrently with
+ * write(2) is kernel-safe, dirty is an atomic flag set after the write
+ * lands, and the flusher keeps the session alive via shared_ptr so the
+ * fd cannot be closed under it (a failed append poisons the journal
+ * but deliberately leaves the fd open until destruction).
+ *
+ * Observability: appends and fsyncs publish counters and an fsync
+ * latency histogram into obs::ProcessMetrics and emit "journal.append" /
+ * "journal.fsync" spans that join the active request trace; replay emits
+ * "journal.replay".
+ */
+
+#ifndef HCLOUD_SRV_SESSION_JOURNAL_HPP
+#define HCLOUD_SRV_SESSION_JOURNAL_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/process_metrics.hpp"
+#include "srv/json_api.hpp"
+#include "workload/job.hpp"
+
+namespace hcloud::srv {
+
+/** When journal appends reach the disk platter. */
+enum class FsyncPolicy
+{
+    Always,   ///< fsync every append, on the append path
+    Interval, ///< background flusher fdatasyncs dirty journals per interval
+    Never,    ///< no fsync until close
+};
+
+const char* toString(FsyncPolicy policy);
+/** Parse "always" / "interval" / "never"; false on anything else. */
+bool parseFsyncPolicy(const std::string& name, FsyncPolicy* out);
+
+/** Journal knobs, shared by every tenant journal of one daemon. */
+struct JournalConfig
+{
+    /** Journal directory; empty = journaling (and durability) off. */
+    std::string dataDir;
+    FsyncPolicy fsync = FsyncPolicy::Interval;
+    /** Interval policy: minimum wall-clock spacing between fsyncs. */
+    double fsyncIntervalMs = 50.0;
+    /** Per-tenant journal size cap in bytes; growing past it sheds the
+     *  tenant's writes with a structured 429 (0 = unbounded). */
+    std::uint64_t maxBytesPerTenant = 64ull << 20;
+
+    bool enabled() const { return !dataDir.empty(); }
+};
+
+/** One replayable journal record. */
+struct JournalRecord
+{
+    enum class Op
+    {
+        Create,
+        Submit,
+        Advance,
+    };
+
+    Op op = Op::Create;
+    SessionConfig config;   ///< Create
+    workload::JobSpec job;  ///< Submit
+    double to = 0.0;        ///< Advance
+};
+
+/** Result of reading one journal file back. */
+struct JournalLoad
+{
+    /** False when the file could not be opened/read at all. */
+    bool ok = false;
+    std::string error;
+    std::vector<JournalRecord> records;
+    /** File offset just past the last valid record; the corrupt tail
+     *  (if any) starts here and should be truncated before appending. */
+    std::uint64_t validBytes = 0;
+    /** Trailing lines dropped as truncated or corrupt. */
+    std::size_t droppedLines = 0;
+};
+
+/**
+ * One tenant's append-only command log. Appends are strand-serialized
+ * by the owning EngineSession; flushIfDirty() and the stats reads
+ * (bytes/appends/fsyncs) are safe from any thread, so the background
+ * flusher and /statusz can run against a journal that is being
+ * appended to.
+ */
+class SessionJournal
+{
+  public:
+    /** `<dataDir>/<tenant>.journal`. */
+    static std::string pathFor(const std::string& dataDir,
+                               const std::string& tenant);
+
+    /** Delete the tenant's journal file (missing file is not an error).
+     *  @return false on any other unlink failure. */
+    static bool removeFile(const std::string& dataDir,
+                           const std::string& tenant);
+
+    /**
+     * Open the tenant's journal for appending. @p truncate starts a
+     * fresh log (tenant creation); false resumes an existing one
+     * (restore/revival — the caller already replayed its records).
+     * Check ok() before use; a failed open leaves an inert journal.
+     */
+    SessionJournal(const JournalConfig& config, std::string tenant,
+                   bool truncate,
+                   obs::ProcessMetrics& metrics =
+                       obs::ProcessMetrics::instance());
+
+    /** Flushes (policy-independent fsync) and closes. */
+    ~SessionJournal();
+
+    SessionJournal(const SessionJournal&) = delete;
+    SessionJournal& operator=(const SessionJournal&) = delete;
+
+    bool ok() const
+    {
+        return fd_ >= 0 && !poisoned_.load(std::memory_order_acquire);
+    }
+    const std::string& error() const { return error_; }
+    const std::string& path() const { return path_; }
+    const std::string& tenant() const { return tenant_; }
+
+    /** @throws ApiError 503 journal_unavailable on write failure. */
+    void appendCreate(const SessionConfig& config);
+    void appendSubmit(const workload::JobSpec& spec);
+    void appendAdvance(double to);
+
+    /** Current size is at/over the per-tenant cap. */
+    bool overQuota() const
+    {
+        return config_.maxBytesPerTenant != 0 &&
+               bytes() >= config_.maxBytesPerTenant;
+    }
+
+    /** Force an fsync now (eviction and close call this). */
+    void sync();
+
+    /**
+     * fdatasync iff appends landed since the last flush. Thread-safe
+     * against concurrent appends. @return true if it synced.
+     */
+    bool flushIfDirty();
+
+    /**
+     * Group commit for the Interval flusher: clear every dirty flag,
+     * then make all the journals' writes durable with ONE syncfs(2) on
+     * the shared data-dir filesystem instead of one fdatasync per
+     * journal — constant syscall cost per pass regardless of tenant
+     * count (syncfs also flushes unrelated dirty data on that
+     * filesystem, an acceptable superset of the durability promise).
+     * Thread-safe against concurrent appends.
+     * @return the number of dirty journals covered.
+     */
+    static std::size_t
+    syncBatch(const std::vector<SessionJournal*>& journals);
+
+    std::uint64_t bytes() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t appends() const
+    {
+        return appends_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t fsyncs() const
+    {
+        return fsyncs_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void append(const std::string& line);
+    void recordFsync(double seconds);
+    void preallocate();
+
+    JournalConfig config_;
+    std::string tenant_;
+    std::string path_;
+    std::string error_;
+    obs::ProcessMetrics& metrics_;
+    // Series resolved once at open: the registry lookup (sanitize +
+    // lock + map find) is too slow for the per-append hot path.
+    obs::ProcessCounter* appendsTotal_ = nullptr;
+    obs::ProcessCounter* appendBytesTotal_ = nullptr;
+    obs::ProcessCounter* writeFailuresTotal_ = nullptr;
+    obs::ProcessCounter* fsyncsTotal_ = nullptr;
+    obs::ProcessHistogram* fsyncSeconds_ = nullptr;
+    // fd_ is written in the ctor (before the journal is shared) and
+    // closed only in the dtor (exclusive: the flusher pins the owning
+    // session via shared_ptr), so concurrent append/flush never race
+    // on the descriptor itself. A failed write poisons the journal
+    // instead of closing the fd early.
+    int fd_ = -1;
+    /** Extents preallocated up to here (ctor + strand-side appends
+     *  only); logical size stays bytes_. */
+    std::uint64_t preallocEnd_ = 0;
+    std::atomic<bool> poisoned_{false};
+    std::atomic<bool> dirty_{false}; ///< bytes written since last fsync
+    std::atomic<std::uint64_t> bytes_{0};
+    std::atomic<std::uint64_t> appends_{0};
+    std::atomic<std::uint64_t> fsyncs_{0};
+};
+
+/**
+ * Read a journal file back into records. Tolerant by construction: a
+ * truncated or corrupt tail (the worst a SIGKILL mid-write can do) is
+ * dropped and reported via droppedLines/validBytes, never a crash. A
+ * load whose first record is not a matching "create" is reported
+ * through ok=false/error by the caller's validation, not here.
+ */
+JournalLoad loadJournal(const std::string& path);
+
+/** Tenant ids of every `*.journal` in @p dataDir, sorted by name. */
+std::vector<std::string> listJournals(const std::string& dataDir);
+
+/** mkdir -p for the journal directory; false (with errno set) when a
+ *  component can't be created. An existing directory is success. */
+bool ensureDataDir(const std::string& dataDir);
+
+/**
+ * Valid tenant id: 1..64 chars of [A-Za-z0-9_.-], not starting with
+ * '.' or '-'. Enforced at creation so a tenant id is always a safe
+ * journal file name, metric label and URL segment.
+ */
+bool validTenantId(const std::string& id);
+
+} // namespace hcloud::srv
+
+#endif // HCLOUD_SRV_SESSION_JOURNAL_HPP

@@ -1,43 +1,181 @@
 #include "srv/session_manager.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "obs/log.hpp"
+#include "obs/span.hpp"
+
 namespace hcloud::srv {
 
-SessionManager::SessionManager(runtime::ThreadPool& pool,
-                               std::size_t shards,
-                               obs::ProcessMetrics& metrics)
-    : executor_(pool, shards), metrics_(metrics)
+namespace {
+
+/** nextSeq_ floor implied by a server-assigned id "t-<n>" (0 if not). */
+std::uint64_t
+assignedSeq(const std::string& id)
 {
+    if (id.size() < 3 || id.compare(0, 2, "t-") != 0)
+        return 0;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(id.c_str() + 2, &end, 10);
+    return (end && *end == '\0') ? n : 0;
+}
+
+} // namespace
+
+SessionManager::SessionManager(runtime::ThreadPool& pool,
+                               std::size_t shards, JournalConfig journal,
+                               Limits limits,
+                               obs::ProcessMetrics& metrics)
+    : executor_(pool, shards), journal_(std::move(journal)),
+      limits_(limits), metrics_(metrics)
+{
+    if (journal_.enabled() && !ensureDataDir(journal_.dataDir)) {
+        const std::string error = std::strerror(errno);
+        obs::Log::instance().warn(
+            "journal_dir_unavailable", [&](obs::JsonWriter& w) {
+                w.field("dir", journal_.dataDir);
+                w.field("error", error);
+            });
+    }
+    if (journal_.enabled() && journal_.fsync == FsyncPolicy::Interval) {
+        flusher_ = std::thread([this] {
+            const auto interval = std::chrono::duration<double, std::milli>(
+                journal_.fsyncIntervalMs > 0.0 ? journal_.fsyncIntervalMs
+                                               : 1.0);
+            std::unique_lock<std::mutex> lock(flusherMutex_);
+            while (!stopFlusher_) {
+                flusherCv_.wait_for(lock, interval,
+                                    [this] { return stopFlusher_; });
+                if (stopFlusher_)
+                    break;
+                lock.unlock();
+                flushJournals();
+                lock.lock();
+            }
+        });
+    }
 }
 
 SessionManager::~SessionManager()
 {
+    if (flusher_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(flusherMutex_);
+            stopFlusher_ = true;
+        }
+        flusherCv_.notify_all();
+        flusher_.join();
+    }
     executor_.drain();
+}
+
+void
+SessionManager::flushJournals()
+{
+    // Snapshot under the lock, sync outside it: the disk sync can take
+    // milliseconds and must not block create/erase/status. The
+    // shared_ptr copies keep every journal's fd alive even if a tenant
+    // is deleted or evicted mid-pass; syncBatch group-commits every
+    // dirty journal with one syscall.
+    std::vector<std::shared_ptr<EngineSession>> live;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        live.reserve(sessions_.size());
+        for (const auto& [id, entry] : sessions_)
+            if (entry.session)
+                live.push_back(entry.session);
+    }
+    std::vector<SessionJournal*> journals;
+    journals.reserve(live.size());
+    for (const auto& session : live)
+        if (SessionJournal* journal = session->journal())
+            journals.push_back(journal);
+    SessionJournal::syncBatch(journals);
 }
 
 std::string
 SessionManager::create(SessionConfig config)
 {
-    std::size_t shard;
-    {
-        // Reserve identity first so concurrent creates can't collide;
-        // the map slot itself is only filled once the engine is built.
+    if (!config.id.empty() && !validTenantId(config.id))
+        throw ApiError{422, "invalid_tenant_id",
+                       "tenant id must be 1..64 chars of [A-Za-z0-9_.-] "
+                       "and not start with '.' or '-'"};
+
+    // Claim the identity (and a live-count slot) under the lock; retry
+    // once after an idle sweep when the admission cap is hit.
+    auto claim = [this](SessionConfig& c, std::size_t* shard) {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (config.id.empty())
-            config.id = "t-" + std::to_string(nextSeq_ + 1);
-        if (sessions_.count(config.id) != 0)
+        if (limits_.maxSessions != 0 && liveCount_ >= limits_.maxSessions)
+            return false;
+        if (c.id.empty())
+            c.id = "t-" + std::to_string(nextSeq_ + 1);
+        if (sessions_.count(c.id) != 0)
             throw ApiError{409, "duplicate_tenant",
-                           "tenant \"" + config.id +
-                               "\" already exists"};
-        shard = static_cast<std::size_t>(nextSeq_) % executor_.shards();
+                           "tenant \"" + c.id + "\" already exists"};
+        *shard = static_cast<std::size_t>(nextSeq_) % executor_.shards();
         ++nextSeq_;
         // Claim the id with an empty entry; with() treats a session
         // still under construction as not ready.
-        sessions_[config.id] = Entry{nullptr, shard};
-        order_.push_back(config.id);
+        Entry entry;
+        entry.shard = *shard;
+        entry.lastTouchNs = obs::SpanTracer::nowNs();
+        sessions_.emplace(c.id, std::move(entry));
+        order_.push_back(c.id);
+        ++liveCount_;
+        return true;
+    };
+
+    std::size_t shard = 0;
+    if (!claim(config, &shard)) {
+        sweepIdle();
+        if (!claim(config, &shard)) {
+            admissionRejects_.fetch_add(1, std::memory_order_relaxed);
+            metrics_
+                .counter("hcloud_serve_admission_rejects_total",
+                         "Requests shed by admission control",
+                         {{"reason", "too_many_sessions"}})
+                .inc();
+            throw ApiError{
+                429, "too_many_sessions",
+                "session cap reached (" +
+                    std::to_string(limits_.maxSessions) +
+                    " live sessions); delete or let idle tenants "
+                    "evict, or raise --max-sessions"};
+        }
+    }
+    const std::string id = config.id;
+
+    auto rollback = [this, &id] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessions_.erase(id);
+        order_.erase(std::find(order_.begin(), order_.end(), id));
+        --liveCount_;
+    };
+
+    std::shared_ptr<EngineSession> session;
+    try {
+        session = std::make_shared<EngineSession>(std::move(config));
+        if (journal_.enabled()) {
+            auto journal = std::make_unique<SessionJournal>(
+                journal_, id, /*truncate=*/true, metrics_);
+            if (!journal->ok())
+                throw ApiError{503, "journal_unavailable",
+                               "cannot open journal: " +
+                                   journal->error()};
+            journal->appendCreate(session->config());
+            session->attachJournal(std::move(journal));
+        }
+    } catch (...) {
+        rollback();
+        throw;
     }
 
-    const std::string id = config.id;
-    auto session = std::make_unique<EngineSession>(std::move(config));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         sessions_[id].session = std::move(session);
@@ -59,17 +197,326 @@ SessionManager::create(SessionConfig config)
     return id;
 }
 
-SessionManager::Entry*
-SessionManager::find(const std::string& id)
+void
+SessionManager::erase(const std::string& id)
+{
+    Entry entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sessions_.find(id);
+        if (it == sessions_.end())
+            throw ApiError{404, "unknown_tenant",
+                           "no tenant \"" + id + "\""};
+        if (!it->second.session && !it->second.evicted)
+            throw ApiError{409, "tenant_initializing",
+                           "tenant \"" + id + "\" is still initializing"};
+        entry = std::move(it->second);
+        sessions_.erase(it);
+        order_.erase(std::find(order_.begin(), order_.end(), id));
+        if (!entry.evicted)
+            --liveCount_;
+    }
+
+    // Drain in-flight strand work that already resolved the session
+    // before tearing anything down (stragglers hold the shared_ptr).
+    executor_.call(entry.shard, [] {});
+    entry.session.reset(); // closes (and syncs) the journal fd
+
+    if (journal_.enabled())
+        SessionJournal::removeFile(journal_.dataDir, id);
+
+    if (!entry.evicted)
+        metrics_.gauge("hcloud_serve_sessions", "Live tenant sessions")
+            .add(-1.0);
+    metrics_.remove("hcloud_serve_jobs_submitted_total",
+                    {{"tenant", id}});
+    metrics_.remove("hcloud_serve_decisions_total", {{"tenant", id}});
+    deletes_.fetch_add(1, std::memory_order_relaxed);
+    metrics_
+        .counter("hcloud_serve_deletes_total",
+                 "Tenant sessions deleted since startup")
+        .inc();
+    obs::Log::instance().info("tenant_deleted", [&](obs::JsonWriter& w) {
+        w.field("tenant", id);
+    });
+}
+
+std::shared_ptr<EngineSession>
+SessionManager::replayJournal(const std::string& id,
+                              bool truncateCorruptTail)
+{
+    obs::SpanScope span("journal.replay");
+    const std::string path = SessionJournal::pathFor(journal_.dataDir, id);
+    JournalLoad load = loadJournal(path);
+    if (!load.ok)
+        throw ApiError{503, "journal_unavailable",
+                       "cannot read journal: " + load.error};
+    if (load.droppedLines != 0) {
+        truncatedLines_.fetch_add(load.droppedLines,
+                                  std::memory_order_relaxed);
+        metrics_
+            .counter("hcloud_journal_truncated_lines_total",
+                     "Corrupt/truncated journal lines dropped on replay")
+            .inc(static_cast<double>(load.droppedLines));
+        obs::Log::instance().warn(
+            "journal_truncated", [&](obs::JsonWriter& w) {
+                w.field("tenant", id);
+                w.field("dropped_lines",
+                        static_cast<std::uint64_t>(load.droppedLines));
+                w.field("valid_bytes", load.validBytes);
+            });
+        if (truncateCorruptTail)
+            (void)::truncate(path.c_str(),
+                             static_cast<off_t>(load.validBytes));
+    }
+    if (load.records.empty() ||
+        load.records.front().op != JournalRecord::Op::Create ||
+        load.records.front().config.id != id)
+        throw ApiError{503, "journal_invalid",
+                       "journal for \"" + id +
+                           "\" does not start with a matching create "
+                           "record"};
+
+    auto session = std::make_shared<EngineSession>(
+        std::move(load.records.front().config));
+    for (std::size_t i = 1; i < load.records.size(); ++i) {
+        JournalRecord& r = load.records[i];
+        if (r.op == JournalRecord::Op::Submit) {
+            const SubmitOutcome outcome = session->submitJob(r.job);
+            if (outcome.status !=
+                core::EngineRun::SubmitStatus::Accepted)
+                throw ApiError{503, "journal_invalid",
+                               "journaled submit was rejected on "
+                               "replay (tenant \"" +
+                                   id + "\", record " +
+                                   std::to_string(i) + ")"};
+        } else if (r.op == JournalRecord::Op::Advance) {
+            session->advanceTo(r.to);
+        }
+    }
+    metrics_
+        .counter("hcloud_journal_replayed_records_total",
+                 "Journal records replayed into sessions")
+        .inc(static_cast<double>(load.records.size()));
+    return session;
+}
+
+std::size_t
+SessionManager::restoreAll()
+{
+    if (!journal_.enabled())
+        return 0;
+    std::size_t restored = 0;
+    for (const std::string& id : listJournals(journal_.dataDir)) {
+        if (!validTenantId(id)) {
+            obs::Log::instance().warn(
+                "journal_skipped", [&](obs::JsonWriter& w) {
+                    w.field("tenant", id);
+                    w.field("reason", "invalid tenant id");
+                });
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (sessions_.count(id) != 0)
+                continue;
+        }
+        std::shared_ptr<EngineSession> session;
+        try {
+            session = replayJournal(id, /*truncateCorruptTail=*/true);
+        } catch (const ApiError& e) {
+            obs::Log::instance().warn(
+                "journal_skipped", [&](obs::JsonWriter& w) {
+                    w.field("tenant", id);
+                    w.field("reason", e.message);
+                });
+            continue;
+        }
+        // Reopen for appending; a failed reopen still publishes the
+        // session (reports stay readable) but its writes shed 503.
+        auto journal = std::make_unique<SessionJournal>(
+            journal_, id, /*truncate=*/false, metrics_);
+        session->attachJournal(std::move(journal));
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            Entry entry;
+            entry.shard =
+                static_cast<std::size_t>(nextSeq_) % executor_.shards();
+            entry.lastTouchNs = obs::SpanTracer::nowNs();
+            entry.session = std::move(session);
+            ++nextSeq_;
+            // Keep server-assigned ids collision-free after restart.
+            nextSeq_ = std::max(nextSeq_, assignedSeq(id));
+            sessions_.emplace(id, std::move(entry));
+            order_.push_back(id);
+            ++liveCount_;
+        }
+        metrics_.gauge("hcloud_serve_sessions", "Live tenant sessions")
+            .add(1.0);
+        metrics_.counter("hcloud_serve_jobs_submitted_total",
+                         "Jobs submitted per tenant", {{"tenant", id}});
+        metrics_.counter("hcloud_serve_decisions_total",
+                         "Provisioning decisions observed per tenant",
+                         {{"tenant", id}});
+        restored_.fetch_add(1, std::memory_order_relaxed);
+        metrics_
+            .counter("hcloud_serve_restored_total",
+                     "Tenant sessions restored from journals at startup")
+            .inc();
+        obs::Log::instance().info(
+            "session_restored", [&](obs::JsonWriter& w) {
+                w.field("tenant", id);
+            });
+        ++restored;
+    }
+    return restored;
+}
+
+std::size_t
+SessionManager::shardOf(const std::string& id)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = sessions_.find(id);
     if (it == sessions_.end())
-        return nullptr;
-    if (!it->second.session)
-        throw ApiError{409, "tenant_initializing",
-                       "tenant \"" + id + "\" is still initializing"};
-    return &it->second;
+        throw ApiError{404, "unknown_tenant", "no tenant \"" + id + "\""};
+    return it->second.shard;
+}
+
+std::shared_ptr<EngineSession>
+SessionManager::resolve(const std::string& id)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sessions_.find(id);
+        if (it == sessions_.end())
+            throw ApiError{404, "unknown_tenant",
+                           "no tenant \"" + id + "\""};
+        if (it->second.session) {
+            it->second.lastTouchNs = obs::SpanTracer::nowNs();
+            return it->second.session;
+        }
+        if (!it->second.evicted)
+            throw ApiError{409, "tenant_initializing",
+                           "tenant \"" + id + "\" is still initializing"};
+    }
+
+    // Lazy revival: rebuild from the journal. Only this id's strand
+    // runs resolve(id), so nobody else can be reviving it; the replay
+    // runs unlocked to keep the registry responsive.
+    std::shared_ptr<EngineSession> session =
+        replayJournal(id, /*truncateCorruptTail=*/true);
+    auto journal = std::make_unique<SessionJournal>(
+        journal_, id, /*truncate=*/false, metrics_);
+    session->attachJournal(std::move(journal));
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sessions_.find(id);
+        if (it == sessions_.end()) // deleted while reviving
+            throw ApiError{404, "unknown_tenant",
+                           "no tenant \"" + id + "\""};
+        it->second.session = session;
+        it->second.evicted = false;
+        it->second.lastTouchNs = obs::SpanTracer::nowNs();
+        ++liveCount_;
+    }
+    metrics_.gauge("hcloud_serve_sessions", "Live tenant sessions")
+        .add(1.0);
+    revivals_.fetch_add(1, std::memory_order_relaxed);
+    metrics_
+        .counter("hcloud_serve_revivals_total",
+                 "Evicted sessions revived from journals")
+        .inc();
+    obs::Log::instance().info("session_revived",
+                              [&](obs::JsonWriter& w) {
+                                  w.field("tenant", id);
+                              });
+    return session;
+}
+
+std::size_t
+SessionManager::sweepIdle()
+{
+    if (!journal_.enabled() || limits_.idleEvictSeconds <= 0.0)
+        return 0;
+    const std::uint64_t now = obs::SpanTracer::nowNs();
+    const double thresholdNs = limits_.idleEvictSeconds * 1e9;
+
+    struct Candidate
+    {
+        std::string id;
+        std::size_t shard;
+    };
+    std::vector<Candidate> candidates;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const std::string& id : order_) {
+            auto it = sessions_.find(id);
+            if (it == sessions_.end() || !it->second.session ||
+                it->second.evicted)
+                continue;
+            if (static_cast<double>(now - it->second.lastTouchNs) >=
+                thresholdNs)
+                candidates.push_back({id, it->second.shard});
+        }
+    }
+
+    std::size_t evicted = 0;
+    for (const Candidate& c : candidates) {
+        const bool did = executor_.call(c.shard, [this, &c, now,
+                                                  thresholdNs] {
+            std::shared_ptr<EngineSession> session;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = sessions_.find(c.id);
+                // Re-check on the strand: the session may have been
+                // touched, deleted or already evicted since the scan.
+                if (it == sessions_.end() || !it->second.session ||
+                    it->second.evicted ||
+                    static_cast<double>(now - it->second.lastTouchNs) <
+                        thresholdNs)
+                    return false;
+                session = std::move(it->second.session);
+                it->second.evicted = true;
+                --liveCount_;
+            }
+            session.reset(); // syncs + closes the journal
+            return true;
+        });
+        if (!did)
+            continue;
+        ++evicted;
+        metrics_.gauge("hcloud_serve_sessions", "Live tenant sessions")
+            .add(-1.0);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        metrics_
+            .counter("hcloud_serve_evictions_total",
+                     "Idle sessions evicted to their journals")
+            .inc();
+        obs::Log::instance().info("session_evicted",
+                                  [&](obs::JsonWriter& w) {
+                                      w.field("tenant", c.id);
+                                  });
+    }
+    return evicted;
+}
+
+void
+SessionManager::maybeSweep()
+{
+    if (!journal_.enabled() || limits_.idleEvictSeconds <= 0.0)
+        return;
+    const std::uint64_t now = obs::SpanTracer::nowNs();
+    const std::uint64_t intervalNs =
+        static_cast<std::uint64_t>(limits_.idleEvictSeconds * 1e9);
+    std::uint64_t last = lastSweepNs_.load(std::memory_order_relaxed);
+    if (now - last < intervalNs)
+        return;
+    if (!lastSweepNs_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed))
+        return; // another thread claimed this sweep
+    sweepIdle();
 }
 
 void
@@ -100,6 +547,13 @@ SessionManager::sessionCount() const
     return sessions_.size();
 }
 
+std::size_t
+SessionManager::liveCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return liveCount_;
+}
+
 std::vector<std::string>
 SessionManager::tenantIds() const
 {
@@ -120,6 +574,7 @@ SessionManager::status() const
         SessionStatus row;
         row.id = id;
         row.shard = it->second.shard;
+        row.evicted = it->second.evicted;
         if (const EngineSession* session = it->second.session.get()) {
             const EngineSession::LiveStats& live = session->liveStats();
             row.ready = true;
@@ -128,10 +583,27 @@ SessionManager::status() const
             row.finished = live.finished.load(std::memory_order_relaxed);
             row.decisions =
                 live.decisions.load(std::memory_order_relaxed);
+            if (const SessionJournal* journal = session->journal())
+                row.journalBytes = journal->bytes();
         }
         out.push_back(std::move(row));
     }
     return out;
+}
+
+SessionManager::LifecycleStats
+SessionManager::lifecycleStats() const
+{
+    LifecycleStats stats;
+    stats.restored = restored_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.revivals = revivals_.load(std::memory_order_relaxed);
+    stats.deletes = deletes_.load(std::memory_order_relaxed);
+    stats.admissionRejects =
+        admissionRejects_.load(std::memory_order_relaxed);
+    stats.truncatedLines =
+        truncatedLines_.load(std::memory_order_relaxed);
+    return stats;
 }
 
 } // namespace hcloud::srv

@@ -96,6 +96,49 @@ renderStatusz(const StatuszInfo& info)
         out += "slow_request_log: off\n";
     }
 
+    out += "\ndurability:\n";
+    if (info.journalEnabled) {
+        std::snprintf(line, sizeof(line),
+                      "  journal: %s (fsync=%s)\n", info.dataDir.c_str(),
+                      info.fsyncPolicy.c_str());
+        out += line;
+        if (info.maxSessions != 0) {
+            std::snprintf(line, sizeof(line), "  max_sessions: %zu\n",
+                          info.maxSessions);
+            out += line;
+        } else {
+            out += "  max_sessions: unlimited\n";
+        }
+        if (info.idleEvictSeconds > 0.0) {
+            std::snprintf(line, sizeof(line),
+                          "  idle_evict_seconds: %.1f\n",
+                          info.idleEvictSeconds);
+            out += line;
+        } else {
+            out += "  idle_evict: off\n";
+        }
+        std::snprintf(
+            line, sizeof(line),
+            "  restored: %llu  evictions: %llu  revivals: %llu  "
+            "deletes: %llu\n",
+            static_cast<unsigned long long>(info.lifecycle.restored),
+            static_cast<unsigned long long>(info.lifecycle.evictions),
+            static_cast<unsigned long long>(info.lifecycle.revivals),
+            static_cast<unsigned long long>(info.lifecycle.deletes));
+        out += line;
+        std::snprintf(line, sizeof(line),
+                      "  admission_rejects: %llu  truncated_lines: "
+                      "%llu\n",
+                      static_cast<unsigned long long>(
+                          info.lifecycle.admissionRejects),
+                      static_cast<unsigned long long>(
+                          info.lifecycle.truncatedLines));
+        out += line;
+    } else {
+        out += "  journal: off (in-memory only; sessions do not "
+               "survive restart)\n";
+    }
+
     out += "\nstrand queue depths:";
     for (std::size_t depth : info.queueDepths) {
         std::snprintf(line, sizeof(line), " %zu", depth);
@@ -109,8 +152,16 @@ renderStatusz(const StatuszInfo& info)
                   info.sessions.size());
     out += line;
     out += "  tenant            shard  sim_now      jobs  finished  "
-           "decisions\n";
+           "decisions  journal_kb\n";
     for (const SessionManager::SessionStatus& s : info.sessions) {
+        if (s.evicted) {
+            std::snprintf(line, sizeof(line),
+                          "  %-16s  %5zu  (evicted; revives on next "
+                          "touch)\n",
+                          s.id.c_str(), s.shard);
+            out += line;
+            continue;
+        }
         if (!s.ready) {
             std::snprintf(line, sizeof(line),
                           "  %-16s  %5zu  (initializing)\n", s.id.c_str(),
@@ -119,11 +170,13 @@ renderStatusz(const StatuszInfo& info)
             continue;
         }
         std::snprintf(line, sizeof(line),
-                      "  %-16s  %5zu  %11.1f  %4llu  %8llu  %9llu\n",
+                      "  %-16s  %5zu  %11.1f  %4llu  %8llu  %9llu  "
+                      "%10.1f\n",
                       s.id.c_str(), s.shard, s.now,
                       static_cast<unsigned long long>(s.jobs),
                       static_cast<unsigned long long>(s.finished),
-                      static_cast<unsigned long long>(s.decisions));
+                      static_cast<unsigned long long>(s.decisions),
+                      static_cast<double>(s.journalBytes) / 1024.0);
         out += line;
     }
 

@@ -63,6 +63,13 @@ struct StatuszInfo
     std::string spanPath;
     std::uint64_t spansRecorded = 0;
     double slowMs = 0.0; ///< slow-request log threshold (0 = off)
+    // Durability panel (journalEnabled false = everything below n/a).
+    bool journalEnabled = false;
+    std::string dataDir;
+    std::string fsyncPolicy;
+    std::size_t maxSessions = 0;    ///< 0 = unlimited
+    double idleEvictSeconds = 0.0;  ///< 0 = never
+    SessionManager::LifecycleStats lifecycle;
     std::vector<SessionManager::SessionStatus> sessions;
     std::vector<std::size_t> queueDepths;
     std::uint64_t tasksExecuted = 0;

@@ -264,6 +264,101 @@ TEST_F(SrvApi, MonotonicViolationsAndDuplicatesAre409)
     EXPECT_EQ(errorCode(j2), "duplicate_job");
 }
 
+TEST_F(SrvApi, AdvanceRejectsNonFiniteNegativeAndBackwards)
+{
+    createTenant("adv");
+    // 1e309 overflows double to +inf; unguarded it would spin the
+    // simulator forever and pin the tenant's strand.
+    auto [s1, j1] = post("/v1/tenants/adv/advance", "{\"to\":1e309}");
+    EXPECT_EQ(s1, 422);
+    EXPECT_EQ(errorCode(j1), "invalid_field");
+    auto [s2, j2] = post("/v1/tenants/adv/advance", "{\"to\":-5}");
+    EXPECT_EQ(s2, 422);
+    EXPECT_EQ(errorCode(j2), "invalid_field");
+
+    auto [s3, j3] = post("/v1/tenants/adv/advance", "{\"to\":100}");
+    ASSERT_EQ(s3, 200);
+    EXPECT_DOUBLE_EQ(j3.find("now")->number, 100.0);
+    // Backwards advance used to answer 200 with an unchanged clock;
+    // virtual time is monotonic, so it is a structured 422 now.
+    auto [s4, j4] = post("/v1/tenants/adv/advance", "{\"to\":50}");
+    EXPECT_EQ(s4, 422);
+    EXPECT_EQ(errorCode(j4), "clock_regression");
+    // The clock did not move.
+    auto [s5, j5] = post("/v1/tenants/adv/advance", "{\"to\":100}");
+    EXPECT_EQ(s5, 200);
+    EXPECT_DOUBLE_EQ(j5.find("now")->number, 100.0);
+}
+
+TEST(SrvApiLimits, AdvanceBeyondMaxHorizonIs422)
+{
+    obs::ProcessMetrics metrics;
+    srv::ServeConfig config;
+    config.shards = 2;
+    config.threads = 2;
+    config.httpWorkers = 2;
+    config.maxAdvance = 1000.0;
+    srv::ServeApp app(config, metrics);
+    ASSERT_TRUE(app.start(0));
+    srv::HttpClient client(app.boundPort());
+    srv::ClientResponse r = client.post(
+        "/v1/tenants",
+        "{\"id\":\"h\",\"strategy\":\"HM\",\"scenario\":{"
+        "\"kind\":\"static\",\"duration\":600,\"loadScale\":0.05},"
+        "\"engine\":{\"seed\":42,\"useProfiling\":false}}");
+    ASSERT_EQ(r.status, 201) << r.body;
+
+    r = client.post("/v1/tenants/h/advance", "{\"to\":500}");
+    EXPECT_EQ(r.status, 200) << r.body;
+    // Delta 4500 > --max-advance 1000: shed before touching the
+    // engine, so the strand stays responsive.
+    r = client.post("/v1/tenants/h/advance", "{\"to\":5000}");
+    EXPECT_EQ(r.status, 422);
+    const obs::JsonValue v = obs::parseJson(r.body);
+    EXPECT_EQ(v.find("error")->find("code")->string, "invalid_field");
+    EXPECT_NE(v.find("error")->find("message")->string.find(
+                  "--max-advance"),
+              std::string::npos);
+    // Within the horizon still works.
+    r = client.post("/v1/tenants/h/advance", "{\"to\":1200}");
+    EXPECT_EQ(r.status, 200) << r.body;
+}
+
+TEST_F(SrvApi, DeleteTenantFreesGaugeAndSeriesWithoutJournal)
+{
+    createTenant("keep");
+    createTenant("drop");
+    post("/v1/tenants/drop/jobs",
+         "{\"kind\":\"hadoop-svm\",\"arrival\":1,\"coresIdeal\":2,"
+         "\"idealDuration\":10}");
+    srv::ClientResponse m = client_->get("/metrics");
+    EXPECT_NE(m.body.find("hcloud_serve_sessions 2"),
+              std::string::npos);
+    EXPECT_NE(m.body.find("tenant=\"drop\""), std::string::npos);
+
+    const srv::ClientResponse del = client_->del("/v1/tenants/drop");
+    ASSERT_TRUE(del.ok);
+    ASSERT_EQ(del.status, 200) << del.body;
+
+    auto [s, j] = get("/v1/tenants/drop/report");
+    EXPECT_EQ(s, 404);
+    EXPECT_EQ(errorCode(j), "unknown_tenant");
+    // Regression: the gauge steps down and the deleted tenant's
+    // labeled series disappear from the scrape (no label leak).
+    m = client_->get("/metrics");
+    EXPECT_NE(m.body.find("hcloud_serve_sessions 1"),
+              std::string::npos)
+        << m.body;
+    EXPECT_EQ(m.body.find("tenant=\"drop\""), std::string::npos)
+        << m.body;
+    EXPECT_NE(m.body.find("tenant=\"keep\""), std::string::npos);
+
+    auto [listStatus, listJson] = get("/v1/tenants");
+    EXPECT_EQ(listStatus, 200);
+    ASSERT_EQ(listJson.find("tenants")->array.size(), 1u);
+    EXPECT_EQ(listJson.find("tenants")->array[0].string, "keep");
+}
+
 TEST_F(SrvApi, UnknownTenantIs404DuplicateTenantIs409)
 {
     auto [s1, j1] = post("/v1/tenants/ghost/jobs",
