@@ -22,6 +22,7 @@
 #include "obs/process_metrics.hpp"
 #include "obs/prom_text.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 #include "profiling/quasar.hpp"
 #include "sim/simulator.hpp"
@@ -230,6 +231,138 @@ BM_TracerRecordSink(benchmark::State& state)
 // Fixed iteration count bounds the on-disk file the loop streams out
 // (adaptive timing could write GBs into /tmp before converging).
 BENCHMARK(BM_TracerRecordSink)->Iterations(1 << 18);
+
+/**
+ * Cost of the disabled-timeline guard the engine tick loop pays: one
+ * bool load plus a time comparison. This is the whole observability tax
+ * of state sampling when it's off, and CI asserts it stays within noise
+ * of free (the tick loop runs millions of times per sweep).
+ */
+void
+BM_TimelineDisabledTick(benchmark::State& state)
+{
+    obs::TimelineConfig cfg;
+    cfg.mode = obs::TimelineConfig::Mode::Off;
+    obs::Timeline timeline(cfg);
+    sim::Time t = 0.0;
+    sim::Time next = 1e18;
+    for (auto _ : state) {
+        t += 1.0;
+        if (timeline.enabled() && t >= next)
+            next += 1.0;
+        benchmark::DoNotOptimize(timeline.recordedCount());
+    }
+}
+BENCHMARK(BM_TimelineDisabledTick);
+
+namespace {
+
+/** A cluster snapshot shaped like a mid-sweep sample (two live types). */
+obs::TimelineSample
+benchSample(sim::Time t, std::uint64_t seq)
+{
+    obs::TimelineSample s;
+    s.t = t;
+    s.seq = seq;
+    s.reservedInstances = 12;
+    s.onDemandInstances = 3;
+    s.spotInstances = 2;
+    s.typeCounts = {{"st16", 14u}, {"st4", 3u}};
+    s.reservedCores = 192.0;
+    s.reservedUsed = 140.5;
+    s.onDemandCores = 48.0;
+    s.onDemandUsed = 31.0;
+    s.utilization = 0.73;
+    s.qualityMean = 0.81;
+    s.qualityP5 = 0.55;
+    s.qualityP50 = 0.84;
+    s.qualityP95 = 0.97;
+    s.queueLength = 4;
+    s.activeJobs = 57;
+    s.runningJobs = 53;
+    s.finishedJobs = seq * 3;
+    s.externalLoad = 0.42;
+    s.spotPrice = 0.31;
+    return s;
+}
+
+} // namespace
+
+/** Cost of recording one sample into the ring (timeline enabled). */
+void
+BM_TimelineRecord(benchmark::State& state)
+{
+    obs::TimelineConfig cfg;
+    cfg.mode = obs::TimelineConfig::Mode::On;
+    obs::Timeline timeline(cfg);
+    sim::Time t = 0.0;
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        t += 30.0;
+        timeline.record(benchSample(t, seq++));
+        benchmark::DoNotOptimize(timeline.recordedCount());
+    }
+}
+BENCHMARK(BM_TimelineRecord);
+
+/**
+ * Cost of recording with a sink attached, amortizing serialize+write.
+ * The tiny ring forces a flush every 64 samples, so the per-record cost
+ * here is the steady-state streaming cost of a full on-disk timeline.
+ */
+void
+BM_TimelineRecordSink(benchmark::State& state)
+{
+    obs::TimelineConfig cfg;
+    cfg.mode = obs::TimelineConfig::Mode::On;
+    cfg.ringCapacity = 64;
+    cfg.sinkPath = "/tmp/hcloud_bench_overheads.timeline.part";
+    obs::Timeline timeline(cfg);
+    sim::Time t = 0.0;
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        t += 30.0;
+        timeline.record(benchSample(t, seq++));
+        benchmark::DoNotOptimize(timeline.recordedCount());
+    }
+    std::remove(cfg.sinkPath.c_str());
+}
+// Same rationale as BM_TracerRecordSink: bound the streamed file.
+BENCHMARK(BM_TimelineRecordSink)->Iterations(1 << 16);
+
+/**
+ * Full engine run with the timeline off (Arg 0) or sampling every 30
+ * virtual seconds into the ring (Arg 1). The Arg(0) row is what every
+ * existing caller pays after this feature landed — CI gates it against
+ * the tracer-off row of BM_EngineRunTrace, which runs the identical
+ * scenario, so any disabled-path regression is a direct diff.
+ */
+void
+BM_EngineRunTimeline(benchmark::State& state)
+{
+    workload::ScenarioConfig scenario_cfg;
+    scenario_cfg.kind = workload::ScenarioKind::Static;
+    scenario_cfg.seed = 42;
+    scenario_cfg.loadScale = 0.05;
+    const workload::ArrivalTrace trace =
+        workload::generateScenario(scenario_cfg);
+    core::EngineConfig cfg;
+    cfg.seed = 42;
+    cfg.timeline.mode = state.range(0) != 0
+        ? obs::TimelineConfig::Mode::On
+        : obs::TimelineConfig::Mode::Off;
+    cfg.timeline.cadence = 30.0;
+    for (auto _ : state) {
+        core::Engine engine(cfg);
+        core::RunResult result =
+            engine.run(trace, core::StrategyKind::HM, "static");
+        benchmark::DoNotOptimize(result.timeline.recorded);
+    }
+}
+BENCHMARK(BM_EngineRunTimeline)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * Cost of an armed-but-inert SpanScope: no tracer bound on this thread,

@@ -22,9 +22,15 @@
  * fsynced per --fsync), so CI can gate the journaling overhead as a
  * journal-on vs journal-off qps ratio.
  *
+ * --timeline-cadence runs the bench with cluster-state timeline
+ * sampling on at the given virtual-second cadence (the observability
+ * tax path; default 0 = off so the baseline row stays comparable),
+ * recording the per-tenant sample totals in the artifact.
+ *
  * Usage: bench_serve [--tenants N] [--clients N] [--jobs N]
  *                    [--advances N] [--span-trace PATH] [--out PATH]
  *                    [--data-dir DIR] [--fsync always|interval|never]
+ *                    [--timeline-cadence N]
  */
 
 #include <algorithm>
@@ -158,6 +164,7 @@ main(int argc, char** argv)
     std::string spanPath;
     std::string dataDir;
     srv::FsyncPolicy fsync = srv::FsyncPolicy::Interval;
+    double timelineCadence = 0.0;
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char* {
             return i + 1 < argc ? argv[++i] : "";
@@ -176,6 +183,8 @@ main(int argc, char** argv)
             outPath = next();
         else if (std::strcmp(argv[i], "--data-dir") == 0)
             dataDir = next();
+        else if (std::strcmp(argv[i], "--timeline-cadence") == 0)
+            timelineCadence = std::atof(next());
         else if (std::strcmp(argv[i], "--fsync") == 0) {
             if (!srv::parseFsyncPolicy(next(), &fsync)) {
                 std::fprintf(stderr,
@@ -201,6 +210,7 @@ main(int argc, char** argv)
     config.spanPath = spanPath;
     config.journal.dataDir = dataDir;
     config.journal.fsync = fsync;
+    config.timelineCadence = timelineCadence;
     srv::ServeApp app(config, metrics);
     if (!spanPath.empty() && !app.spans().enabled()) {
         std::fprintf(stderr, "bench_serve: cannot open span sink %s\n",
@@ -336,11 +346,14 @@ main(int argc, char** argv)
             w.join();
     }
 
-    // Durability tax accounting, sampled before shutdown closes fds.
+    // Durability + observability tax accounting, sampled before
+    // shutdown closes fds.
     std::uint64_t journalBytes = 0;
-    if (!dataDir.empty())
-        for (const auto& row : app.sessions().status())
-            journalBytes += row.journalBytes;
+    std::uint64_t timelineSamples = 0;
+    for (const auto& row : app.sessions().status()) {
+        journalBytes += row.journalBytes;
+        timelineSamples += row.timelineSamples;
+    }
 
     app.stop();
 
@@ -383,10 +396,16 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(
                         app.spans().recorded()),
                     spanPath.c_str());
+    if (timelineCadence > 0.0)
+        std::printf("bench_serve: timeline sampling every %.1f virtual "
+                    "seconds (%llu samples across %zu tenants)\n",
+                    timelineCadence,
+                    static_cast<unsigned long long>(timelineSamples),
+                    tenants);
 
     obs::JsonWriter w;
     w.beginObject();
-    w.field("schemaVersion", 2);
+    w.field("schemaVersion", 3);
     w.field("benchmark",
             "hcloud serve closed-loop job submission over loopback "
             "HTTP (in-process ServeApp)");
@@ -415,6 +434,14 @@ main(int argc, char** argv)
     w.field("spans", app.spans().enabled());
     if (app.spans().enabled())
         w.field("spanRecords", app.spans().recorded());
+    w.key("timeline");
+    w.beginObject();
+    w.field("enabled", timelineCadence > 0.0);
+    if (timelineCadence > 0.0) {
+        w.field("cadence", timelineCadence);
+        w.field("samples", timelineSamples);
+    }
+    w.endObject();
     w.key("stages");
     w.beginArray();
     stageJson(w, submitStats);

@@ -22,6 +22,14 @@
  *   runs (different thread counts, before/after a kernel change) first
  *   disagree.
  *
+ * Timeline mode (for files written by --timeline / HCLOUD_TIMELINE):
+ *   trace_inspect --timeline <timeline.jsonl> [--timeline-csv <out.csv>]
+ *     Renders each run's cluster-state series — utilization, median
+ *     quality, queue length, external load, spot price, accumulated
+ *     cost — as fixed-width ASCII sparklines with their observed
+ *     [min, max] ranges, and optionally exports every sample of every
+ *     run as one flat CSV for plotting.
+ *
  * Request-span modes (for files written by --span-trace / HCLOUD_SPANS):
  *   trace_inspect --spans <spans.jsonl> [--traces N]
  *     Renders per-request span timelines: one indented tree per trace id
@@ -47,6 +55,7 @@
 
 #include "obs/json.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 
 namespace {
@@ -346,6 +355,188 @@ diffTraces(const std::string& pathA, const std::string& pathB)
     return 1;
 }
 
+// --- Cluster-state timelines --------------------------------------------
+
+/** One run section of a timeline JSONL file. */
+struct TimelineRun
+{
+    std::string label;
+    std::vector<obs::TimelineSample> samples;
+};
+
+/**
+ * Render @p values as a fixed-width ASCII sparkline: values are bucketed
+ * to @p width columns (bucket mean) and each column maps linearly from
+ * the observed [min, max] onto a 9-level character ramp. A flat series
+ * renders as all-bottom, which is exactly the visual meaning wanted.
+ */
+std::string
+sparkline(const std::vector<double>& values, std::size_t width)
+{
+    static constexpr char kRamp[] = " .:-=+*#@";
+    constexpr std::size_t kLevels = sizeof(kRamp) - 2;
+    if (values.empty())
+        return "";
+    double lo = values[0], hi = values[0];
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const std::size_t cols = std::min(width, values.size());
+    std::string out;
+    out.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t begin = c * values.size() / cols;
+        const std::size_t end =
+            std::max(begin + 1, (c + 1) * values.size() / cols);
+        double sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+            sum += values[i];
+        const double mean = sum / static_cast<double>(end - begin);
+        const double norm = hi > lo ? (mean - lo) / (hi - lo) : 0.0;
+        out += kRamp[static_cast<std::size_t>(
+            norm * static_cast<double>(kLevels) + 0.5)];
+    }
+    return out;
+}
+
+void
+printSeries(const char* name, const std::vector<double>& values)
+{
+    if (values.empty())
+        return;
+    double lo = values[0], hi = values[0];
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::printf("  %-12s [%11.4g, %11.4g]  %s\n", name, lo, hi,
+                sparkline(values, 64).c_str());
+}
+
+/** Flat CSV of every sample in every run, one row per sample. */
+bool
+writeTimelineCsv(const std::string& path,
+                 const std::vector<TimelineRun>& runs)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << "run,t,seq,reserved,on_demand,spot,util,q_mean,q5,q50,q95,"
+           "queue,active,running,done,ext_load,spot_price,qos,cost\n";
+    char row[512];
+    for (const TimelineRun& run : runs) {
+        for (const obs::TimelineSample& s : run.samples) {
+            std::snprintf(
+                row, sizeof(row),
+                "\"%s\",%g,%llu,%u,%u,%u,%g,%g,%g,%g,%g,%u,%u,%u,%llu,"
+                "%g,%g,%u,%g\n",
+                run.label.c_str(), s.t,
+                static_cast<unsigned long long>(s.seq),
+                s.reservedInstances, s.onDemandInstances, s.spotInstances,
+                s.utilization, s.qualityMean, s.qualityP5, s.qualityP50,
+                s.qualityP95, s.queueLength, s.activeJobs, s.runningJobs,
+                static_cast<unsigned long long>(s.finishedJobs),
+                s.externalLoad, s.spotPrice, s.qosTracked, s.costTotal);
+            out << row;
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+/** @return the --timeline mode process exit status (0 / 1 / 2). */
+int
+inspectTimeline(const std::string& path, const std::string& csvPath)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+
+    std::vector<TimelineRun> runs;
+    std::string line;
+    std::size_t badLines = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        obs::TimelineSample sample;
+        if (obs::sampleFromJsonLine(line, &sample)) {
+            if (runs.empty())
+                runs.push_back({"(unlabeled run)", {}});
+            runs.back().samples.push_back(std::move(sample));
+            continue;
+        }
+        try {
+            const obs::JsonValue header = obs::parseJson(line);
+            if (header.find("run")) {
+                runs.push_back({runLabel(header), {}});
+                continue;
+            }
+        } catch (const std::exception&) {
+        }
+        ++badLines;
+    }
+
+    std::printf("%s: %zu run(s)\n", path.c_str(), runs.size());
+    for (const TimelineRun& run : runs) {
+        std::printf("\n== %s: %zu sample(s)", run.label.c_str(),
+                    run.samples.size());
+        if (!run.samples.empty())
+            std::printf(", t %.0f..%.0f", run.samples.front().t,
+                        run.samples.back().t);
+        std::printf(" ==\n");
+        if (run.samples.empty())
+            continue;
+        auto series = [&run](auto member) {
+            std::vector<double> values;
+            values.reserve(run.samples.size());
+            for (const obs::TimelineSample& s : run.samples)
+                values.push_back(static_cast<double>(member(s)));
+            return values;
+        };
+        printSeries("instances", series([](const obs::TimelineSample& s) {
+                        return s.reservedInstances + s.onDemandInstances +
+                            s.spotInstances;
+                    }));
+        printSeries("utilization",
+                    series([](const obs::TimelineSample& s) {
+                        return s.utilization;
+                    }));
+        printSeries("quality p50",
+                    series([](const obs::TimelineSample& s) {
+                        return s.qualityP50;
+                    }));
+        printSeries("queue", series([](const obs::TimelineSample& s) {
+                        return s.queueLength;
+                    }));
+        printSeries("running", series([](const obs::TimelineSample& s) {
+                        return s.runningJobs;
+                    }));
+        printSeries("ext load", series([](const obs::TimelineSample& s) {
+                        return s.externalLoad;
+                    }));
+        printSeries("spot price",
+                    series([](const obs::TimelineSample& s) {
+                        return s.spotPrice;
+                    }));
+        printSeries("cost", series([](const obs::TimelineSample& s) {
+                        return s.costTotal;
+                    }));
+    }
+    if (badLines > 0)
+        std::printf("\n%zu unrecognized line(s) skipped\n", badLines);
+
+    if (!csvPath.empty()) {
+        if (!writeTimelineCsv(csvPath, runs)) {
+            std::fprintf(stderr, "cannot write %s\n", csvPath.c_str());
+            return 2;
+        }
+        std::printf("\nwrote CSV: %s\n", csvPath.c_str());
+    }
+    return runs.empty() ? 1 : 0;
+}
+
 // --- Request-span timelines ---------------------------------------------
 
 /** One span or instantaneous event from a request-span JSONL file. */
@@ -571,6 +762,33 @@ main(int argc, char** argv)
             return 2;
         }
         return diffTraces(argv[2], argv[3]);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--timeline") == 0) {
+        std::string timelinePath;
+        std::string csvPath;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--timeline-csv") == 0 &&
+                i + 1 < argc) {
+                csvPath = argv[++i];
+            } else if (timelinePath.empty()) {
+                timelinePath = argv[i];
+            } else {
+                timelinePath.clear();
+                break;
+            }
+        }
+        if (timelinePath.empty()) {
+            // Fall back to the HCLOUD_TIMELINE-named default.
+            timelinePath = hcloud::obs::envTimelinePath();
+        }
+        if (timelinePath.empty()) {
+            std::fprintf(stderr,
+                         "usage: %s --timeline <timeline.jsonl> "
+                         "[--timeline-csv <out.csv>]\n",
+                         argv[0]);
+            return 2;
+        }
+        return inspectTimeline(timelinePath, csvPath);
     }
     if (argc >= 2 && std::strcmp(argv[1], "--spans") == 0) {
         std::string spansPath;

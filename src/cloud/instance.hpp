@@ -133,6 +133,21 @@ class Instance
     double effectiveQuality(sim::Time t, double sensitivity,
                             std::optional<sim::JobId> self);
 
+    /**
+     * Last materialized quality without advancing anything: the memoized
+     * effective quality when one has been computed, else the memoized
+     * base quality, else the spatial component alone. Read-only — safe
+     * for samplers (obs::Timeline) that must not move an RNG draw.
+     */
+    double observedQuality() const
+    {
+        if (effQualityT_ >= 0.0)
+            return effQualityCached_;
+        if (baseQualityT_ >= 0.0)
+            return baseQualityCached_;
+        return spatialQuality_;
+    }
+
     // --- Occupancy -------------------------------------------------------
 
     double coresTotal() const { return type_->vcpus; }

@@ -62,6 +62,14 @@ class Machine
      */
     double externalUtilization(sim::Time t);
 
+    /** Last memoized external utilization without advancing the load
+     *  process (0 before the first externalUtilization() query).
+     *  Read-only — safe for perturbation-free samplers. */
+    double lastExternalUtilization() const
+    {
+        return cachedLoadT_ >= 0.0 ? cachedLoad_ : 0.0;
+    }
+
   private:
     sim::MachineId id_;
     bool shared_;

@@ -85,6 +85,13 @@ class CloudProvider
     /** The spot market (created lazily with default parameters). */
     SpotMarket& spotMarket();
 
+    /** The spot market if one has been created, else nullptr — read-only
+     *  observers must not trigger the lazy creation. */
+    const SpotMarket* spotMarketIfCreated() const
+    {
+        return spotMarket_.get();
+    }
+
     /**
      * Request a spot instance at the given bid ($/hour). Behaves like
      * acquire(), but the instance is billed at the market price locked

@@ -58,6 +58,16 @@ SpotMarket::price(const InstanceType& type, sim::Time t)
     return priceFraction(type, t) * type.onDemandHourly;
 }
 
+double
+SpotMarket::lastPriceFraction(const InstanceType& type) const
+{
+    const auto it = classes_.find(type.vcpus);
+    const double fraction = it == classes_.end()
+        ? config_.meanDiscount
+        : it->second.process.value();
+    return std::clamp(fraction, config_.minFraction, config_.maxFraction);
+}
+
 bool
 SpotMarket::wouldInterrupt(const InstanceType& type, double bidHourly,
                            sim::Time t)

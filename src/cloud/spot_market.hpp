@@ -67,6 +67,16 @@ class SpotMarket
     bool wouldInterrupt(const InstanceType& type, double bidHourly,
                         sim::Time t);
 
+    /**
+     * Last materialized price fraction for @p type's size class without
+     * advancing the price process or the spike schedule (the configured
+     * mean discount before the class's first query). Ignores in-flight
+     * spikes — those are materialized lazily by priceFraction(), and a
+     * read-only observer cannot materialize one. Safe for
+     * perturbation-free samplers (obs::Timeline).
+     */
+    double lastPriceFraction(const InstanceType& type) const;
+
     const SpotMarketConfig& config() const { return config_; }
 
     /** Emit MarketSpike trace events through @p tracer (may be null). */

@@ -4,8 +4,11 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <map>
 
+#include "cloud/pricing.hpp"
 #include "core/hybrid.hpp"
+#include "sim/stats.hpp"
 #include "workload/batch_model.hpp"
 #include "workload/latency_model.hpp"
 
@@ -73,7 +76,8 @@ EngineRun::EngineRun(const EngineConfig& config,
            metrics_,
            tracer_,
            config_,
-           /*onJobStarted=*/nullptr}
+           /*onJobStarted=*/nullptr},
+      timeline_(config_.timeline)
 {
     provider_.setTracer(&tracer_);
     provider_.spinUp().setScale(config_.spinUpScale);
@@ -250,6 +254,84 @@ EngineRun::sample(sim::Time t)
     }
 }
 
+void
+EngineRun::sampleTimeline(sim::Time t)
+{
+    const ClusterState& cluster = strategy_->cluster();
+    obs::TimelineSample s;
+    s.t = t;
+
+    // One pass over the cluster: market counts, per-type counts, the
+    // observed-quality distribution and the distinct backing hosts.
+    // Every accessor here is read-only over memoized per-tick state —
+    // nothing below may advance an OU process or draw from an RNG.
+    sim::SampleSet quality;
+    std::map<std::string, std::uint32_t> typeCounts;
+    std::vector<const cloud::Machine*> hosts;
+    auto scan = [&](const cloud::Instance* inst) {
+        if (inst->reserved())
+            ++s.reservedInstances;
+        else if (inst->spot())
+            ++s.spotInstances;
+        else
+            ++s.onDemandInstances;
+        ++typeCounts[inst->type().name];
+        quality.add(inst->observedQuality());
+        const cloud::Machine* host = inst->host();
+        if (std::find(hosts.begin(), hosts.end(), host) == hosts.end())
+            hosts.push_back(host);
+    };
+    for (const cloud::Instance* inst : cluster.reservedPool())
+        scan(inst);
+    for (const cloud::Instance* inst : cluster.onDemand())
+        scan(inst);
+    s.typeCounts.assign(typeCounts.begin(), typeCounts.end());
+
+    s.reservedCores = cluster.reservedCapacity();
+    s.reservedUsed = cluster.reservedUsed();
+    s.onDemandCores = cluster.onDemandCapacity();
+    s.onDemandUsed = cluster.onDemandUsed();
+    s.utilization = cluster.reservedUtilization();
+
+    s.qualityMean = quality.mean();
+    s.qualityP5 = quality.quantile(0.05);
+    s.qualityP50 = quality.quantile(0.50);
+    s.qualityP95 = quality.quantile(0.95);
+
+    s.queueLength =
+        static_cast<std::uint32_t>(strategy_->reservedQueueLength());
+    s.activeJobs = static_cast<std::uint32_t>(active_.size());
+    std::uint32_t running = 0;
+    for (const workload::Job* job : active_) {
+        if (job->state == workload::JobState::Running)
+            ++running;
+    }
+    s.runningJobs = running;
+    s.finishedJobs = finished_;
+
+    double ext = 0.0;
+    for (const cloud::Machine* host : hosts)
+        ext += host->lastExternalUtilization();
+    s.externalLoad =
+        hosts.empty() ? 0.0 : ext / static_cast<double>(hosts.size());
+
+    const cloud::InstanceType& fullServer = ctx_.catalog.types().back();
+    if (const cloud::SpotMarket* market = provider_.spotMarketIfCreated())
+        s.spotPrice = market->lastPriceFraction(fullServer);
+    else
+        s.spotPrice = cloud::SpotMarketConfig{}.meanDiscount;
+
+    s.qosTracked =
+        static_cast<std::uint32_t>(strategy_->qosMonitor().tracked());
+
+    // amortized() is a pure function over closed usage records — the
+    // paper's normalized-cost view, evaluated at the sample time.
+    static const cloud::AwsStylePricing pricing;
+    s.costTotal = provider_.billing().amortized(pricing, t).total();
+
+    timeline_.record(std::move(s));
+}
+
 bool
 EngineRun::onTick()
 {
@@ -294,6 +376,14 @@ EngineRun::onTick()
     if (t >= nextSample_) {
         sample(t);
         nextSample_ += config_.utilizationSample;
+    }
+    // Same cadence scheme as sample(): fire on the first tick at or
+    // after each boundary, so sample times depend only on the tick grid
+    // and are identical in batch and session driving. Disabled runs pay
+    // exactly this one predicted branch.
+    if (timeline_.enabled() && t >= nextTimelineSample_) {
+        sampleTimeline(t);
+        nextTimelineSample_ += config_.timeline.cadence;
     }
     // A batch run ends its tick chain once the fixed job set completes; a
     // session never does — more jobs may arrive on the next request.
@@ -447,6 +537,7 @@ EngineRun::liveResult(const std::string& scenarioName)
 {
     RunResult result;
     buildResult(result, scenarioName);
+    result.timeline = timeline_.snapshot();
     result.metricsSnapshot = metrics_.registry().snapshot();
     result.telemetry.setupSec = phases_.seconds("setup");
     result.telemetry.simLoopSec = phases_.seconds("sim-loop");
@@ -464,6 +555,7 @@ EngineRun::finalize(const std::string& scenarioName)
 
     // ---- Observability artifacts ---------------------------------------
     result.trace = tracer_.take();
+    result.timeline = timeline_.take();
     result.metricsSnapshot = metrics_.registry().snapshot();
     phases_.add("finalize",
                 std::chrono::duration<double>(

@@ -78,6 +78,10 @@ class EngineRun
     /** The run's tracer (srv::EngineSession hooks decisions off it). */
     obs::Tracer& tracer() { return tracer_; }
 
+    /** The run's cluster-state timeline (srv::EngineSession serves the
+     *  tenant timeline endpoint and live gauges off it). */
+    const obs::Timeline& timeline() const { return timeline_; }
+
     /** Current virtual time. */
     sim::Time now() const { return simulator_.now(); }
 
@@ -147,6 +151,9 @@ class EngineRun
     void advanceJob(workload::Job& job, sim::Time t);
     /** Periodic sampling of allocation/utilization series. */
     void sample(sim::Time t);
+    /** Build and record one cluster-state timeline sample. Reads only
+     *  memoized/read-only state, so it never moves an RNG draw. */
+    void sampleTimeline(sim::Time t);
     /** Main tick body; @return false to end the chain (batch only). */
     bool onTick();
     /** Schedule the arrival event of jobs_[i]. */
@@ -179,6 +186,8 @@ class EngineRun
     /** Arrived latency-critical services (unserved-latency samples). */
     std::vector<workload::Job*> lcJobs_;
     sim::Time nextSample_ = 0.0;
+    obs::Timeline timeline_;
+    sim::Time nextTimelineSample_ = 0.0;
     std::size_t compactedAtFinished_ = 0;
     /** Session mode: the tick chain must outlive job droughts. */
     bool sessionMode_ = false;

@@ -13,6 +13,7 @@
 #include "cloud/billing.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/phase_profiler.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 #include "sim/stats.hpp"
 #include "sim/timeseries.hpp"
@@ -207,6 +208,9 @@ struct RunResult
     /** The structured event stream recorded by the run's obs::Tracer
      *  (empty when tracing is disabled). */
     obs::TraceBuffer trace;
+    /** Cluster-state samples recorded by the run's obs::Timeline
+     *  (empty when timeline sampling is disabled). */
+    obs::TimelineBuffer timeline;
     /** Snapshot of every registered metric, sorted by name. */
     obs::MetricsSnapshot metricsSnapshot;
     /** Wall-clock phase profile (excluded from determinism digests). */

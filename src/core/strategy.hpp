@@ -112,6 +112,8 @@ class Strategy
     }
     const QueueEstimator& queueEstimator() const { return queueEstimator_; }
     const QualityTracker& qualityTracker() const { return qualityTracker_; }
+    /** Read-only QoS-violation state (obs::Timeline samples tracked()). */
+    const QosMonitor& qosMonitor() const { return qosMonitor_; }
 
   protected:
     /** Decide the job's resources: Quasar estimate or user defaults. */

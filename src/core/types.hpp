@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cloud/external_load.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 #include "sim/types.hpp"
 
@@ -101,6 +102,14 @@ struct EngineConfig
      * RunResult::trace.
      */
     obs::TraceConfig trace{};
+
+    /**
+     * Cluster-state timeline sampling (src/obs). Mode Auto defers to the
+     * HCLOUD_TIMELINE environment variable; the sample stream lands in
+     * RunResult::timeline. Sampling is read-only over memoized state, so
+     * enabling it never perturbs decisions or RNG trajectories.
+     */
+    obs::TimelineConfig timeline{};
 };
 
 } // namespace hcloud::core

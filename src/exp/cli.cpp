@@ -8,6 +8,7 @@
 
 #include "exp/report_json.hpp"
 #include "obs/process_metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 
 namespace hcloud::exp {
@@ -20,7 +21,7 @@ printUsage(const char* prog)
     std::fprintf(stderr,
                  "usage: %s [loadScale] [seed] [threads] "
                  "[--json <path>] [--trace <path>] "
-                 "[--metrics-port <port>]\n",
+                 "[--timeline <path>] [--metrics-port <port>]\n",
                  prog);
 }
 
@@ -98,13 +99,29 @@ BenchCli::engineConfig() const
         if (parseU64(ring, capacity) && capacity > 0)
             cfg.trace.ringCapacity = static_cast<std::size_t>(capacity);
     }
+    // Timeline sampling mirrors the trace wiring: the flag forces it on,
+    // a named path becomes the per-run sink stem, and the cadence/ring
+    // env knobs are consumed here at the CLI edge only.
+    if (timelineRequested)
+        cfg.timeline.mode = obs::TimelineConfig::Mode::On;
+    const bool sampling = timelineRequested || obs::envTimelineEnabled();
+    const std::string timeline_path = effectiveTimelinePath();
+    if (sampling && !timeline_path.empty())
+        cfg.timeline.sinkStem = timeline_path;
+    cfg.timeline.cadence = obs::envTimelineCadence(cfg.timeline.cadence);
+    if (const char* ring = std::getenv("HCLOUD_TIMELINE_RING")) {
+        std::uint64_t capacity = 0;
+        if (parseU64(ring, capacity) && capacity > 0)
+            cfg.timeline.ringCapacity = static_cast<std::size_t>(capacity);
+    }
     return cfg;
 }
 
 bool
 BenchCli::wantsArtifacts() const
 {
-    return !jsonPath.empty() || traceRequested || obs::envTraceEnabled();
+    return !jsonPath.empty() || traceRequested || obs::envTraceEnabled() ||
+        timelineRequested || obs::envTimelineEnabled();
 }
 
 std::string
@@ -113,6 +130,14 @@ BenchCli::effectiveTracePath() const
     if (!tracePath.empty())
         return tracePath;
     return obs::envTracePath();
+}
+
+std::string
+BenchCli::effectiveTimelinePath() const
+{
+    if (!timelinePath.empty())
+        return timelinePath;
+    return obs::envTimelinePath();
 }
 
 std::optional<std::uint16_t>
@@ -136,7 +161,8 @@ parseBenchCli(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--json") == 0 ||
-            std::strcmp(arg, "--trace") == 0) {
+            std::strcmp(arg, "--trace") == 0 ||
+            std::strcmp(arg, "--timeline") == 0) {
             if (i + 1 >= argc) {
                 cli.errorMessage = std::string(arg) + " requires a path";
                 std::fprintf(stderr, "%s: %s\n", argv[0],
@@ -147,9 +173,12 @@ parseBenchCli(int argc, char** argv)
             }
             if (arg[2] == 'j') {
                 cli.jsonPath = argv[++i];
-            } else {
+            } else if (std::strcmp(arg, "--trace") == 0) {
                 cli.tracePath = argv[++i];
                 cli.traceRequested = true;
+            } else {
+                cli.timelinePath = argv[++i];
+                cli.timelineRequested = true;
             }
             continue;
         }
@@ -247,6 +276,20 @@ writeBenchArtifacts(const BenchCli& cli, const std::string& title,
         } else {
             std::fprintf(stderr, "failed to write trace JSONL: %s\n",
                          trace_path.c_str());
+            ok = false;
+        }
+    }
+    const std::string timeline_path = cli.effectiveTimelinePath();
+    const bool sampling =
+        cli.timelineRequested || obs::envTimelineEnabled();
+    if (sampling && !timeline_path.empty()) {
+        if (writeTimelineJsonl(timeline_path, runner,
+                               /*removeParts=*/true)) {
+            std::printf("wrote timeline JSONL: %s\n",
+                        timeline_path.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write timeline JSONL: %s\n",
+                         timeline_path.c_str());
             ok = false;
         }
     }

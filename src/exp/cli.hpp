@@ -6,7 +6,8 @@
  * flags, so the drivers stay one-screen mains:
  *
  *   bench_figNN [loadScale] [seed] [threads] [--json <path>]
- *               [--trace <path>] [--metrics-port <port>]
+ *               [--trace <path>] [--timeline <path>]
+ *               [--metrics-port <port>]
  *
  *  - `--json <path>` writes a machine-readable JSON report of every run
  *    the bench executed (exp::writeJsonReport);
@@ -22,6 +23,13 @@
  *  - HCLOUD_TRACE_RING overrides the tracer ring size in events (used by
  *    CI to force ring wraps far below the default 64Ki and prove sink
  *    completeness);
+ *  - `--timeline <path>` forces cluster-state timeline sampling on
+ *    (EngineConfig timeline mode On, overriding HCLOUD_TIMELINE) and
+ *    writes the per-run sample streams as JSONL through the same
+ *    "<path>.<tag>.part" sink machinery; without the flag, sampling
+ *    follows HCLOUD_TIMELINE (same token semantics as HCLOUD_TRACE).
+ *    HCLOUD_TIMELINE_CADENCE overrides the sampling period (virtual
+ *    seconds) and HCLOUD_TIMELINE_RING the ring size in samples;
  *  - `--metrics-port <port>` serves the process metrics registry as
  *    Prometheus text on 127.0.0.1:<port> for the lifetime of the bench
  *    (port 0 binds an ephemeral port; the bound port is printed). The
@@ -56,6 +64,10 @@ struct BenchCli
     std::string tracePath;
     /** True when --trace was given (forces tracing on). */
     bool traceRequested = false;
+    /** Timeline JSONL output path (empty = HCLOUD_TIMELINE default). */
+    std::string timelinePath;
+    /** True when --timeline was given (forces timeline sampling on). */
+    bool timelineRequested = false;
     /** True when --metrics-port was given. */
     bool metricsRequested = false;
     /** Port from --metrics-port (0 = bind an ephemeral port). Only
@@ -81,6 +93,11 @@ struct BenchCli
     /** Effective trace output path: --trace value or the HCLOUD_TRACE
      *  named default; empty when tracing produces no file. */
     std::string effectiveTracePath() const;
+
+    /** Effective timeline output path: --timeline value or the
+     *  HCLOUD_TIMELINE named default; empty when sampling produces no
+     *  file. */
+    std::string effectiveTimelinePath() const;
 
     /**
      * Port to serve live metrics on, if any: the --metrics-port value

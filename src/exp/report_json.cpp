@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 
 namespace hcloud::exp {
@@ -48,6 +49,44 @@ runHeaderLine(const core::RunResult& result)
     return w.take();
 }
 
+/** Deterministic header line identifying one cell in a timeline JSONL. */
+std::string
+timelineHeaderLine(const core::RunResult& result)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("run");
+    w.beginObject();
+    w.field("strategy", result.strategy);
+    w.field("scenario", result.scenario);
+    w.field("profiling", result.profiling);
+    w.field("samples", result.timeline.recorded);
+    w.field("dropped", result.timeline.dropped);
+    w.endObject();
+    w.endObject();
+    return w.take();
+}
+
+/** Splice one sink part file into @p out; optionally delete it after. */
+bool
+splicePart(std::ostream& out, const std::string& partPath,
+           bool removeParts)
+{
+    std::ifstream in(partPath, std::ios::binary);
+    if (!in)
+        return false;
+    // Chunked copy (out << in.rdbuf() sets failbit on empty part files).
+    char chunk[1u << 16];
+    while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
+        out.write(chunk, in.gcount());
+    if (!out)
+        return false;
+    in.close();
+    if (removeParts)
+        std::remove(partPath.c_str());
+    return true;
+}
+
 /**
  * Append one run's trace stream to @p out: spliced from its sink part
  * file when the run streamed to disk, serialized from memory otherwise.
@@ -62,19 +101,21 @@ appendRunTrace(std::ostream& out, const core::RunResult& result,
         obs::writeJsonl(out, result.trace);
         return static_cast<bool>(out);
     }
-    std::ifstream in(result.trace.sinkPath, std::ios::binary);
-    if (!in)
+    return splicePart(out, result.trace.sinkPath, removeParts);
+}
+
+/** Timeline analogue of appendRunTrace, same splice contract. */
+bool
+appendRunTimeline(std::ostream& out, const core::RunResult& result,
+                  bool removeParts)
+{
+    if (!result.timeline.sinkOk)
         return false;
-    // Chunked copy (out << in.rdbuf() sets failbit on empty part files).
-    char chunk[1u << 16];
-    while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
-        out.write(chunk, in.gcount());
-    if (!out)
-        return false;
-    in.close();
-    if (removeParts)
-        std::remove(result.trace.sinkPath.c_str());
-    return true;
+    if (result.timeline.sinkPath.empty()) {
+        obs::writeJsonl(out, result.timeline);
+        return static_cast<bool>(out);
+    }
+    return splicePart(out, result.timeline.sinkPath, removeParts);
 }
 
 } // namespace
@@ -119,6 +160,23 @@ runResultJson(obs::JsonWriter& w, const core::RunResult& result)
     w.field("dropped", result.trace.dropped);
     w.field("retained",
             static_cast<std::uint64_t>(result.trace.events.size()));
+    w.endObject();
+
+    w.key("timeline");
+    w.beginObject();
+    w.field("cadence_sec", result.timeline.cadence);
+    w.field("recorded", result.timeline.recorded);
+    w.field("dropped", result.timeline.dropped);
+    w.field("retained",
+            static_cast<std::uint64_t>(result.timeline.samples.size()));
+    w.key("samples");
+    w.beginArray();
+    for (const obs::TimelineSample& s : result.timeline.samples) {
+        w.beginObject();
+        obs::timelineSampleJson(w, s);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 
     w.key("metrics");
@@ -197,6 +255,26 @@ writeTraceJsonl(const std::string& path, const Runner& runner,
     for (const core::RunResult& result : runner.adhocResults()) {
         out << runHeaderLine(result) << '\n';
         ok = appendRunTrace(out, result, removeParts) && ok;
+    }
+    return ok && static_cast<bool>(out);
+}
+
+bool
+writeTimelineJsonl(const std::string& path, const Runner& runner,
+                   bool removeParts)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    bool ok = true;
+    for (const auto& [key, result] : runner.results()) {
+        (void)key;
+        out << timelineHeaderLine(result) << '\n';
+        ok = appendRunTimeline(out, result, removeParts) && ok;
+    }
+    for (const core::RunResult& result : runner.adhocResults()) {
+        out << timelineHeaderLine(result) << '\n';
+        ok = appendRunTimeline(out, result, removeParts) && ok;
     }
     return ok && static_cast<bool>(out);
 }

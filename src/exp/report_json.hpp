@@ -30,9 +30,10 @@ namespace hcloud::exp {
  * Version stamped as `schemaVersion` at the top of every JSON report.
  * Bump it (and tests/golden/report_schema_v<N>.txt) whenever the report
  * shape changes, so downstream tooling can rely on the layout.
- * History: v2 added `p99` to the histogram rows of `runs[].metrics`.
+ * History: v2 added `p99` to the histogram rows of `runs[].metrics`;
+ * v3 added the `runs[].timeline` section (cluster-state samples).
  */
-inline constexpr std::uint64_t kReportSchemaVersion = 2;
+inline constexpr std::uint64_t kReportSchemaVersion = 3;
 
 /** Serialize the summary view of one RunResult as a JSON object. */
 void runResultJson(obs::JsonWriter& w, const core::RunResult& result);
@@ -56,6 +57,17 @@ bool writeJsonReport(const std::string& path, const std::string& title,
  */
 bool writeTraceJsonl(const std::string& path, const Runner& runner,
                      bool removeParts = false);
+
+/**
+ * Write the cluster-state timeline streams of every memoized cell as
+ * JSONL: a `{"run":{...}}` header line per cell, then its samples in
+ * order. Same part-file splicing, deterministic ordering and
+ * byte-identity contract as writeTraceJsonl.
+ * @return false when the file cannot be opened, a part file is missing,
+ * or any run reports a failed sink.
+ */
+bool writeTimelineJsonl(const std::string& path, const Runner& runner,
+                        bool removeParts = false);
 
 } // namespace hcloud::exp
 

@@ -142,9 +142,12 @@ Runner::cellSinkTag(workload::ScenarioKind scenario,
 void
 Runner::applySinkTag(core::EngineConfig& cfg, const std::string& tag)
 {
-    if (cfg.trace.sinkStem.empty())
-        return;
-    cfg.trace.sinkPath = cfg.trace.sinkStem + "." + tag + ".part";
+    // Trace and timeline stems must differ (the CLI derives them from
+    // distinct output paths), so the per-run part files never collide.
+    if (!cfg.trace.sinkStem.empty())
+        cfg.trace.sinkPath = cfg.trace.sinkStem + "." + tag + ".part";
+    if (!cfg.timeline.sinkStem.empty())
+        cfg.timeline.sinkPath = cfg.timeline.sinkStem + "." + tag + ".part";
 }
 
 const core::RunResult&

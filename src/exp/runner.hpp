@@ -200,8 +200,8 @@ class Runner
                                    core::StrategyKind strategy,
                                    bool profiling);
 
-    /** Derive cfg.trace.sinkPath from its sinkStem + @p tag (no-op when
-     *  the stem is empty). */
+    /** Derive cfg.trace.sinkPath and cfg.timeline.sinkPath from their
+     *  sinkStems + @p tag (no-op for each empty stem). */
     static void applySinkTag(core::EngineConfig& cfg,
                              const std::string& tag);
 

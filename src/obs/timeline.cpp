@@ -1,0 +1,391 @@
+#include "obs/timeline.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace hcloud::obs {
+
+namespace {
+
+/**
+ * Fold one harvested timeline buffer into the process registry.
+ * Publishing happens at take(), not per record(): the record path runs
+ * once per sampling tick and must stay free of shared-cache traffic.
+ */
+void
+publishTimelineBuffer(const TimelineBuffer& buffer)
+{
+    ProcessMetrics& pm = ProcessMetrics::instance();
+    pm.counter("hcloud_timeline_samples_recorded_total",
+               "Timeline samples recorded by engine runs")
+        .inc(static_cast<double>(buffer.recorded));
+    pm.counter("hcloud_timeline_samples_dropped_total",
+               "Timeline samples evicted from a full ring (no sink)")
+        .inc(static_cast<double>(buffer.dropped));
+    pm.gauge("hcloud_timeline_ring_occupancy",
+             "In-memory samples in the most recently harvested ring")
+        .set(static_cast<double>(buffer.samples.size()));
+    pm.gauge("hcloud_timeline_sink_ok",
+             "1 when the last harvested timeline's sink was healthy")
+        .set(buffer.sinkOk ? 1.0 : 0.0);
+}
+
+const char*
+envTimelineValue()
+{
+    return std::getenv("HCLOUD_TIMELINE");
+}
+
+bool
+isOffToken(std::string_view v)
+{
+    return v.empty() || v == "0" || v == "off" || v == "false";
+}
+
+bool
+isOnToken(std::string_view v)
+{
+    return v == "1" || v == "on" || v == "true";
+}
+
+} // namespace
+
+bool
+envTimelineEnabled()
+{
+    const char* v = envTimelineValue();
+    return v && !isOffToken(v);
+}
+
+std::string
+envTimelinePath()
+{
+    const char* v = envTimelineValue();
+    if (!v || isOffToken(v) || isOnToken(v))
+        return "";
+    return v;
+}
+
+sim::Duration
+envTimelineCadence(sim::Duration fallback)
+{
+    const char* v = std::getenv("HCLOUD_TIMELINE_CADENCE");
+    if (!v || *v == '\0')
+        return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || !(parsed > 0.0))
+        return fallback;
+    return parsed;
+}
+
+bool
+TimelineConfig::resolveEnabled() const
+{
+    switch (mode) {
+      case Mode::Off:
+        return false;
+      case Mode::On:
+        return true;
+      case Mode::Auto:
+        return envTimelineEnabled();
+    }
+    return false;
+}
+
+Timeline::Timeline(TimelineConfig config)
+    : config_(std::move(config)), enabled_(config_.resolveEnabled())
+{
+    if (config_.ringCapacity == 0)
+        config_.ringCapacity = 1;
+    if (enabled_ && !config_.sinkPath.empty()) {
+        sink_ = std::make_unique<TraceSink>(config_.sinkPath);
+        if (!sink_->ok()) {
+            // Unopenable sink: fall back to the in-memory ring so the
+            // run still samples; take() reports the failure.
+            sink_.reset();
+            sinkFailed_ = true;
+        }
+    }
+}
+
+Timeline::~Timeline() = default;
+
+void
+Timeline::record(TimelineSample sample)
+{
+    if (!enabled_)
+        return;
+    sample.seq = recorded_;
+    ++recorded_;
+    if (samples_.size() < config_.ringCapacity) {
+        samples_.push_back(std::move(sample));
+        return;
+    }
+    if (sink_) {
+        // Ring wrap with a sink attached: drain the ring to disk instead
+        // of evicting, so the on-disk stream stays complete.
+        flushRingToSink();
+        if (samples_.empty()) {
+            samples_.push_back(std::move(sample));
+            return;
+        }
+        // The flush failed mid-write; fall through to ring eviction.
+    }
+    // Ring full: overwrite the oldest slot.
+    samples_[head_] = std::move(sample);
+    head_ = (head_ + 1) % config_.ringCapacity;
+    ++dropped_;
+}
+
+void
+Timeline::flushRingToSink()
+{
+    // With a healthy sink the ring never wraps (head_ == 0), but flush in
+    // chronological order anyway so a mid-run fallback stays consistent.
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const TimelineSample& s = samples_[(head_ + i) % samples_.size()];
+        if (!sink_->appendLine(toJson(s))) {
+            // Keep the unflushed tail: rotate it to the front and resume
+            // ring semantics from there.
+            std::vector<TimelineSample> tail;
+            tail.reserve(samples_.size() - i);
+            for (std::size_t j = i; j < samples_.size(); ++j)
+                tail.push_back(
+                    std::move(samples_[(head_ + j) % samples_.size()]));
+            samples_ = std::move(tail);
+            head_ = 0;
+            sink_.reset();
+            sinkFailed_ = true;
+            return;
+        }
+    }
+    samples_.clear();
+    head_ = 0;
+}
+
+std::vector<TimelineSample>
+Timeline::chronological() const
+{
+    std::vector<TimelineSample> out;
+    out.reserve(samples_.size());
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        out.push_back(samples_[(head_ + i) % samples_.size()]);
+    return out;
+}
+
+bool
+Timeline::latest(TimelineSample* out) const
+{
+    if (samples_.empty())
+        return false;
+    const std::size_t last =
+        (head_ + samples_.size() - 1) % samples_.size();
+    *out = samples_[last];
+    return true;
+}
+
+std::vector<TimelineSample>
+Timeline::since(std::uint64_t sinceSeq, std::uint64_t stride,
+                std::size_t maxSamples) const
+{
+    if (stride < 1)
+        stride = 1;
+    std::vector<TimelineSample> out;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const TimelineSample& s = samples_[(head_ + i) % samples_.size()];
+        if (s.seq < sinceSeq || s.seq % stride != 0)
+            continue;
+        if (out.size() >= maxSamples)
+            break;
+        out.push_back(s);
+    }
+    return out;
+}
+
+TimelineBuffer
+Timeline::snapshot() const
+{
+    TimelineBuffer buffer;
+    buffer.recorded = recorded_;
+    buffer.dropped = dropped_;
+    buffer.sinkOk = !sinkFailed_;
+    buffer.cadence = config_.cadence;
+    if (sink_) {
+        buffer.sinkPath = config_.sinkPath;
+        buffer.flushed = sink_->written();
+    }
+    buffer.samples = chronological();
+    return buffer;
+}
+
+TimelineBuffer
+Timeline::take()
+{
+    TimelineBuffer buffer;
+    buffer.recorded = recorded_;
+    buffer.dropped = dropped_;
+    buffer.sinkOk = !sinkFailed_;
+    buffer.cadence = config_.cadence;
+    if (sink_) {
+        // Final drain: the on-disk stream must hold every recorded
+        // sample before the buffer advertises the sink path.
+        flushRingToSink();
+        if (sink_ && sink_->flush()) {
+            buffer.sinkPath = config_.sinkPath;
+            buffer.flushed = sink_->written();
+            sink_.reset();
+            head_ = 0;
+            recorded_ = 0;
+            dropped_ = 0;
+            samples_.clear();
+            publishTimelineBuffer(buffer);
+            return buffer;
+        }
+        // The drain or flush broke the sink; report the ring fallback.
+        buffer.sinkOk = false;
+        buffer.dropped = dropped_;
+        sink_.reset();
+        sinkFailed_ = true;
+    }
+    if (head_ == 0) {
+        buffer.samples = std::move(samples_);
+    } else {
+        buffer.samples = chronological();
+    }
+    samples_.clear();
+    head_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+    if (enabled_)
+        publishTimelineBuffer(buffer);
+    return buffer;
+}
+
+void
+timelineSampleJson(JsonWriter& w, const TimelineSample& s)
+{
+    // Every field is always emitted (timeline samples are dense, unlike
+    // trace events) so CSV exports and sparkline tooling never need
+    // per-row defaulting. Field order is part of the byte-identity
+    // contract.
+    w.field("t", s.t);
+    w.field("seq", s.seq);
+    w.field("ri", static_cast<std::uint64_t>(s.reservedInstances));
+    w.field("oi", static_cast<std::uint64_t>(s.onDemandInstances));
+    w.field("si", static_cast<std::uint64_t>(s.spotInstances));
+    if (!s.typeCounts.empty()) {
+        w.key("types");
+        w.beginObject();
+        for (const auto& [name, count] : s.typeCounts)
+            w.field(name, static_cast<std::uint64_t>(count));
+        w.endObject();
+    }
+    w.field("rcap", s.reservedCores);
+    w.field("rused", s.reservedUsed);
+    w.field("ocap", s.onDemandCores);
+    w.field("oused", s.onDemandUsed);
+    w.field("util", s.utilization);
+    w.field("qmean", s.qualityMean);
+    w.field("q5", s.qualityP5);
+    w.field("q50", s.qualityP50);
+    w.field("q95", s.qualityP95);
+    w.field("queue", static_cast<std::uint64_t>(s.queueLength));
+    w.field("active", static_cast<std::uint64_t>(s.activeJobs));
+    w.field("running", static_cast<std::uint64_t>(s.runningJobs));
+    w.field("done", s.finishedJobs);
+    w.field("ext", s.externalLoad);
+    w.field("spot", s.spotPrice);
+    w.field("qos", static_cast<std::uint64_t>(s.qosTracked));
+    w.field("cost", s.costTotal);
+}
+
+std::string
+toJson(const TimelineSample& sample)
+{
+    JsonWriter w;
+    w.beginObject();
+    timelineSampleJson(w, sample);
+    w.endObject();
+    return w.take();
+}
+
+void
+writeJsonl(std::ostream& out, const TimelineBuffer& buffer)
+{
+    for (const TimelineSample& s : buffer.samples)
+        out << toJson(s) << '\n';
+}
+
+bool
+sampleFromJson(const JsonValue& v, TimelineSample* out)
+{
+    if (v.type != JsonValue::Type::Object)
+        return false;
+    // "seq" distinguishes samples from run headers and trace events.
+    const JsonValue* t = v.find("t");
+    const JsonValue* seq = v.find("seq");
+    if (!t || t->type != JsonValue::Type::Number || !seq ||
+        seq->type != JsonValue::Type::Number) {
+        return false;
+    }
+    TimelineSample s;
+    s.t = t->number;
+    s.seq = static_cast<std::uint64_t>(seq->number);
+    auto u32 = [&](const char* name, std::uint32_t* field) {
+        if (const JsonValue* f = v.find(name))
+            *field = static_cast<std::uint32_t>(f->numberOr(0.0));
+    };
+    auto f64 = [&](const char* name, double* field) {
+        if (const JsonValue* f = v.find(name))
+            *field = f->numberOr(0.0);
+    };
+    u32("ri", &s.reservedInstances);
+    u32("oi", &s.onDemandInstances);
+    u32("si", &s.spotInstances);
+    if (const JsonValue* types = v.find("types")) {
+        if (types->type != JsonValue::Type::Object)
+            return false;
+        for (const auto& [name, count] : types->object)
+            s.typeCounts.emplace_back(
+                name, static_cast<std::uint32_t>(count.numberOr(0.0)));
+    }
+    f64("rcap", &s.reservedCores);
+    f64("rused", &s.reservedUsed);
+    f64("ocap", &s.onDemandCores);
+    f64("oused", &s.onDemandUsed);
+    f64("util", &s.utilization);
+    f64("qmean", &s.qualityMean);
+    f64("q5", &s.qualityP5);
+    f64("q50", &s.qualityP50);
+    f64("q95", &s.qualityP95);
+    u32("queue", &s.queueLength);
+    u32("active", &s.activeJobs);
+    u32("running", &s.runningJobs);
+    if (const JsonValue* done = v.find("done"))
+        s.finishedJobs = static_cast<std::uint64_t>(done->numberOr(0.0));
+    f64("ext", &s.externalLoad);
+    f64("spot", &s.spotPrice);
+    u32("qos", &s.qosTracked);
+    f64("cost", &s.costTotal);
+    *out = std::move(s);
+    return true;
+}
+
+bool
+sampleFromJsonLine(const std::string& line, TimelineSample* out)
+{
+    JsonValue v;
+    try {
+        v = parseJson(line);
+    } catch (const std::exception&) {
+        return false;
+    }
+    return sampleFromJson(v, out);
+}
+
+} // namespace hcloud::obs

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Timeline: bounded, sink-backed sampling of simulated-cluster state.
+ *
+ * The decision trace (tracer.hpp) records what the engine *did*; the
+ * timeline records what the cluster *looked like* while it did it — one
+ * TimelineSample per sampling tick with instance counts by market and
+ * type, effective-quality percentiles, queue depth, external-load
+ * pressure, spot price and accumulated cost. Figure-style aggregations,
+ * replay diffs and live gauges all read this stream instead of
+ * reconstructing state post-hoc.
+ *
+ * Contracts (shared with Tracer/TraceSink):
+ *  - near-zero cost when disabled: the engine checks one bool before
+ *    building a sample, so a disabled timeline costs a predicted branch
+ *    per tick and allocates nothing;
+ *  - bounded memory: a ring of `ringCapacity` samples; once full, the
+ *    oldest sample is dropped (and counted) — unless a sink is attached
+ *    (TimelineConfig::sinkPath), in which case the ring drains to disk on
+ *    wrap (and at take()) so the stream is complete and `dropped` stays 0;
+ *  - deterministic and *perturbation-free*: samples are built exclusively
+ *    from read-only accessors (memoized quality/load values, OuProcess
+ *    value() without advanceTo()), so enabling the timeline cannot move a
+ *    single RNG draw — the decision trace stays byte-identical with the
+ *    timeline on or off, and the sample stream itself is byte-identical
+ *    across runner thread counts and between batch and session driving.
+ *
+ * Enablement mirrors HCLOUD_TRACE: Mode Auto defers to HCLOUD_TIMELINE
+ * (unset/"0"/"off" = disabled; "1"/"on"/"true" = enabled; any other value
+ * = enabled, and names a default JSONL output path for benches).
+ */
+
+#ifndef HCLOUD_OBS_TIMELINE_HPP
+#define HCLOUD_OBS_TIMELINE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hcloud::obs {
+
+class TraceSink;
+class JsonWriter;
+struct JsonValue;
+
+/** Timeline knobs, embedded in core::EngineConfig. */
+struct TimelineConfig
+{
+    enum class Mode
+    {
+        Auto, ///< follow the HCLOUD_TIMELINE environment variable
+        Off,
+        On,
+    };
+
+    Mode mode = Mode::Auto;
+    /** Virtual-time sampling period in seconds. Samples land on the first
+     *  engine tick at or after each cadence boundary, so for a fixed tick
+     *  the sample times are identical in batch and session driving. */
+    sim::Duration cadence = 30.0;
+    /** Ring size in samples; the oldest sample is dropped when full. */
+    std::size_t ringCapacity = 1u << 12;
+    /** When non-empty, samples stream to a JSONL sink at exactly this
+     *  path and `dropped` stays 0 (same exclusivity contract as
+     *  TraceConfig::sinkPath). */
+    std::string sinkPath;
+    /** Per-run sink derivation stem for exp::Runner sweeps (the runner
+     *  derives "<stem>.<tag>.part"; exp::writeTimelineJsonl merges). */
+    std::string sinkStem;
+
+    /** Resolve mode (consulting the environment under Auto). */
+    bool resolveEnabled() const;
+};
+
+/** True when HCLOUD_TIMELINE asks for timeline sampling. */
+bool envTimelineEnabled();
+
+/**
+ * JSONL output path carried by HCLOUD_TIMELINE, when its value is neither
+ * a boolean-ish token nor empty; "" otherwise.
+ */
+std::string envTimelinePath();
+
+/**
+ * Sampling cadence carried by HCLOUD_TIMELINE_CADENCE (virtual seconds),
+ * or @p fallback when unset/unparsable/non-positive. Applied at the CLI
+ * edge only — engine behaviour never reads it directly, so journaled
+ * daemon sessions replay with their recorded cadence.
+ */
+sim::Duration envTimelineCadence(sim::Duration fallback);
+
+/** One cluster-state snapshot at virtual time t. */
+struct TimelineSample
+{
+    sim::Time t = 0.0;
+    /** 0-based sample index within the run (the since-cursor key). */
+    std::uint64_t seq = 0;
+
+    // Instances by market.
+    std::uint32_t reservedInstances = 0;
+    std::uint32_t onDemandInstances = 0;
+    std::uint32_t spotInstances = 0;
+    /** Live instance counts by catalog type name, sorted by name;
+     *  zero-count types are omitted. */
+    std::vector<std::pair<std::string, std::uint32_t>> typeCounts;
+
+    // Capacity and usage, in cores.
+    double reservedCores = 0.0;
+    double reservedUsed = 0.0;
+    double onDemandCores = 0.0;
+    double onDemandUsed = 0.0;
+    /** Reserved-pool utilization in [0, 1] (0 with no pool). */
+    double utilization = 0.0;
+
+    // Effective-quality distribution over live cluster instances
+    // (memoized per-tick values; never advances a quality process).
+    double qualityMean = 0.0;
+    double qualityP5 = 0.0;
+    double qualityP50 = 0.0;
+    double qualityP95 = 0.0;
+
+    // Load.
+    std::uint32_t queueLength = 0; ///< jobs queued for the reserved pool
+    std::uint32_t activeJobs = 0;  ///< started and not yet finished
+    std::uint32_t runningJobs = 0; ///< actively progressing
+    std::uint64_t finishedJobs = 0;
+    /** Mean external-tenant utilization over the distinct physical hosts
+     *  backing cluster instances (dedicated hosts report residual
+     *  network load only). */
+    double externalLoad = 0.0;
+    /** Spot price for the full-server class, as a fraction of the
+     *  on-demand rate (last materialized market value). */
+    double spotPrice = 0.0;
+    /** Jobs currently inside a QoS-violation streak. */
+    std::uint32_t qosTracked = 0;
+    /** Accumulated cost so far, amortized-reservation view ($). */
+    double costTotal = 0.0;
+};
+
+/** The recorded stream plus bookkeeping, as stored in a RunResult. */
+struct TimelineBuffer
+{
+    /** Retained in-memory samples in chronological order (empty when the
+     *  full stream went to a sink file instead). */
+    std::vector<TimelineSample> samples;
+    /** Samples accepted by record() (>= samples.size()). */
+    std::uint64_t recorded = 0;
+    /** Samples evicted by the ring bound (0 whenever a sink is healthy). */
+    std::uint64_t dropped = 0;
+    /** Sink file holding the complete stream ("" = ring-only run). */
+    std::string sinkPath;
+    /** Samples flushed to the sink (== recorded while sinkOk). */
+    std::uint64_t flushed = 0;
+    /** False when a sink was requested but opening/writing it failed —
+     *  the samples above then hold the ring-bounded fallback. */
+    bool sinkOk = true;
+    /** The cadence the run sampled at (virtual seconds). */
+    sim::Duration cadence = 0.0;
+};
+
+/**
+ * Collects TimelineSamples for one engine run. Not thread-safe; each run
+ * owns its own timeline (parallel sweeps stay TSan-clean for free).
+ */
+class Timeline
+{
+  public:
+    explicit Timeline(TimelineConfig config = {});
+    ~Timeline();
+
+    Timeline(const Timeline&) = delete;
+    Timeline& operator=(const Timeline&) = delete;
+
+    bool enabled() const { return enabled_; }
+    const TimelineConfig& config() const { return config_; }
+
+    /** The attached sink, or nullptr (disabled, none configured, or the
+     *  sink broke and the timeline fell back to ring eviction). */
+    const TraceSink* sink() const { return sink_.get(); }
+
+    /** Record one sample (stamps seq; applies the ring bound).
+     *  No-op when disabled. */
+    void record(TimelineSample sample);
+
+    /** Samples retained so far (raw ring storage; use since()/latest()
+     *  for chronological access once the ring may have wrapped). */
+    const std::vector<TimelineSample>& samples() const { return samples_; }
+    std::uint64_t recordedCount() const { return recorded_; }
+    std::uint64_t droppedCount() const { return dropped_; }
+
+    /** Copy the most recent sample into @p out.
+     *  @return false when nothing has been recorded (or all evicted). */
+    bool latest(TimelineSample* out) const;
+
+    /**
+     * Retained samples with seq >= @p sinceSeq, downsampled to every
+     * @p stride-th sample (seq % stride == 0, so a fixed stride selects
+     * the same samples regardless of cursor position), capped at
+     * @p maxSamples. stride < 1 is treated as 1.
+     */
+    std::vector<TimelineSample> since(std::uint64_t sinceSeq,
+                                      std::uint64_t stride,
+                                      std::size_t maxSamples) const;
+
+    /** Non-destructive buffer snapshot (sink stays open; liveResult). */
+    TimelineBuffer snapshot() const;
+
+    /**
+     * Move the collected stream out (the timeline is then empty). With a
+     * sink attached, the remaining ring contents are flushed first and
+     * the sink file is closed; the returned buffer then carries the sink
+     * path instead of in-memory samples.
+     */
+    TimelineBuffer take();
+
+  private:
+    /** Drain the ring (chronological order) into the sink; on failure
+     *  drops the sink and latches sinkFailed_. */
+    void flushRingToSink();
+    /** Chronological copy of the (possibly wrapped) ring. */
+    std::vector<TimelineSample> chronological() const;
+
+    TimelineConfig config_;
+    bool enabled_;
+    std::vector<TimelineSample> samples_;
+    /** Index of the chronologically-oldest sample once the ring wrapped. */
+    std::size_t head_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::unique_ptr<TraceSink> sink_;
+    /** A sink was requested but could not be opened or written. */
+    bool sinkFailed_ = false;
+};
+
+/**
+ * Write @p sample's fields into an already-open JSON object. Shared by
+ * toJson() (JSONL sinks), the report writer and the daemon's timeline
+ * endpoint so every surface emits byte-identical sample text.
+ */
+void timelineSampleJson(JsonWriter& w, const TimelineSample& sample);
+
+/** Serialize @p sample as a single JSON object (no trailing newline). */
+std::string toJson(const TimelineSample& sample);
+
+/** Write one sample per line. */
+void writeJsonl(std::ostream& out, const TimelineBuffer& buffer);
+
+/** Parse a sample out of an already-parsed JSON object.
+ *  @return false when @p v is not a timeline sample. */
+bool sampleFromJson(const JsonValue& v, TimelineSample* out);
+
+/**
+ * Parse @p line (as produced by toJson) back into a sample.
+ * @return false when the line is not a timeline sample (e.g. a run
+ * header).
+ */
+bool sampleFromJsonLine(const std::string& line, TimelineSample* out);
+
+} // namespace hcloud::obs
+
+#endif // HCLOUD_OBS_TIMELINE_HPP

@@ -51,6 +51,15 @@ sessionEngineConfig(core::EngineConfig config)
     // Per-run sinks make no sense for a long-lived session.
     config.trace.sinkPath.clear();
     config.trace.sinkStem.clear();
+    // Freeze the timeline decision at construction: resolving Auto here
+    // (against HCLOUD_TIMELINE) means the journaled create record —
+    // which serializes the resolved mode — replays identically even
+    // when the daemon restarts under a different environment.
+    config.timeline.mode = config.timeline.resolveEnabled()
+        ? obs::TimelineConfig::Mode::On
+        : obs::TimelineConfig::Mode::Off;
+    config.timeline.sinkPath.clear();
+    config.timeline.sinkStem.clear();
     return config;
 }
 
@@ -238,6 +247,8 @@ EngineSession::updateLive()
     live_.finished.store(engine_.finishedCount(),
                          std::memory_order_relaxed);
     live_.decisions.store(decisions_.size(), std::memory_order_relaxed);
+    live_.timelineSamples.store(engine_.timeline().recordedCount(),
+                                std::memory_order_relaxed);
 }
 
 } // namespace hcloud::srv

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/engine_run.hpp"
+#include "obs/timeline.hpp"
 #include "srv/json_api.hpp"
 #include "srv/session_journal.hpp"
 #include "workload/trace.hpp"
@@ -128,6 +129,28 @@ class EngineSession
         return decisions_;
     }
 
+    /** The engine's cluster-state timeline (ring of samples). */
+    const obs::Timeline& timeline() const { return engine_.timeline(); }
+
+    /**
+     * Ring-retained timeline samples with seq >= @p sinceSeq, keeping
+     * every stride-th sample by absolute seq (so downsampling is stable
+     * across cursors), capped at @p maxSamples. Chronological order.
+     * Delegates to obs::Timeline::since — strand thread only.
+     */
+    std::vector<obs::TimelineSample>
+    timelineSince(std::uint64_t sinceSeq, std::uint64_t stride,
+                  std::size_t maxSamples) const
+    {
+        return engine_.timeline().since(sinceSeq, stride, maxSamples);
+    }
+
+    /** Most recent timeline sample; false when none recorded yet. */
+    bool latestTimelineSample(obs::TimelineSample* out) const
+    {
+        return engine_.timeline().latest(out);
+    }
+
     /**
      * Schema-versioned report: tenant identity, clock, job counts, the
      * full exp::runResultJson summary of a live (non-destructive) result
@@ -150,6 +173,7 @@ class EngineSession
         std::atomic<std::uint64_t> jobs{0};
         std::atomic<std::uint64_t> finished{0};
         std::atomic<std::uint64_t> decisions{0};
+        std::atomic<std::uint64_t> timelineSamples{0};
     };
 
     const LiveStats& liveStats() const { return live_; }

@@ -195,6 +195,21 @@ parseSessionConfig(const JsonValue& v)
                         config.engine.retentionMultiple);
         config.engine.maxRuntime = getNumberOr(
             *engine, "maxRuntime", config.engine.maxRuntime);
+        // Explicit timeline config pins the sampler on or off (the
+        // daemon normalizes its default before journaling, so replayed
+        // create records always take this branch and reproduce the
+        // original sampling cadence regardless of current flags/env).
+        if (const JsonValue* timeline = engine->find("timeline")) {
+            requireObject(*timeline, "timeline");
+            config.engine.timeline.mode =
+                getBoolOr(*timeline, "enabled", false)
+                ? obs::TimelineConfig::Mode::On
+                : obs::TimelineConfig::Mode::Off;
+            config.engine.timeline.cadence = getNumberOr(
+                *timeline, "cadence", config.engine.timeline.cadence);
+            if (config.engine.timeline.cadence <= 0.0)
+                fieldError("cadence", "must be positive");
+        }
     }
     return config;
 }
@@ -285,6 +300,14 @@ sessionConfigJson(obs::JsonWriter& w, const SessionConfig& config)
     w.field("useProfiling", config.engine.useProfiling);
     w.field("retentionMultiple", config.engine.retentionMultiple);
     w.field("maxRuntime", config.engine.maxRuntime);
+    // resolveEnabled(), not mode==On: an Auto-mode config serializes the
+    // decision the engine actually froze at construction, so a journal
+    // replayed under a different HCLOUD_TIMELINE still reproduces it.
+    w.key("timeline");
+    w.beginObject();
+    w.field("enabled", config.engine.timeline.resolveEnabled());
+    w.field("cadence", config.engine.timeline.cadence);
+    w.endObject();
     w.endObject();
     w.endObject();
 }

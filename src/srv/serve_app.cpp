@@ -1,8 +1,10 @@
 #include "srv/serve_app.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <utility>
+#include <vector>
 
 #include <unistd.h>
 
@@ -10,6 +12,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/prom_text.hpp"
+#include "obs/timeline.hpp"
 #include "srv/json_api.hpp"
 
 namespace hcloud::srv {
@@ -55,6 +58,53 @@ spanConfig(const ServeConfig& config)
             sc.sinkPath = env;
     }
     return sc;
+}
+
+/** Response bound of GET .../timeline: at most this many samples per
+ *  call; clients page with the returned nextSince cursor. */
+constexpr std::size_t kMaxTimelineSamples = 2048;
+
+/** Find query parameter @p name in "k=v&k=v"; false when absent. */
+bool
+queryParam(const std::string& query, std::string_view name,
+           std::string* out)
+{
+    std::size_t pos = 0;
+    while (pos <= query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        const std::string_view pair(query.data() + pos, amp - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+            out->assign(pair.substr(eq + 1));
+            return true;
+        }
+        pos = amp + 1;
+    }
+    return false;
+}
+
+/** Strict full-token u64 query parameter with a minimum; 422 on any
+ *  malformed, signed or out-of-range value. */
+std::uint64_t
+queryU64(const HttpRequest& request, std::string_view name,
+         std::uint64_t fallback, std::uint64_t minValue)
+{
+    std::string raw;
+    if (!queryParam(request.query, name, &raw))
+        return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+    if (raw.empty() || raw[0] == '-' || raw[0] == '+' ||
+        end != raw.c_str() + raw.size() || errno == ERANGE ||
+        value < minValue)
+        throw ApiError{422, "invalid_query",
+                       "query parameter \"" + std::string(name) +
+                           "\" must be an integer >= " +
+                           std::to_string(minValue)};
+    return static_cast<std::uint64_t>(value);
 }
 
 /** Slow threshold: explicit config wins, then HCLOUD_SLOW_MS. */
@@ -119,6 +169,7 @@ ServeApp::ServeApp(ServeConfig config, obs::ProcessMetrics& metrics)
       status_(config.statusRequests),
       slowMs_(resolveSlowMs(config.slowMs)),
       maxAdvance_(config.maxAdvance),
+      timelineCadence_(config.timelineCadence),
       startNs_(obs::SpanTracer::nowNs()), pool_(config.threads),
       sessions_(pool_, config.shards, config.journal, config.limits,
                 metrics_),
@@ -237,6 +288,9 @@ ServeApp::routes()
     server_.route("GET", "/v1/tenants/*/report", api([this](auto& r) {
                       return handleReport(r);
                   }));
+    server_.route("GET", "/v1/tenants/*/timeline", api([this](auto& r) {
+                      return handleTimeline(r);
+                  }));
     server_.route("GET", "/metrics", [this](const HttpRequest&) {
         metrics_
             .counter("hcloud_exposition_scrapes_total",
@@ -261,6 +315,17 @@ ServeApp::handleCreateTenant(const HttpRequest& request)
 {
     SessionConfig config =
         parseSessionConfig(parseBody(request.body));
+    // Resolve the daemon-wide default (--timeline-cadence) into an
+    // explicit per-session mode before create journals the config:
+    // replaying the journal must reproduce the original sampling
+    // stream even if the daemon restarts with different flags.
+    if (config.engine.timeline.mode == obs::TimelineConfig::Mode::Auto) {
+        config.engine.timeline.mode = timelineCadence_ > 0.0
+            ? obs::TimelineConfig::Mode::On
+            : obs::TimelineConfig::Mode::Off;
+        if (timelineCadence_ > 0.0)
+            config.engine.timeline.cadence = timelineCadence_;
+    }
     const std::string id = sessions_.create(std::move(config));
 
     obs::JsonWriter w;
@@ -294,9 +359,16 @@ ServeApp::handleSubmitJob(const HttpRequest& request)
     const workload::JobSpec spec =
         parseJobSpec(parseBody(request.body));
 
+    obs::TimelineSample latest;
+    bool haveLatest = false;
     const SubmitOutcome outcome = sessions_.with(
-        tenant,
-        [&spec](EngineSession& s) { return s.submitJob(spec); });
+        tenant, [&spec, &latest, &haveLatest](EngineSession& s) {
+            SubmitOutcome outcome = s.submitJob(spec);
+            haveLatest = s.latestTimelineSample(&latest);
+            return outcome;
+        });
+    if (haveLatest)
+        sessions_.recordSimGauges(tenant, latest);
 
     switch (outcome.status) {
       case core::EngineRun::SubmitStatus::Accepted:
@@ -343,9 +415,12 @@ ServeApp::handleAdvance(const HttpRequest& request)
         throw ApiError{422, "invalid_field",
                        "field \"to\" must be a finite number >= 0"};
 
+    obs::TimelineSample latest;
+    bool haveLatest = false;
     const std::pair<sim::Time, std::size_t> advanced = sessions_.with(
         tenant,
-        [t = to->number, maxAdvance = maxAdvance_](EngineSession& s) {
+        [t = to->number, maxAdvance = maxAdvance_, &latest,
+         &haveLatest](EngineSession& s) {
             const sim::Time now = s.now();
             if (t < now)
                 throw ApiError{
@@ -364,11 +439,17 @@ ServeApp::handleAdvance(const HttpRequest& request)
                         "s (--max-advance)"};
             const std::size_t before = s.decisions().size();
             s.advanceTo(t);
+            haveLatest = s.latestTimelineSample(&latest);
             return std::pair<sim::Time, std::size_t>(
                 s.now(), s.decisions().size() - before);
         });
     sessions_.countDecisions(
         tenant, static_cast<std::uint64_t>(advanced.second));
+    // Live simulation gauges track the newest cluster snapshot, so a
+    // /metrics scrape between advances shows the tenant's current
+    // utilization/quality/cost without touching its strand.
+    if (haveLatest)
+        sessions_.recordSimGauges(tenant, latest);
 
     obs::JsonWriter w;
     w.beginObject();
@@ -404,6 +485,58 @@ ServeApp::handleReport(const HttpRequest& request)
 }
 
 HttpResponse
+ServeApp::handleTimeline(const HttpRequest& request)
+{
+    const std::string& tenant = request.params[0];
+    const std::uint64_t since = queryU64(request, "since", 0, 0);
+    const std::uint64_t stride = queryU64(request, "stride", 1, 1);
+
+    struct View
+    {
+        bool enabled = false;
+        double cadence = 0.0;
+        std::uint64_t recorded = 0;
+        std::uint64_t dropped = 0;
+        std::vector<obs::TimelineSample> samples;
+    };
+    const View view =
+        sessions_.with(tenant, [since, stride](EngineSession& s) {
+            View v;
+            v.enabled = s.timeline().enabled();
+            v.cadence = s.timeline().config().cadence;
+            v.recorded = s.timeline().recordedCount();
+            v.dropped = s.timeline().droppedCount();
+            v.samples =
+                s.timelineSince(since, stride, kMaxTimelineSamples);
+            return v;
+        });
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("tenant", tenant);
+    w.field("enabled", view.enabled);
+    w.field("cadence", view.cadence);
+    w.field("recorded", view.recorded);
+    // dropped = samples evicted from the ring before a sink (sessions
+    // have none) saw them; a cursor older than recorded-dropped can no
+    // longer be served exactly.
+    w.field("dropped", view.dropped);
+    w.field("nextSince", view.samples.empty()
+                ? since
+                : view.samples.back().seq + 1);
+    w.key("samples");
+    w.beginArray();
+    for (const obs::TimelineSample& s : view.samples) {
+        w.beginObject();
+        obs::timelineSampleJson(w, s);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return HttpResponse::json(200, w.take());
+}
+
+HttpResponse
 ServeApp::handleHealthz(const HttpRequest&)
 {
     obs::JsonWriter w;
@@ -421,6 +554,13 @@ ServeApp::handleHealthz(const HttpRequest&)
     w.field("sessions",
             static_cast<std::uint64_t>(sessions_.sessionCount()));
     w.field("spans", spans_.enabled());
+    const JournalConfig& journal = sessions_.journalConfig();
+    w.field("journal", journal.enabled());
+    w.field("dataDir", journal.dataDir);
+    w.field("fsync", toString(journal.fsync));
+    w.field("maxSessions",
+            static_cast<std::uint64_t>(sessions_.limits().maxSessions));
+    w.field("timelineCadence", timelineCadence_);
     w.endObject();
     return HttpResponse::json(200, w.take());
 }
@@ -437,6 +577,7 @@ ServeApp::handleStatusz(const HttpRequest&)
     info.spanPath = spans_.sinkPath();
     info.spansRecorded = spans_.recorded();
     info.slowMs = slowMs_;
+    info.timelineCadence = timelineCadence_;
     const JournalConfig& journal = sessions_.journalConfig();
     info.journalEnabled = journal.enabled();
     info.dataDir = journal.dataDir;

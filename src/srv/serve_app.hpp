@@ -21,6 +21,13 @@
  *                                series -> 200 {tenant, deleted}
  *   GET  /v1/tenants/{id}/report schema-versioned report (see
  *                                EngineSession::reportJson)
+ *   GET  /v1/tenants/{id}/timeline
+ *                                ring-retained cluster-state samples;
+ *                                ?since=<seq> resumes a cursor and
+ *                                ?stride=<n> downsamples (every n-th
+ *                                sample by absolute seq). Bounded
+ *                                response; 404 unknown tenant, 422
+ *                                malformed query -> structured errors
  *   GET  /metrics                Prometheus text (per-tenant series +
  *                                per-route/per-stage latency histograms)
  *   GET  /healthz                liveness: 200 + build-info JSON
@@ -82,6 +89,14 @@ struct ServeConfig
     /** Max virtual seconds one advance call may cover (0 = unbounded);
      *  the guard that keeps `{"to": 1e308}` from pinning a strand. */
     double maxAdvance = 1e7;
+    /**
+     * Default cluster-state timeline cadence in virtual seconds for
+     * sessions that do not pin `engine.timeline` themselves; 0 turns
+     * default sampling off. Normalized into an explicit per-session
+     * mode before the create record is journaled, so replay never
+     * depends on the flags the daemon restarts with.
+     */
+    double timelineCadence = 30.0;
 };
 
 /** The daemon: sharded multi-tenant sessions behind an HTTP API. */
@@ -131,6 +146,7 @@ class ServeApp
     HttpResponse handleAdvance(const HttpRequest& request);
     HttpResponse handleDeleteTenant(const HttpRequest& request);
     HttpResponse handleReport(const HttpRequest& request);
+    HttpResponse handleTimeline(const HttpRequest& request);
     HttpResponse handleHealthz(const HttpRequest& request);
     HttpResponse handleStatusz(const HttpRequest& request);
 
@@ -139,6 +155,7 @@ class ServeApp
     StatusBoard status_;
     double slowMs_ = 0.0;
     double maxAdvance_ = 0.0;
+    double timelineCadence_ = 0.0;
     std::uint64_t startNs_ = 0; ///< construction time, for uptime
     runtime::ThreadPool pool_;
     SessionManager sessions_;

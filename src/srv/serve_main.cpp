@@ -13,7 +13,7 @@
  *                [--data-dir DIR] [--fsync POLICY]
  *                [--fsync-interval-ms N] [--max-journal-mb N]
  *                [--max-sessions N] [--idle-evict-s N]
- *                [--max-advance N]
+ *                [--max-advance N] [--timeline-cadence N]
  */
 
 #include <cerrno>
@@ -51,6 +51,7 @@ usage(const char* argv0)
         "          [--fsync-interval-ms N] [--max-journal-mb N]\n"
         "          [--max-sessions N] [--idle-evict-s N] "
         "[--max-advance N]\n"
+        "          [--timeline-cadence N]\n"
         "\n"
         "  --port N          listen port (default 8080, 0 = ephemeral)\n"
         "  --shards N        tenant session strands (default 8)\n"
@@ -78,7 +79,11 @@ usage(const char* argv0)
         "never;\n"
         "                    requires --data-dir)\n"
         "  --max-advance N   max virtual seconds one advance may cover\n"
-        "                    (default 10000000, 0 = unbounded)\n",
+        "                    (default 10000000, 0 = unbounded)\n"
+        "  --timeline-cadence N  default cluster-state sampling period\n"
+        "                    in virtual seconds for new sessions, served\n"
+        "                    at GET /v1/tenants/{id}/timeline (default\n"
+        "                    30, 0 = off by default)\n",
         argv0);
 }
 
@@ -180,6 +185,10 @@ main(int argc, char** argv)
             if (!next(&value))
                 return 2;
             config.maxAdvance = static_cast<double>(value);
+        } else if (std::strcmp(arg, "--timeline-cadence") == 0) {
+            if (!next(&value))
+                return 2;
+            config.timelineCadence = static_cast<double>(value);
         } else {
             std::fprintf(stderr, "serve: unknown option %s\n", arg);
             usage(argv[0]);
@@ -223,6 +232,12 @@ main(int argc, char** argv)
     if (app.slowMs() > 0.0)
         std::printf("serve: slow-request log at >= %.1f ms\n",
                     app.slowMs());
+    if (config.timelineCadence > 0.0)
+        std::printf("serve: timeline sampling every %.1f virtual "
+                    "seconds (default)\n",
+                    config.timelineCadence);
+    else
+        std::printf("serve: timeline sampling off by default\n");
     std::fflush(stdout);
 
     char byte;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 
 #include <unistd.h>
 
@@ -14,6 +15,34 @@
 namespace hcloud::srv {
 
 namespace {
+
+/**
+ * The hcloud_sim_* gauge families recordSimGauges maintains. One table
+ * shared with removeSimGauges so a series added here can never be
+ * forgotten by the retirement path (the label-leak tests would catch
+ * it regardless).
+ */
+struct SimGaugeDef
+{
+    const char* name;
+    const char* help;
+};
+
+constexpr SimGaugeDef kSimGauges[] = {
+    {"hcloud_sim_now", "Tenant virtual clock at the last timeline sample"},
+    {"hcloud_sim_instances",
+     "Provisioned instances (reserved + on-demand + spot)"},
+    {"hcloud_sim_utilization", "Reserved-pool core utilization [0,1]"},
+    {"hcloud_sim_quality_p50",
+     "Median effective instance quality across the cluster"},
+    {"hcloud_sim_queue_length", "Jobs queued for reserved capacity"},
+    {"hcloud_sim_running_jobs", "Jobs running at the last sample"},
+    {"hcloud_sim_spot_price",
+     "Spot price as a fraction of the on-demand rate"},
+    {"hcloud_sim_qos_violations",
+     "LC jobs in an active QoS-violation streak"},
+    {"hcloud_sim_cost_total", "Accumulated provisioning cost (USD)"},
+};
 
 /** nextSeq_ floor implied by a server-assigned id "t-<n>" (0 if not). */
 std::uint64_t
@@ -231,6 +260,7 @@ SessionManager::erase(const std::string& id)
     metrics_.remove("hcloud_serve_jobs_submitted_total",
                     {{"tenant", id}});
     metrics_.remove("hcloud_serve_decisions_total", {{"tenant", id}});
+    removeSimGauges(id);
     deletes_.fetch_add(1, std::memory_order_relaxed);
     metrics_
         .counter("hcloud_serve_deletes_total",
@@ -487,6 +517,10 @@ SessionManager::sweepIdle()
         if (!did)
             continue;
         ++evicted;
+        // An evicted tenant is no longer simulating; stale gauges would
+        // misread as live state, so its hcloud_sim_* series retire here
+        // and reappear on revival (next sampled advance).
+        removeSimGauges(c.id);
         metrics_.gauge("hcloud_serve_sessions", "Live tenant sessions")
             .add(-1.0);
         evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -517,6 +551,39 @@ SessionManager::maybeSweep()
                                               std::memory_order_relaxed))
         return; // another thread claimed this sweep
     sweepIdle();
+}
+
+void
+SessionManager::recordSimGauges(const std::string& id,
+                                const obs::TimelineSample& sample)
+{
+    const double values[] = {
+        sample.t,
+        static_cast<double>(sample.reservedInstances +
+                            sample.onDemandInstances +
+                            sample.spotInstances),
+        sample.utilization,
+        sample.qualityP50,
+        static_cast<double>(sample.queueLength),
+        static_cast<double>(sample.runningJobs),
+        sample.spotPrice,
+        static_cast<double>(sample.qosTracked),
+        sample.costTotal,
+    };
+    static_assert(std::size(values) == std::size(kSimGauges),
+                  "one value per hcloud_sim_* gauge family");
+    for (std::size_t i = 0; i < std::size(kSimGauges); ++i)
+        metrics_
+            .gauge(kSimGauges[i].name, kSimGauges[i].help,
+                   {{"tenant", id}})
+            .set(values[i]);
+}
+
+void
+SessionManager::removeSimGauges(const std::string& id)
+{
+    for (const SimGaugeDef& def : kSimGauges)
+        metrics_.remove(def.name, {{"tenant", id}});
 }
 
 void
@@ -583,6 +650,8 @@ SessionManager::status() const
             row.finished = live.finished.load(std::memory_order_relaxed);
             row.decisions =
                 live.decisions.load(std::memory_order_relaxed);
+            row.timelineSamples =
+                live.timelineSamples.load(std::memory_order_relaxed);
             if (const SessionJournal* journal = session->journal())
                 row.journalBytes = journal->bytes();
         }

@@ -33,8 +33,12 @@
  *   - hcloud_serve_sessions             (gauge, process-wide)
  *   - hcloud_serve_jobs_submitted_total {tenant=...}
  *   - hcloud_serve_decisions_total      {tenant=...}
+ *   - hcloud_sim_*                      {tenant=...} live simulation
+ *     gauges (utilization, quality p50, queue length, spot price,
+ *     accumulated cost, ...) refreshed from the newest timeline sample
  * so a /metrics scrape shows every tenant as its own series; deletion
- * retires the tenant's series so the page does not leak labels.
+ * and idle eviction retire the tenant's series so the page does not
+ * leak labels.
  */
 
 #ifndef HCLOUD_SRV_SESSION_MANAGER_HPP
@@ -152,6 +156,16 @@ class SessionManager
     /** Count @p n observed decisions for @p id (labeled series). */
     void countDecisions(const std::string& id, std::uint64_t n);
 
+    /**
+     * Refresh tenant @p id's live simulation gauges (the hcloud_sim_*
+     * families, labeled {tenant=id}) from its newest timeline sample.
+     * The daemon calls this after every operation that advances virtual
+     * time; deletion and idle eviction retire the series
+     * (removeSimGauges) so /metrics never leaks labels.
+     */
+    void recordSimGauges(const std::string& id,
+                         const obs::TimelineSample& sample);
+
     std::size_t sessionCount() const;
     /** Sessions currently resident in memory (not evicted). */
     std::size_t liveCount() const;
@@ -173,6 +187,7 @@ class SessionManager
         std::uint64_t jobs = 0;
         std::uint64_t finished = 0;
         std::uint64_t decisions = 0;
+        std::uint64_t timelineSamples = 0;
         std::uint64_t journalBytes = 0;
     };
 
@@ -243,6 +258,9 @@ class SessionManager
     /** One flusher pass: fdatasync every live dirty journal. Pins each
      *  session via shared_ptr so fds cannot close underneath it. */
     void flushJournals();
+
+    /** Retire every hcloud_sim_* series labeled {tenant=id}. */
+    void removeSimGauges(const std::string& id);
 
     runtime::ShardedExecutor executor_;
     JournalConfig journal_;

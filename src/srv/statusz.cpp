@@ -95,6 +95,14 @@ renderStatusz(const StatuszInfo& info)
     } else {
         out += "slow_request_log: off\n";
     }
+    if (info.timelineCadence > 0.0) {
+        std::snprintf(line, sizeof(line),
+                      "timeline: every %.1f virtual seconds (default)\n",
+                      info.timelineCadence);
+        out += line;
+    } else {
+        out += "timeline: off by default\n";
+    }
 
     out += "\ndurability:\n";
     if (info.journalEnabled) {
@@ -152,7 +160,7 @@ renderStatusz(const StatuszInfo& info)
                   info.sessions.size());
     out += line;
     out += "  tenant            shard  sim_now      jobs  finished  "
-           "decisions  journal_kb\n";
+           "decisions  samples  journal_kb\n";
     for (const SessionManager::SessionStatus& s : info.sessions) {
         if (s.evicted) {
             std::snprintf(line, sizeof(line),
@@ -171,11 +179,12 @@ renderStatusz(const StatuszInfo& info)
         }
         std::snprintf(line, sizeof(line),
                       "  %-16s  %5zu  %11.1f  %4llu  %8llu  %9llu  "
-                      "%10.1f\n",
+                      "%7llu  %10.1f\n",
                       s.id.c_str(), s.shard, s.now,
                       static_cast<unsigned long long>(s.jobs),
                       static_cast<unsigned long long>(s.finished),
                       static_cast<unsigned long long>(s.decisions),
+                      static_cast<unsigned long long>(s.timelineSamples),
                       static_cast<double>(s.journalBytes) / 1024.0);
         out += line;
     }

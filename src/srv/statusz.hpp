@@ -63,6 +63,8 @@ struct StatuszInfo
     std::string spanPath;
     std::uint64_t spansRecorded = 0;
     double slowMs = 0.0; ///< slow-request log threshold (0 = off)
+    /** Default timeline sampling cadence in virtual seconds (0 = off). */
+    double timelineCadence = 0.0;
     // Durability panel (journalEnabled false = everything below n/a).
     bool journalEnabled = false;
     std::string dataDir;

@@ -247,6 +247,10 @@ TEST(ReportSchema, VersionStampedFirstAndKeyPathsMatchGolden)
     opt.seed = 42;
     core::EngineConfig base;
     base.trace.mode = obs::TraceConfig::Mode::On;
+    // Timeline on so the runs[].timeline sample keys are part of the
+    // golden key-path set (v3).
+    base.timeline.mode = obs::TimelineConfig::Mode::On;
+    base.timeline.cadence = 60.0;
     Runner runner{opt, base};
     runner.run(workload::ScenarioKind::Static, core::StrategyKind::HM);
 

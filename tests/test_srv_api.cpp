@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
@@ -438,6 +439,170 @@ TEST_F(SrvApi, HealthzReportsBuildInfo)
     EXPECT_GE(json.find("uptimeSeconds")->numberOr(-1), 0.0);
     EXPECT_EQ(json.find("sessions")->numberOr(-1), 0.0);
     EXPECT_FALSE(json.find("spans")->boolOr(true));
+    // Operational knobs an operator needs at a glance: durability state
+    // and the default sampling cadence.
+    EXPECT_FALSE(json.find("journal")->boolOr(true));
+    EXPECT_EQ(json.find("dataDir")->stringOr("x"), "");
+    EXPECT_EQ(json.find("fsync")->stringOr(""), "interval");
+    EXPECT_EQ(json.find("maxSessions")->numberOr(-1), 0.0);
+    EXPECT_DOUBLE_EQ(json.find("timelineCadence")->numberOr(0), 30.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline endpoint
+
+TEST_F(SrvApi, TimelineServesSamplesAndPagesWithCursor)
+{
+    createTenant("tl");
+    post("/v1/tenants/tl/jobs",
+         "{\"kind\":\"hadoop-svm\",\"arrival\":1,\"coresIdeal\":2,"
+         "\"idealDuration\":10}");
+    post("/v1/tenants/tl/advance", "{\"to\":600}");
+
+    auto [status, json] = get("/v1/tenants/tl/timeline");
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(json.find("tenant")->stringOr(""), "tl");
+    // The fixture's default cadence (30 s) was normalized into the
+    // session at create time, so sampling is on without the client
+    // asking for it.
+    EXPECT_TRUE(json.find("enabled")->boolOr(false));
+    EXPECT_DOUBLE_EQ(json.find("cadence")->numberOr(0), 30.0);
+    const double recorded = json.find("recorded")->numberOr(0);
+    EXPECT_GE(recorded, 10.0);
+    EXPECT_EQ(json.find("dropped")->numberOr(-1), 0.0);
+    const obs::JsonValue* samples = json.find("samples");
+    ASSERT_NE(samples, nullptr);
+    ASSERT_EQ(static_cast<double>(samples->array.size()), recorded);
+    for (std::size_t i = 0; i < samples->array.size(); ++i) {
+        EXPECT_EQ(samples->array[i].find("seq")->numberOr(-1),
+                  static_cast<double>(i));
+        EXPECT_GT(samples->array[i].find("t")->numberOr(0), 0.0);
+    }
+    const double nextSince = json.find("nextSince")->numberOr(0);
+    EXPECT_EQ(nextSince, recorded);
+
+    // Paging from the returned cursor: nothing new yet.
+    auto [s2, j2] = get("/v1/tenants/tl/timeline?since=" +
+                        std::to_string(
+                            static_cast<std::uint64_t>(nextSince)));
+    EXPECT_EQ(s2, 200);
+    EXPECT_TRUE(j2.find("samples")->array.empty());
+    EXPECT_EQ(j2.find("nextSince")->numberOr(-1), nextSince);
+
+    // Advancing makes the same cursor return only the new tail.
+    post("/v1/tenants/tl/advance", "{\"to\":900}");
+    auto [s3, j3] = get("/v1/tenants/tl/timeline?since=" +
+                        std::to_string(
+                            static_cast<std::uint64_t>(nextSince)));
+    EXPECT_EQ(s3, 200);
+    ASSERT_FALSE(j3.find("samples")->array.empty());
+    EXPECT_EQ(j3.find("samples")->array[0].find("seq")->numberOr(-1),
+              nextSince);
+
+    // stride downsamples by seq (every stride-th absolute sample), so
+    // it selects the same samples regardless of the cursor.
+    auto [s4, j4] = get("/v1/tenants/tl/timeline?stride=4");
+    EXPECT_EQ(s4, 200);
+    ASSERT_FALSE(j4.find("samples")->array.empty());
+    for (const obs::JsonValue& s : j4.find("samples")->array) {
+        const auto seq =
+            static_cast<std::uint64_t>(s.find("seq")->numberOr(1));
+        EXPECT_EQ(seq % 4, 0u);
+    }
+}
+
+TEST_F(SrvApi, TimelineUnknownTenantIs404AndBadQueryIs422)
+{
+    auto [s1, j1] = get("/v1/tenants/ghost/timeline");
+    EXPECT_EQ(s1, 404);
+    EXPECT_EQ(errorCode(j1), "unknown_tenant");
+
+    createTenant("q");
+    for (const char* bad :
+         {"since=abc", "since=-1", "since=", "stride=0", "stride=-2",
+          "stride=1x", "since=99999999999999999999"}) {
+        auto [s, j] = get(std::string("/v1/tenants/q/timeline?") + bad);
+        EXPECT_EQ(s, 422) << bad;
+        EXPECT_EQ(errorCode(j), "invalid_query") << bad;
+    }
+}
+
+TEST_F(SrvApi, TimelineExplicitPerSessionConfigOverridesDefault)
+{
+    // Explicit Off beats the daemon default.
+    auto [cs, cj] = post(
+        "/v1/tenants",
+        "{\"id\":\"off\",\"strategy\":\"HM\",\"scenario\":{"
+        "\"kind\":\"static\",\"duration\":600,\"loadScale\":0.05},"
+        "\"engine\":{\"seed\":42,\"useProfiling\":false,"
+        "\"timeline\":{\"enabled\":false}}}");
+    EXPECT_EQ(cs, 201);
+    post("/v1/tenants/off/advance", "{\"to\":300}");
+    auto [s1, j1] = get("/v1/tenants/off/timeline");
+    EXPECT_EQ(s1, 200);
+    EXPECT_FALSE(j1.find("enabled")->boolOr(true));
+    EXPECT_EQ(j1.find("recorded")->numberOr(-1), 0.0);
+    EXPECT_TRUE(j1.find("samples")->array.empty());
+
+    // Explicit cadence beats the daemon default too.
+    auto [cs2, cj2] = post(
+        "/v1/tenants",
+        "{\"id\":\"fast\",\"strategy\":\"HM\",\"scenario\":{"
+        "\"kind\":\"static\",\"duration\":600,\"loadScale\":0.05},"
+        "\"engine\":{\"seed\":42,\"useProfiling\":false,"
+        "\"timeline\":{\"enabled\":true,\"cadence\":10}}}");
+    EXPECT_EQ(cs2, 201);
+    post("/v1/tenants/fast/advance", "{\"to\":300}");
+    auto [s2, j2] = get("/v1/tenants/fast/timeline");
+    EXPECT_DOUBLE_EQ(j2.find("cadence")->numberOr(0), 10.0);
+    EXPECT_GE(j2.find("recorded")->numberOr(0), 25.0);
+
+    // Non-positive cadence is a structured 422 at create.
+    auto [cs3, cj3] = post(
+        "/v1/tenants",
+        "{\"strategy\":\"HM\",\"engine\":{\"timeline\":{"
+        "\"enabled\":true,\"cadence\":0}}}");
+    EXPECT_EQ(cs3, 422);
+    EXPECT_EQ(errorCode(cj3), "invalid_field");
+}
+
+TEST_F(SrvApi, MetricsExposeSimGaugesAndDeleteReclaimsThem)
+{
+    createTenant("sim");
+    post("/v1/tenants/sim/jobs",
+         "{\"kind\":\"hadoop-svm\",\"arrival\":1,\"coresIdeal\":2,"
+         "\"idealDuration\":30}");
+    post("/v1/tenants/sim/advance", "{\"to\":300}");
+
+    srv::ClientResponse m = client_->get("/metrics");
+    ASSERT_TRUE(m.ok);
+    for (const char* gauge :
+         {"hcloud_sim_now{tenant=\"sim\"}",
+          "hcloud_sim_instances{tenant=\"sim\"}",
+          "hcloud_sim_utilization{tenant=\"sim\"}",
+          "hcloud_sim_quality_p50{tenant=\"sim\"}",
+          "hcloud_sim_queue_length{tenant=\"sim\"}",
+          "hcloud_sim_running_jobs{tenant=\"sim\"}",
+          "hcloud_sim_spot_price{tenant=\"sim\"}",
+          "hcloud_sim_qos_violations{tenant=\"sim\"}",
+          "hcloud_sim_cost_total{tenant=\"sim\"}"}) {
+        EXPECT_NE(m.body.find(gauge), std::string::npos) << gauge;
+    }
+    // The gauges reflect the advanced clock, not the create-time zero.
+    const std::string needle = "hcloud_sim_now{tenant=\"sim\"} ";
+    const std::size_t at = m.body.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    EXPECT_GT(std::strtod(m.body.c_str() + at + needle.size(), nullptr),
+              0.0)
+        << "sim gauges were not refreshed by advance";
+
+    const srv::ClientResponse del = client_->del("/v1/tenants/sim");
+    ASSERT_EQ(del.status, 200) << del.body;
+    m = client_->get("/metrics");
+    // Family HELP/TYPE headers may legitimately remain; the labeled
+    // series must not (label leak = unbounded scrape growth).
+    EXPECT_EQ(m.body.find("tenant=\"sim\""), std::string::npos)
+        << "deleted tenant leaked simulation gauge series";
 }
 
 TEST_F(SrvApi, StatuszRendersSessionsQueuesAndSlowest)

@@ -322,6 +322,43 @@ TEST_F(SrvJournal, GracefulRestartRestoresByteIdenticalReports)
     EXPECT_EQ(job.status, 200) << job.body;
 }
 
+/**
+ * Journal replay reproduces the sampling stream, not just the report:
+ * the create record journals the *resolved* timeline mode and cadence
+ * (never Auto), so a restart — even one whose daemon default cadence
+ * differs — rebuilds a byte-identical timeline.
+ */
+TEST_F(SrvJournal, RestartReplaysByteIdenticalTimeline)
+{
+    std::string before;
+    {
+        auto app = makeApp(dataDir_); // default cadence: 30 s
+        srv::HttpClient client(app->boundPort());
+        driveTenant(client, "acme");
+        const srv::ClientResponse r =
+            client.get("/v1/tenants/acme/timeline");
+        ASSERT_EQ(r.status, 200) << r.body;
+        before = r.body;
+        const obs::JsonValue v = obs::parseJson(before);
+        ASSERT_TRUE(v.find("enabled")->boolOr(false));
+        ASSERT_GT(v.find("recorded")->numberOr(0), 0.0);
+        app->stop();
+    }
+
+    // Restart with a different default: the journaled session must keep
+    // its own frozen cadence, not adopt the new daemon flag.
+    srv::ServeConfig config;
+    config.timelineCadence = 5.0;
+    auto app = makeApp(dataDir_, config);
+    ASSERT_EQ(app->sessions().lifecycleStats().restored, 1u);
+    srv::HttpClient client(app->boundPort());
+    const srv::ClientResponse after =
+        client.get("/v1/tenants/acme/timeline");
+    ASSERT_EQ(after.status, 200) << after.body;
+    EXPECT_EQ(after.body, before)
+        << "journal replay altered the timeline stream";
+}
+
 TEST_F(SrvJournal, RestartTruncatesCorruptTailAndKeepsPrefix)
 {
     std::string cleanReport;
@@ -363,6 +400,11 @@ TEST_F(SrvJournal, IdleEvictionAndLazyRevivalPreserveReports)
     const std::string before = report(client, "acme");
     EXPECT_EQ(app->sessions().liveCount(), 1u);
 
+    // The simulation gauges exist while the session is live...
+    srv::ClientResponse metrics = client.get("/metrics");
+    EXPECT_NE(metrics.body.find("hcloud_sim_now{tenant=\"acme\"}"),
+              std::string::npos);
+
     std::this_thread::sleep_for(std::chrono::milliseconds(450));
     EXPECT_EQ(app->sessions().sweepIdle(), 1u);
     EXPECT_EQ(app->sessions().liveCount(), 0u);
@@ -371,17 +413,28 @@ TEST_F(SrvJournal, IdleEvictionAndLazyRevivalPreserveReports)
     // The journal survives the eviction; the engine memory is gone.
     EXPECT_TRUE(
         fileExists(srv::SessionJournal::pathFor(dataDir_, "acme")));
+    // ...and are retired with the engine: an evicted session has no
+    // live cluster state, so stale gauge values must not linger on the
+    // scrape masquerading as one.
+    metrics = client.get("/metrics");
+    EXPECT_EQ(metrics.body.find("hcloud_sim_now{tenant=\"acme\"}"),
+              std::string::npos)
+        << "evicted tenant leaked simulation gauges";
 
     // Next touch revives from the journal — same bytes, back to live.
     EXPECT_EQ(report(client, "acme"), before);
     EXPECT_EQ(app->sessions().liveCount(), 1u);
     EXPECT_EQ(app->sessions().lifecycleStats().revivals, 1u);
-
     // A revived session keeps journaling: one more job, then force a
     // second eviction and check the new job survived it.
     srv::ClientResponse r =
         client.post("/v1/tenants/acme/jobs", jobBody(130.0));
     ASSERT_EQ(r.status, 200) << r.body;
+    // The gauges reappear on the next sampled mutation (the submit
+    // above), not on the read-only revival itself.
+    metrics = client.get("/metrics");
+    EXPECT_NE(metrics.body.find("hcloud_sim_now{tenant=\"acme\"}"),
+              std::string::npos);
     const std::string extended = report(client, "acme");
     std::this_thread::sleep_for(std::chrono::milliseconds(450));
     EXPECT_EQ(app->sessions().sweepIdle(), 1u);
@@ -400,6 +453,15 @@ TEST_F(SrvJournal, DeleteRemovesSessionJournalAndMetricSeries)
     EXPECT_NE(metrics.body.find("tenant=\"acme\""), std::string::npos);
     EXPECT_NE(metrics.body.find("hcloud_serve_sessions 1"),
               std::string::npos);
+    // driveTenant advanced past the sampling cadence, so the live
+    // simulation gauges exist — making their absence after DELETE a
+    // real reclaim check, not a vacuous one.
+    EXPECT_NE(metrics.body.find("hcloud_sim_now{tenant=\"acme\"}"),
+              std::string::npos)
+        << metrics.body;
+    EXPECT_NE(
+        metrics.body.find("hcloud_sim_cost_total{tenant=\"acme\"}"),
+        std::string::npos);
 
     const srv::ClientResponse del = client.del("/v1/tenants/acme");
     ASSERT_EQ(del.status, 200) << del.body;

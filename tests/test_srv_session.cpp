@@ -75,6 +75,14 @@ tenantBody(const std::string& id, core::StrategyKind strategy,
     w.field("seed", static_cast<std::uint64_t>(engine.seed));
     w.field("useProfiling", engine.useProfiling);
     w.field("maxRuntime", engine.maxRuntime);
+    if (engine.timeline.mode != obs::TimelineConfig::Mode::Auto) {
+        w.key("timeline");
+        w.beginObject();
+        w.field("enabled",
+                engine.timeline.mode == obs::TimelineConfig::Mode::On);
+        w.field("cadence", engine.timeline.cadence);
+        w.endObject();
+    }
     w.endObject();
     w.endObject();
     return w.take();
@@ -211,6 +219,123 @@ TEST(ServeDeterminism, HttpDecisionStreamMatchesBatchRunner)
 TEST(ServeDeterminism, HttpDecisionStreamMatchesBatchRunnerProfiled)
 {
     expectHttpMatchesBatch(/*useProfiling=*/true, /*duration=*/900.0);
+}
+
+/**
+ * The timeline acceptance check: a daemon session driven over HTTP and
+ * the equivalent exp::Runner batch run must produce *byte-identical*
+ * timeline JSONL for the same scenario and seed. Samples land on the
+ * first engine tick at or after each cadence boundary, and the tick
+ * times are a pure function of (trace, config, seed) — whether the run
+ * was driven in one engine.run() or job by job over the wire. The batch
+ * run stops ticking once its work is exhausted while the session is
+ * advanced explicitly past that point, so the batch stream must be a
+ * byte-exact *prefix* of the session stream (the session's extra
+ * samples just continue the cadence over explicitly-driven idle time).
+ */
+TEST(ServeDeterminism, HttpTimelineJsonlMatchesBatchRunner)
+{
+    exp::ExperimentOptions options;
+    options.seed = 42;
+    options.loadScale = 0.05;
+    options.threads = 1;
+    exp::Runner runner(options);
+
+    workload::ScenarioConfig scenario =
+        runner.scenarioConfig(workload::ScenarioKind::Static);
+    scenario.duration = 1800.0;
+
+    exp::RunSpec spec;
+    spec.scenario = workload::ScenarioKind::Static;
+    spec.strategy = core::StrategyKind::HM;
+    spec.config.useProfiling = false;
+    spec.config.maxRuntime = scenario.duration + 2.0 * 3600.0;
+    spec.config.timeline.mode = obs::TimelineConfig::Mode::On;
+    spec.config.timeline.cadence = 30.0;
+    spec.scenarioOverride = scenario;
+    const std::vector<core::RunResult> results = runner.runBatch({spec});
+    ASSERT_EQ(results.size(), 1u);
+    const obs::TimelineBuffer& batch = results[0].timeline;
+    ASSERT_GT(batch.recorded, 0u);
+    ASSERT_EQ(batch.dropped, 0u)
+        << "batch run must fit the timeline ring for a full comparison";
+    std::vector<std::string> batchLines;
+    batchLines.reserve(batch.samples.size());
+    for (const obs::TimelineSample& s : batch.samples)
+        batchLines.push_back(obs::toJson(s));
+
+    core::EngineConfig engine = spec.config;
+    engine.seed = options.seed;
+
+    obs::ProcessMetrics metrics;
+    srv::ServeConfig config;
+    config.shards = 2;
+    config.threads = 2;
+    config.httpWorkers = 2;
+    // A deliberately different daemon default: the explicit per-session
+    // config must win, or replay-equivalence is broken.
+    config.timelineCadence = 7.0;
+    srv::ServeApp app(config, metrics);
+    ASSERT_TRUE(app.start(0));
+    srv::HttpClient client(app.boundPort());
+
+    const auto created = client.post(
+        "/v1/tenants",
+        tenantBody("tl", core::StrategyKind::HM, scenario, engine));
+    ASSERT_EQ(created.status, 201) << created.body;
+
+    const workload::ArrivalTrace trace =
+        workload::generateScenario(scenario);
+    for (const workload::JobSpec& job : trace.jobs()) {
+        obs::JsonWriter w;
+        srv::jobSpecJson(w, job);
+        const auto r = client.post("/v1/tenants/tl/jobs", w.take());
+        ASSERT_EQ(r.status, 200) << r.body;
+    }
+    const auto advanced = client.post(
+        "/v1/tenants/tl/advance", advanceBody(engine.maxRuntime + 1.0));
+    ASSERT_EQ(advanced.status, 200) << advanced.body;
+
+    // Page the whole stream through the since-cursor, re-serializing
+    // each sample with the shared writer: the bytes must match the
+    // batch stream sample for sample.
+    std::vector<std::string> httpLines;
+    std::uint64_t cursor = 0;
+    for (;;) {
+        const auto page = client.get(
+            "/v1/tenants/tl/timeline?since=" + std::to_string(cursor));
+        ASSERT_EQ(page.status, 200) << page.body;
+        const obs::JsonValue v = obs::parseJson(page.body);
+        ASSERT_TRUE(v.find("enabled")->boolOr(false));
+        EXPECT_DOUBLE_EQ(v.find("cadence")->numberOr(0), 30.0);
+        EXPECT_EQ(v.find("dropped")->numberOr(-1), 0.0);
+        const obs::JsonValue* samples = v.find("samples");
+        ASSERT_NE(samples, nullptr);
+        if (samples->array.empty())
+            break;
+        for (const obs::JsonValue& sj : samples->array) {
+            obs::TimelineSample s;
+            ASSERT_TRUE(obs::sampleFromJson(sj, &s));
+            httpLines.push_back(obs::toJson(s));
+        }
+        cursor =
+            static_cast<std::uint64_t>(v.find("nextSince")->numberOr(0));
+    }
+
+    ASSERT_GE(httpLines.size(), batchLines.size())
+        << "HTTP session sampled less than the batch run";
+    for (std::size_t i = 0; i < batchLines.size(); ++i) {
+        SCOPED_TRACE("sample " + std::to_string(i));
+        EXPECT_EQ(httpLines[i], batchLines[i]);
+    }
+    // The session's extra samples continue the same cadence grid.
+    for (std::size_t i = batchLines.size(); i < httpLines.size(); ++i) {
+        obs::TimelineSample s;
+        ASSERT_TRUE(obs::sampleFromJsonLine(httpLines[i], &s));
+        EXPECT_EQ(s.seq, i);
+    }
+
+    app.stop();
 }
 
 /**
