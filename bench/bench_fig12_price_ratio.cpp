@@ -5,6 +5,7 @@
  * Usage: bench_fig12_price_ratio [loadScale] [seed] [threads]
  *                                [--json <path>] [--trace <path>]
  *                                [--metrics-port <port>]
+ *                                [--seeds <n>] [--ci]
  *   loadScale scales the scenario load curves (default 1.0 = paper scale);
  *   seed selects the deterministic random seed (default 42);
  *   threads sets the worker count (default: HCLOUD_THREADS env var or
@@ -15,28 +16,49 @@
  *   (without it, the HCLOUD_TRACE environment knob decides). The JSONL
  *   is byte-identical for any HCLOUD_THREADS value at a fixed seed;
  *   --metrics-port serves live Prometheus metrics on 127.0.0.1 for the
- *   lifetime of the sweep (0 = ephemeral port, printed at startup).
+ *   lifetime of the sweep (0 = ephemeral port, printed at startup);
+ *   --seeds / --ci replace the single-seed figure with a multi-seed
+ *   exp::runSweep over the fig12 grid: per-cell mean +/- 95% CI on
+ *   stdout, and the aggregates in the --json report's `sweeps` array.
  */
 
 #include "exp/cli.hpp"
 #include "exp/figures.hpp"
+#include "exp/sweep.hpp"
 #include "runtime/parallel_runner.hpp"
 
 int
 main(int argc, char** argv)
 {
-    hcloud::exp::BenchCli cli = hcloud::exp::parseBenchCli(argc, argv);
+    namespace exp = hcloud::exp;
+    exp::BenchCli cli = exp::parseBenchCli(argc, argv,
+                                           /*allowSweep=*/true);
     if (cli.parseError)
         return 2;
-    hcloud::exp::ScopedMetricsServer metrics(cli);
+    exp::ScopedMetricsServer metrics(cli);
     if (metrics.failed())
         return 1;
     hcloud::runtime::ParallelRunner runner(cli.options,
                                            cli.engineConfig());
+    if (cli.sweepRequested()) {
+        exp::SweepOptions options;
+        options.title = "fig12_price_ratio";
+        options.seeds = cli.effectiveSeeds();
+        options.baseSeed = cli.options.seed;
+        options.loadScale = cli.options.loadScale;
+        options.threads = cli.options.threads;
+        exp::SweepResult sweep =
+            exp::runSweep(exp::fig12SweepGrid(cli.engineConfig()),
+                          options);
+        exp::printSweepTable(sweep);
+        return exp::writeBenchArtifacts(cli, "fig12_price_ratio", runner,
+                                        {sweep})
+            ? 0
+            : 1;
+    }
     runner.setRecordAdhoc(cli.wantsArtifacts());
-    hcloud::exp::fig12PriceRatio(runner);
-    return hcloud::exp::writeBenchArtifacts(cli, "fig12_price_ratio",
-                                            runner)
+    exp::fig12PriceRatio(runner);
+    return exp::writeBenchArtifacts(cli, "fig12_price_ratio", runner)
         ? 0
         : 1;
 }

@@ -3,30 +3,57 @@
  * Figure 16: sensitivity to the fraction of interference-sensitive applications.
  *
  * Usage: bench_fig16_sensitive_apps [loadScale] [seed] [threads]
+ *                                   [--json <path>] [--trace <path>]
+ *                                   [--metrics-port <port>]
+ *                                   [--seeds <n>] [--ci]
  *   loadScale scales the scenario load curves (default 1.0 = paper scale);
  *   seed selects the deterministic random seed (default 42);
  *   threads sets the worker count (default: HCLOUD_THREADS env var or
  *   hardware concurrency; 1 forces serial execution). Results are
- *   bit-identical at any thread count.
+ *   bit-identical at any thread count;
+ *   --seeds / --ci replace the single-seed figure with a multi-seed
+ *   exp::runSweep over the sensitive-fraction grid: per-cell mean +/-
+ *   95% CI on stdout, and the aggregates in the --json report's
+ *   `sweeps` array.
  */
 
-#include <cstdlib>
-
+#include "exp/cli.hpp"
 #include "exp/figures.hpp"
+#include "exp/sweep.hpp"
 #include "runtime/parallel_runner.hpp"
 
 int
 main(int argc, char** argv)
 {
-    hcloud::exp::ExperimentOptions opt;
-    if (argc > 1)
-        opt.loadScale = std::atof(argv[1]);
-    if (argc > 2)
-        opt.seed = std::strtoull(argv[2], nullptr, 10);
-    if (argc > 3)
-        opt.threads = static_cast<std::size_t>(
-            std::strtoull(argv[3], nullptr, 10));
-    hcloud::runtime::ParallelRunner runner(opt);
-    hcloud::exp::fig16SensitiveApps(runner);
-    return 0;
+    namespace exp = hcloud::exp;
+    exp::BenchCli cli = exp::parseBenchCli(argc, argv,
+                                           /*allowSweep=*/true);
+    if (cli.parseError)
+        return 2;
+    exp::ScopedMetricsServer metrics(cli);
+    if (metrics.failed())
+        return 1;
+    hcloud::runtime::ParallelRunner runner(cli.options,
+                                           cli.engineConfig());
+    if (cli.sweepRequested()) {
+        exp::SweepOptions options;
+        options.title = "fig16_sensitive_apps";
+        options.seeds = cli.effectiveSeeds();
+        options.baseSeed = cli.options.seed;
+        options.loadScale = cli.options.loadScale;
+        options.threads = cli.options.threads;
+        exp::SweepResult sweep =
+            exp::runSweep(exp::fig16SweepGrid(cli.engineConfig()),
+                          options);
+        exp::printSweepTable(sweep);
+        return exp::writeBenchArtifacts(cli, "fig16_sensitive_apps",
+                                        runner, {sweep})
+            ? 0
+            : 1;
+    }
+    runner.setRecordAdhoc(cli.wantsArtifacts());
+    exp::fig16SensitiveApps(runner);
+    return exp::writeBenchArtifacts(cli, "fig16_sensitive_apps", runner)
+        ? 0
+        : 1;
 }

@@ -39,6 +39,12 @@
  *   trace_inspect --chrome <spans.jsonl> <out.json>
  *     Converts the span JSONL into chrome://tracing / Perfetto trace
  *     event JSON (one row per request).
+ *
+ * Sweep-aggregate mode (for schema-v4 reports from --seeds/--ci runs):
+ *   trace_inspect --agg <report.json>
+ *     Renders each sweep in the report's `sweeps` array as a per-cell
+ *     table of mean +/- 95% CI (cost, utilization, quality p95, QoS
+ *     violations) plus the sweep's cache/reset telemetry line.
  */
 
 #include <cstdint>
@@ -48,6 +54,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -750,11 +757,125 @@ convertChrome(const std::string& inPath, const std::string& outPath)
     return 0;
 }
 
+/** "mean +/- ci95" cell text for one reduced metric object. */
+std::string
+aggCellText(const obs::JsonValue& cell, const char* metric)
+{
+    const obs::JsonValue* m = cell.find(metric);
+    if (!m)
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g +/- %.3g",
+                  m->find("mean") ? m->find("mean")->numberOr(0.0) : 0.0,
+                  m->find("ci95") ? m->find("ci95")->numberOr(0.0) : 0.0);
+    return buf;
+}
+
+/** @return the --agg mode process exit status (0 / 1 / 2). */
+int
+inspectAggregates(const std::string& reportPath)
+{
+    std::ifstream in(reportPath, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", reportPath.c_str());
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    obs::JsonValue doc;
+    try {
+        doc = obs::parseJson(buffer.str());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: malformed JSON: %s\n",
+                     reportPath.c_str(), e.what());
+        return 2;
+    }
+    const obs::JsonValue* schema = doc.find("schemaVersion");
+    const obs::JsonValue* sweeps = doc.find("sweeps");
+    if (!sweeps || sweeps->type != obs::JsonValue::Type::Array) {
+        std::fprintf(stderr,
+                     "%s: no `sweeps` array (schemaVersion %.0f; "
+                     "sweep aggregates need a v4+ report from a bench "
+                     "run with --seeds/--ci)\n",
+                     reportPath.c_str(),
+                     schema ? schema->numberOr(0.0) : 0.0);
+        return 1;
+    }
+    if (sweeps->array.empty()) {
+        std::printf("%s: report has an empty `sweeps` array (bench ran "
+                    "without --seeds/--ci)\n",
+                    reportPath.c_str());
+        return 0;
+    }
+    for (const obs::JsonValue& sweep : sweeps->array) {
+        const obs::JsonValue* seedList = sweep.find("seed_list");
+        std::printf("== sweep %s: %.0f seed(s) from base %.0f ==\n",
+                    sweep.find("title")
+                        ? sweep.find("title")->stringOr("?").c_str()
+                        : "?",
+                    sweep.find("seeds")
+                        ? sweep.find("seeds")->numberOr(0.0)
+                        : 0.0,
+                    sweep.find("base_seed")
+                        ? sweep.find("base_seed")->numberOr(0.0)
+                        : 0.0);
+        if (seedList &&
+            seedList->type == obs::JsonValue::Type::Array) {
+            std::printf("   seeds:");
+            for (const obs::JsonValue& s : seedList->array)
+                std::printf(" %.0f", s.numberOr(0.0));
+            std::printf("\n");
+        }
+        const obs::JsonValue* cells = sweep.find("cells");
+        if (!cells || cells->type != obs::JsonValue::Type::Array) {
+            std::fprintf(stderr, "  (sweep has no cells array)\n");
+            return 1;
+        }
+        std::printf("   %-28s %-22s %-22s %-22s %-20s\n", "cell",
+                    "cost_$", "util", "quality_p95", "qos_viol");
+        for (const obs::JsonValue& cell : cells->array) {
+            const obs::JsonValue* label = cell.find("label");
+            std::printf("   %-28s %-22s %-22s %-22s %-20s\n",
+                        label ? label->stringOr("?").c_str() : "?",
+                        aggCellText(cell, "cost").c_str(),
+                        aggCellText(cell, "utilization").c_str(),
+                        aggCellText(cell, "quality_p95").c_str(),
+                        aggCellText(cell, "qos_violations").c_str());
+        }
+        const obs::JsonValue* tel = sweep.find("telemetry");
+        if (tel) {
+            const auto num = [&](const char* name) {
+                const obs::JsonValue* v = tel->find(name);
+                return v ? v->numberOr(0.0) : 0.0;
+            };
+            std::printf("   telemetry: %.0f runs, %.2fs wall, "
+                        "%.2f Mev/s, trace cache %.0f/%.0f hits, "
+                        "%.0f resets / %.0f engines\n",
+                        num("runs"), num("wall_sec"),
+                        num("events_per_sec") / 1e6,
+                        num("trace_cache_hits"),
+                        num("trace_cache_hits") +
+                            num("trace_cache_misses"),
+                        num("engine_resets"), num("engines_created"));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "--agg") == 0) {
+        if (argc != 3) {
+            std::fprintf(stderr, "usage: %s --agg <report.json>\n",
+                         argv[0]);
+            return 2;
+        }
+        return inspectAggregates(argv[2]);
+    }
     if (argc >= 2 && std::strcmp(argv[1], "--diff") == 0) {
         if (argc != 4) {
             std::fprintf(stderr, "usage: %s --diff <a.jsonl> <b.jsonl>\n",

@@ -66,33 +66,108 @@ EngineRun::EngineRun(const EngineConfig& config,
           std::make_unique<obs::PhaseProfiler::Scope>(phases_, "setup")),
       root_(config_.seed),
       tracer_(config_.trace),
-      provider_(simulator_, profile_, config_.externalLoad,
-                root_.child("provider")),
-      quasar_(makeQuasarConfig(config_, root_)),
-      ctx_{simulator_,
-           provider_,
-           cloud::InstanceTypeCatalog::defaultCatalog(),
-           quasar_,
-           metrics_,
-           tracer_,
-           config_,
-           /*onJobStarted=*/nullptr},
       timeline_(config_.timeline)
 {
-    provider_.setTracer(&tracer_);
-    provider_.spinUp().setScale(config_.spinUpScale);
-    if (config_.spinUpFixed)
-        provider_.spinUp().setFixedOverride(config_.spinUpFixed);
-
-    strategy_ = factory(ctx_);
-    // Profiling on shared small instances is noisier (Section 3.3).
-    if (strategy_->usesSmallOnDemand()) {
-        quasar_.setObservationNoise(config_.observationNoise * 2.2);
-    }
-    ctx_.onJobStarted = [this](workload::Job& job) { onJobStarted(job); };
+    wire(factory);
 }
 
 EngineRun::~EngineRun() = default;
+
+void
+EngineRun::wire(const StrategyFactory& factory)
+{
+    // Construction order is load-bearing twice over: the RNG child
+    // streams ("provider" before "quasar") must derive in the same order
+    // as always, and the context must only be built once everything it
+    // references exists.
+    provider_.emplace(simulator_, profile_, config_.externalLoad,
+                      root_.child("provider"));
+    // Reuse a live Quasar across resets: reset() re-seeds the RNG and
+    // clears the signature cache but keeps the bootstrapped classifier
+    // (bit-identical to a fresh bootstrap — see Quasar::reset).
+    const profiling::QuasarConfig quasarConfig =
+        makeQuasarConfig(config_, root_);
+    if (quasar_)
+        quasar_->reset(quasarConfig);
+    else
+        quasar_.emplace(quasarConfig);
+    metrics_.emplace();
+    ctx_.emplace(EngineContext{simulator_,
+                               *provider_,
+                               cloud::InstanceTypeCatalog::defaultCatalog(),
+                               *quasar_,
+                               *metrics_,
+                               tracer_,
+                               config_,
+                               /*onJobStarted=*/nullptr});
+    provider_->setTracer(&tracer_);
+    provider_->spinUp().setScale(config_.spinUpScale);
+    if (config_.spinUpFixed)
+        provider_->spinUp().setFixedOverride(config_.spinUpFixed);
+
+    strategy_ = factory(*ctx_);
+    // Profiling on shared small instances is noisier (Section 3.3).
+    if (strategy_->usesSmallOnDemand()) {
+        quasar_->setObservationNoise(config_.observationNoise * 2.2);
+    }
+    ctx_->onJobStarted = [this](workload::Job& job) { onJobStarted(job); };
+
+    // Bootstrap the classifier library eagerly so its training cost lands
+    // in the "setup" phase instead of the first classification's sim-loop
+    // slice. Bootstrap never touches the run RNG, so decisions are
+    // byte-identical either way — and a reset engine that kept its warm
+    // classifier skips the cost entirely, which is the reuse win the
+    // sweep scheduler's setup-ratio gate measures.
+    if (config_.useProfiling)
+        quasar_->warmUp();
+}
+
+void
+EngineRun::reset(const EngineConfig& config,
+                 const cloud::ProviderProfile& profile,
+                 const StrategyFactory& factory)
+{
+    // Tear down in reverse dependency order: the strategy holds the
+    // context by reference, and the context references provider, Quasar
+    // and metrics. Nothing below touches the torn-down pieces until
+    // wire() rebuilds them.
+    strategy_.reset();
+    ctx_.reset();
+    metrics_.reset();
+    // quasar_ deliberately survives: wire() re-arms it in place so the
+    // bootstrapped classifier library is reused (see Quasar::reset).
+    provider_.reset();
+
+    config_ = config;
+    profile_ = profile;
+
+    // Fresh phase accumulators, with the setup scope re-opened so the
+    // reset-to-runBatch span lands in "setup" exactly like construction.
+    setupScope_.reset();
+    phases_ = obs::PhaseProfiler{};
+    setupScope_ =
+        std::make_unique<obs::PhaseProfiler::Scope>(phases_, "setup");
+
+    simulator_.reset(); // keeps the event-queue slab + callback storage
+    root_ = sim::Rng(config_.seed);
+    tracer_.reset(config_.trace);
+    timeline_.reset(config_.timeline);
+
+    // clear() keeps every container's grown capacity — jobs vector,
+    // id index buckets, active/LC scratch — which is the point of
+    // reusing the engine at all.
+    jobs_.clear();
+    jobIndex_.clear();
+    active_.clear();
+    lcJobs_.clear();
+    finished_ = 0;
+    nextSample_ = 0.0;
+    nextTimelineSample_ = 0.0;
+    compactedAtFinished_ = 0;
+    sessionMode_ = false;
+
+    wire(factory);
+}
 
 void
 EngineRun::finishJob(workload::Job& job, sim::Time when, bool failed)
@@ -160,7 +235,7 @@ EngineRun::arrivalFired(std::size_t i)
     // Profiling (when enabled and uncached) delays the submission by the
     // profiling run length.
     const sim::Duration delay =
-        config_.useProfiling ? quasar_.profilingDelay(job.spec()) : 0.0;
+        config_.useProfiling ? quasar_->profilingDelay(job.spec()) : 0.0;
     tracer_.job(obs::EventKind::JobSubmit, simulator_.now(), job.id(),
                 delay, workload::toString(job.spec().kind));
     if (delay > 0.0) {
@@ -225,12 +300,12 @@ void
 EngineRun::sample(sim::Time t)
 {
     const ClusterState& cluster = strategy_->cluster();
-    metrics_.recordAllocation(t, cluster.reservedCapacity(),
+    metrics_->recordAllocation(t, cluster.reservedCapacity(),
                               cluster.onDemandCapacity(),
                               cluster.onDemandUsed());
-    metrics_.recordReservedUtilization(t, cluster.reservedUtilization());
+    metrics_->recordReservedUtilization(t, cluster.reservedUtilization());
     auto record_instance = [&](cloud::Instance* inst) {
-        metrics_.recordInstanceUtilization(
+        metrics_->recordInstanceUtilization(
             inst->id(), inst->type().name, inst->reserved(),
             inst->acquiredAt(), t, inst->coresUsed() / inst->coresTotal());
     };
@@ -249,8 +324,8 @@ EngineRun::sample(sim::Time t)
             job->cores;
     }
     for (int gi = 0; gi < kGroupCount; ++gi) {
-        metrics_.recordBreakdown(t, kGroupNames[gi], true, cores[gi][0]);
-        metrics_.recordBreakdown(t, kGroupNames[gi], false, cores[gi][1]);
+        metrics_->recordBreakdown(t, kGroupNames[gi], true, cores[gi][0]);
+        metrics_->recordBreakdown(t, kGroupNames[gi], false, cores[gi][1]);
     }
 }
 
@@ -315,8 +390,8 @@ EngineRun::sampleTimeline(sim::Time t)
     s.externalLoad =
         hosts.empty() ? 0.0 : ext / static_cast<double>(hosts.size());
 
-    const cloud::InstanceType& fullServer = ctx_.catalog.types().back();
-    if (const cloud::SpotMarket* market = provider_.spotMarketIfCreated())
+    const cloud::InstanceType& fullServer = ctx_->catalog.types().back();
+    if (const cloud::SpotMarket* market = provider_->spotMarketIfCreated())
         s.spotPrice = market->lastPriceFraction(fullServer);
     else
         s.spotPrice = cloud::SpotMarketConfig{}.meanDiscount;
@@ -327,7 +402,7 @@ EngineRun::sampleTimeline(sim::Time t)
     // amortized() is a pure function over closed usage records — the
     // paper's normalized-cost view, evaluated at the sample time.
     static const cloud::AwsStylePricing pricing;
-    s.costTotal = provider_.billing().amortized(pricing, t).total();
+    s.costTotal = provider_->billing().amortized(pricing, t).total();
 
     timeline_.record(std::move(s));
 }
@@ -400,7 +475,7 @@ EngineRun::onTick()
                     ++finished_;
                     tracer_.job(obs::EventKind::JobFail, t, job->id(), 0.0,
                                 "max_runtime", obs::Severity::Warn);
-                    metrics_.recordOutcome(*job);
+                    metrics_->recordOutcome(*job);
                 } else {
                     finishJob(*job, t, /*failed=*/true);
                 }
@@ -494,8 +569,8 @@ EngineRun::buildResult(RunResult& result, const std::string& scenarioName)
         makespan = std::max(makespan, job->completedAt);
     result.makespan = makespan > 0.0 ? makespan : simulator_.now();
 
-    result.outcomes = metrics_.outcomes();
-    for (const JobOutcome& o : metrics_.outcomes()) {
+    result.outcomes = metrics_->outcomes();
+    for (const JobOutcome& o : metrics_->outcomes()) {
         ++result.jobCount;
         if (o.failed)
             ++result.failedJobs;
@@ -512,24 +587,24 @@ EngineRun::buildResult(RunResult& result, const std::string& scenarioName)
 
     if (!strategy_->cluster().reservedPool().empty()) {
         result.reservedUtilizationAvg =
-            metrics_.reservedUtilization().average(0.0, result.makespan);
+            metrics_->reservedUtilization().average(0.0, result.makespan);
     }
-    result.billing = provider_.billing();
-    result.reservedAllocated = metrics_.reservedAllocated();
-    result.onDemandAllocated = metrics_.onDemandAllocated();
-    result.onDemandUsed = metrics_.onDemandUsed();
-    result.reservedUtilization = metrics_.reservedUtilization();
+    result.billing = provider_->billing();
+    result.reservedAllocated = metrics_->reservedAllocated();
+    result.onDemandAllocated = metrics_->onDemandAllocated();
+    result.onDemandUsed = metrics_->onDemandUsed();
+    result.reservedUtilization = metrics_->reservedUtilization();
     if (auto* hybrid = dynamic_cast<HybridStrategy*>(strategy_.get()))
         result.softLimitHistory = hybrid->softLimitHistory();
-    result.instanceTimelines = metrics_.timelines();
-    result.breakdown = metrics_.breakdown();
-    result.acquisitions = metrics_.acquisitions();
-    result.immediateReleases = metrics_.immediateReleases();
-    result.reschedules = metrics_.reschedules();
-    result.spotInterruptions = metrics_.spotInterruptions();
-    result.queuedJobs = metrics_.queuedJobs();
-    result.spinUpWaits = metrics_.spinUpWaits();
-    result.queueWaits = metrics_.queueWaits();
+    result.instanceTimelines = metrics_->timelines();
+    result.breakdown = metrics_->breakdown();
+    result.acquisitions = metrics_->acquisitions();
+    result.immediateReleases = metrics_->immediateReleases();
+    result.reschedules = metrics_->reschedules();
+    result.spotInterruptions = metrics_->spotInterruptions();
+    result.queuedJobs = metrics_->queuedJobs();
+    result.spinUpWaits = metrics_->spinUpWaits();
+    result.queueWaits = metrics_->queueWaits();
 }
 
 RunResult
@@ -538,7 +613,7 @@ EngineRun::liveResult(const std::string& scenarioName)
     RunResult result;
     buildResult(result, scenarioName);
     result.timeline = timeline_.snapshot();
-    result.metricsSnapshot = metrics_.registry().snapshot();
+    result.metricsSnapshot = metrics_->registry().snapshot();
     result.telemetry.setupSec = phases_.seconds("setup");
     result.telemetry.simLoopSec = phases_.seconds("sim-loop");
     result.telemetry.eventsProcessed = simulator_.eventsRun();
@@ -556,7 +631,7 @@ EngineRun::finalize(const std::string& scenarioName)
     // ---- Observability artifacts ---------------------------------------
     result.trace = tracer_.take();
     result.timeline = timeline_.take();
-    result.metricsSnapshot = metrics_.registry().snapshot();
+    result.metricsSnapshot = metrics_->registry().snapshot();
     phases_.add("finalize",
                 std::chrono::duration<double>(
                     obs::PhaseProfiler::Clock::now() - finalize_start)

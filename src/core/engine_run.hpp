@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,22 @@ class EngineRun
     EngineRun(const EngineRun&) = delete;
     EngineRun& operator=(const EngineRun&) = delete;
 
+    /**
+     * Re-arm this engine for a fresh run without giving back its big
+     * allocations: the simulator keeps its event-queue slab and callback
+     * storage, the tracer/timeline rings keep their grown capacity, and
+     * the job vectors and id index keep theirs. Everything stateful —
+     * provider, Quasar, metrics, strategy, RNG streams — is rebuilt from
+     * @p config exactly as the constructor would, so a reset run is
+     * bit-identical to a fresh-engine run with the same arguments
+     * (asserted in tests/test_exp_sweep.cpp). This is what lets
+     * exp::SweepScheduler reuse one engine per worker across a
+     * cells x seeds grid instead of paying construction per task.
+     */
+    void reset(const EngineConfig& config,
+               const cloud::ProviderProfile& profile,
+               const StrategyFactory& factory);
+
     const EngineConfig& config() const { return config_; }
 
     /** The run's tracer (srv::EngineSession hooks decisions off it). */
@@ -94,7 +111,8 @@ class EngineRun
      * Execute @p trace to completion, exactly as Engine::run() always
      * has: start the strategy, schedule every arrival in trace order,
      * install the tick chain last, run the simulator dry, finalize.
-     * Call at most once, and not after beginSession().
+     * Call at most once per wiring (reset() re-arms), and not after
+     * beginSession().
      */
     RunResult runBatch(const workload::ArrivalTrace& trace,
                        const std::string& scenarioName);
@@ -163,6 +181,11 @@ class EngineRun
     void installTick();
     /** Everything finalize() and liveResult() share. */
     void buildResult(RunResult& result, const std::string& scenarioName);
+    /** Construct provider, Quasar, metrics, context and strategy from the
+     *  current config/profile/root RNG. Shared by the constructor and
+     *  reset() so both wire in exactly the same order (the RNG child
+     *  derivation order is part of the determinism contract). */
+    void wire(const StrategyFactory& factory);
 
     EngineConfig config_;
     cloud::ProviderProfile profile_;
@@ -172,10 +195,12 @@ class EngineRun
     sim::Simulator simulator_;
     sim::Rng root_;
     obs::Tracer tracer_;
-    cloud::CloudProvider provider_;
-    profiling::Quasar quasar_;
-    MetricsCollector metrics_;
-    EngineContext ctx_;
+    // Rebuilt per wiring (reset() re-emplaces them in dependency order);
+    // engaged for the whole life of the object otherwise.
+    std::optional<cloud::CloudProvider> provider_;
+    std::optional<profiling::Quasar> quasar_;
+    std::optional<MetricsCollector> metrics_;
+    std::optional<EngineContext> ctx_;
     std::unique_ptr<Strategy> strategy_;
 
     std::vector<std::unique_ptr<workload::Job>> jobs_;

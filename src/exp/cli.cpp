@@ -10,19 +10,21 @@
 #include "obs/process_metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace hcloud::exp {
 
 namespace {
 
 void
-printUsage(const char* prog)
+printUsage(const char* prog, bool allowSweep = false)
 {
     std::fprintf(stderr,
                  "usage: %s [loadScale] [seed] [threads] "
                  "[--json <path>] [--trace <path>] "
-                 "[--timeline <path>] [--metrics-port <port>]\n",
-                 prog);
+                 "[--timeline <path>] [--metrics-port <port>]%s\n",
+                 prog,
+                 allowSweep ? " [--seeds <n>] [--ci]" : "");
 }
 
 /**
@@ -154,12 +156,36 @@ BenchCli::effectiveMetricsPort() const
 }
 
 BenchCli
-parseBenchCli(int argc, char** argv)
+parseBenchCli(int argc, char** argv, bool allowSweep)
 {
     BenchCli cli;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
+        if (allowSweep && std::strcmp(arg, "--ci") == 0) {
+            cli.ciRequested = true;
+            continue;
+        }
+        if (allowSweep && std::strcmp(arg, "--seeds") == 0) {
+            if (i + 1 >= argc) {
+                cli.errorMessage = "--seeds requires a count";
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             cli.errorMessage.c_str());
+                printUsage(argv[0], allowSweep);
+                cli.parseError = true;
+                return cli;
+            }
+            std::uint64_t seeds = 0;
+            if (!parseU64(argv[i + 1], seeds) || seeds == 0) {
+                positionalError(cli, argv[0],
+                                "--seeds must be a positive integer",
+                                argv[i + 1]);
+                return cli;
+            }
+            cli.seeds = static_cast<std::size_t>(seeds);
+            ++i;
+            continue;
+        }
         if (std::strcmp(arg, "--json") == 0 ||
             std::strcmp(arg, "--trace") == 0 ||
             std::strcmp(arg, "--timeline") == 0) {
@@ -251,16 +277,34 @@ parseBenchCli(int argc, char** argv)
             return cli;
         }
     }
+    // Validate the HCLOUD_THREADS knob here at the edge: the bench is
+    // about to hand options.threads == 0 to a ThreadPool, whose
+    // defaultThreadCount() throws on a malformed value. Rejecting it as
+    // a CLI error keeps the failure structured and before any work.
+    if (cli.options.threads == 0) {
+        if (const char* env = std::getenv("HCLOUD_THREADS")) {
+            runtime::ThreadCountError error;
+            if (!runtime::parseThreadCount(env, &error)) {
+                cli.errorMessage = "HCLOUD_THREADS=\"" + error.value +
+                    "\": " + error.reason;
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             cli.errorMessage.c_str());
+                cli.parseError = true;
+                return cli;
+            }
+        }
+    }
     return cli;
 }
 
 bool
 writeBenchArtifacts(const BenchCli& cli, const std::string& title,
-                    const Runner& runner)
+                    const Runner& runner,
+                    const std::vector<SweepResult>& sweeps)
 {
     bool ok = true;
     if (!cli.jsonPath.empty()) {
-        if (writeJsonReport(cli.jsonPath, title, runner)) {
+        if (writeJsonReport(cli.jsonPath, title, runner, sweeps)) {
             std::printf("wrote JSON report: %s\n", cli.jsonPath.c_str());
         } else {
             std::fprintf(stderr, "failed to write JSON report: %s\n",

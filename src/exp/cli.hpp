@@ -34,7 +34,12 @@
  *    Prometheus text on 127.0.0.1:<port> for the lifetime of the bench
  *    (port 0 binds an ephemeral port; the bound port is printed). The
  *    HCLOUD_METRICS_PORT environment variable supplies a default when
- *    the flag is absent. Off by default; serving never affects results.
+ *    the flag is absent. Off by default; serving never affects results;
+ *  - sweep-capable benches (fig12/fig15/fig16) additionally accept
+ *    `--seeds <n>` and `--ci`: either switches the bench from its
+ *    single-seed figure to an exp::SweepScheduler multi-seed sweep
+ *    reporting mean +/- 95% CI per cell (--ci alone defaults to 5
+ *    seeds). The positional seed becomes the sweep's base seed.
  *
  * Positional values are validated strictly (full-token numeric parses
  * with range checks); a bad value sets BenchCli::parseError and
@@ -47,9 +52,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "obs/metrics_http.hpp"
 
 namespace hcloud::exp {
@@ -68,6 +75,11 @@ struct BenchCli
     std::string timelinePath;
     /** True when --timeline was given (forces timeline sampling on). */
     bool timelineRequested = false;
+    /** Seeds per cell from --seeds (0 = flag not given). */
+    std::size_t seeds = 0;
+    /** True when --ci was given (requests a multi-seed CI sweep even
+     *  without an explicit --seeds). */
+    bool ciRequested = false;
     /** True when --metrics-port was given. */
     bool metricsRequested = false;
     /** Port from --metrics-port (0 = bind an ephemeral port). Only
@@ -106,22 +118,40 @@ struct BenchCli
      * HCLOUD_TRACE_RING convention). nullopt = do not serve.
      */
     std::optional<std::uint16_t> effectiveMetricsPort() const;
+
+    /** True when the bench should run a multi-seed CI sweep
+     *  (--seeds and/or --ci was given). */
+    bool sweepRequested() const { return seeds > 0 || ciRequested; }
+
+    /** Seeds per cell for a sweep: --seeds value, or 5 under a bare
+     *  --ci. */
+    std::size_t effectiveSeeds() const { return seeds > 0 ? seeds : 5; }
 };
 
 /**
  * Parse `[loadScale] [seed] [threads] [--json p] [--trace p]`.
  * On a malformed flag, prints usage to stderr and sets parseError.
+ *
+ * @param allowSweep accept `--seeds <n>` / `--ci` (the sweep-capable
+ * figure benches); other benches keep rejecting them as unknown flags.
+ *
+ * The HCLOUD_THREADS environment knob is validated here, at the CLI
+ * edge: a malformed value (which runtime::defaultThreadCount() would
+ * reject by throwing mid-run) becomes a parseError with the structured
+ * reason up front.
  */
-BenchCli parseBenchCli(int argc, char** argv);
+BenchCli parseBenchCli(int argc, char** argv, bool allowSweep = false);
 
 /**
  * Write the artifacts requested by @p cli from @p runner's memoized
- * matrix: the JSON report (--json) and the trace JSONL (--trace or the
+ * matrix: the JSON report (--json, with @p sweeps serialized into the
+ * schema-v4 `sweeps` array) and the trace JSONL (--trace or the
  * HCLOUD_TRACE named path). Prints one line per file written.
  * @return false when any requested artifact failed to write.
  */
 bool writeBenchArtifacts(const BenchCli& cli, const std::string& title,
-                         const Runner& runner);
+                         const Runner& runner,
+                         const std::vector<SweepResult>& sweeps = {});
 
 /**
  * RAII wrapper a bench main drops on its stack: starts the metrics HTTP

@@ -214,7 +214,8 @@ runResultJson(obs::JsonWriter& w, const core::RunResult& result)
 
 bool
 writeJsonReport(const std::string& path, const std::string& title,
-                const Runner& runner)
+                const Runner& runner,
+                const std::vector<SweepResult>& sweeps)
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
@@ -233,6 +234,11 @@ writeJsonReport(const std::string& path, const std::string& title,
     }
     for (const core::RunResult& result : runner.adhocResults())
         runResultJson(w, result);
+    w.endArray();
+    w.key("sweeps");
+    w.beginArray();
+    for (const SweepResult& sweep : sweeps)
+        sweepJson(w, sweep);
     w.endArray();
     w.endObject();
     out << w.str() << '\n';

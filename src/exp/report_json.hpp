@@ -19,9 +19,11 @@
 #define HCLOUD_EXP_REPORT_JSON_HPP
 
 #include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "obs/json.hpp"
 
 namespace hcloud::exp {
@@ -31,19 +33,24 @@ namespace hcloud::exp {
  * Bump it (and tests/golden/report_schema_v<N>.txt) whenever the report
  * shape changes, so downstream tooling can rely on the layout.
  * History: v2 added `p99` to the histogram rows of `runs[].metrics`;
- * v3 added the `runs[].timeline` section (cluster-state samples).
+ * v3 added the `runs[].timeline` section (cluster-state samples);
+ * v4 added the top-level `sweeps` array (multi-seed aggregates with
+ * mean/stddev/95% CI per cell, exp::SweepScheduler).
  */
-inline constexpr std::uint64_t kReportSchemaVersion = 3;
+inline constexpr std::uint64_t kReportSchemaVersion = 4;
 
 /** Serialize the summary view of one RunResult as a JSON object. */
 void runResultJson(obs::JsonWriter& w, const core::RunResult& result);
 
 /**
- * Write a JSON report of every memoized cell in @p runner to @p path.
+ * Write a JSON report of every memoized cell in @p runner to @p path,
+ * followed by the multi-seed aggregates of @p sweeps (the `sweeps`
+ * array is always present; empty when no sweep ran).
  * @return false when the file cannot be opened.
  */
 bool writeJsonReport(const std::string& path, const std::string& title,
-                     const Runner& runner);
+                     const Runner& runner,
+                     const std::vector<SweepResult>& sweeps = {});
 
 /**
  * Write the trace streams of every memoized cell as JSONL: a

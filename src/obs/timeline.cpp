@@ -116,6 +116,28 @@ Timeline::Timeline(TimelineConfig config)
 Timeline::~Timeline() = default;
 
 void
+Timeline::reset(TimelineConfig config)
+{
+    sink_.reset(); // closes any previous sink file
+    config_ = std::move(config);
+    enabled_ = config_.resolveEnabled();
+    if (config_.ringCapacity == 0)
+        config_.ringCapacity = 1;
+    samples_.clear(); // keeps the ring's grown capacity
+    head_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+    sinkFailed_ = false;
+    if (enabled_ && !config_.sinkPath.empty()) {
+        sink_ = std::make_unique<TraceSink>(config_.sinkPath);
+        if (!sink_->ok()) {
+            sink_.reset();
+            sinkFailed_ = true;
+        }
+    }
+}
+
+void
 Timeline::record(TimelineSample sample)
 {
     if (!enabled_)

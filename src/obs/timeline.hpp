@@ -218,6 +218,14 @@ class Timeline
      */
     TimelineBuffer take();
 
+    /**
+     * Re-arm the timeline for a new run under @p config: counters reset,
+     * any open sink is closed and a new one opened per the config. The
+     * sample ring keeps its grown capacity (core::EngineRun::reset).
+     * Samples still held (take() not called) are discarded.
+     */
+    void reset(TimelineConfig config);
+
   private:
     /** Drain the ring (chronological order) into the sink; on failure
      *  drops the sink and latches sinkFailed_. */

@@ -105,6 +105,30 @@ Tracer::Tracer(TraceConfig config)
 Tracer::~Tracer() = default;
 
 void
+Tracer::reset(TraceConfig config)
+{
+    sink_.reset(); // closes any previous sink file
+    config_ = std::move(config);
+    enabled_ = config_.resolveEnabled();
+    if (config_.ringCapacity == 0)
+        config_.ringCapacity = 1;
+    events_.clear(); // keeps the ring's grown capacity
+    head_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+    sinkFailed_ = false;
+    activeTrace_ = 0;
+    onRecord_ = nullptr;
+    if (enabled_ && !config_.sinkPath.empty()) {
+        sink_ = std::make_unique<TraceSink>(config_.sinkPath);
+        if (!sink_->ok()) {
+            sink_.reset();
+            sinkFailed_ = true;
+        }
+    }
+}
+
+void
 Tracer::emit(EventKind kind, Severity severity, DecisionReason reason,
              sim::Time t, sim::JobId job, sim::InstanceId instance,
              double value, std::string_view detail)

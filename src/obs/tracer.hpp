@@ -205,6 +205,16 @@ class Tracer
      */
     TraceBuffer take();
 
+    /**
+     * Re-arm the tracer for a new run under @p config: counters reset,
+     * any open sink is closed and a new one opened per the config, the
+     * record observer and active span trace are cleared. The in-memory
+     * ring keeps whatever capacity it already grew, so engine-reuse
+     * sweeps (core::EngineRun::reset) never reallocate it. Events still
+     * held (take() not called) are discarded.
+     */
+    void reset(TraceConfig config);
+
   private:
     void emit(EventKind kind, Severity severity, DecisionReason reason,
               sim::Time t, sim::JobId job, sim::InstanceId instance,

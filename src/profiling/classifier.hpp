@@ -27,6 +27,13 @@ struct ClassifierConfig
     std::uint64_t seed = 7;
 };
 
+inline bool
+operator==(const ClassifierConfig& a, const ClassifierConfig& b)
+{
+    return a.referenceJobs == b.referenceJobs && a.seed == b.seed &&
+        a.mf == b.mf;
+}
+
 /**
  * Quasar-style workload classifier.
  */

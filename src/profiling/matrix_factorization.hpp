@@ -32,6 +32,15 @@ struct MfConfig
     std::size_t foldInIterations = 120;
 };
 
+inline bool
+operator==(const MfConfig& a, const MfConfig& b)
+{
+    return a.rank == b.rank && a.epochs == b.epochs &&
+        a.learningRate == b.learningRate &&
+        a.regularization == b.regularization &&
+        a.foldInIterations == b.foldInIterations;
+}
+
 /**
  * Biased low-rank factorization R ~ mu + b_col + U V^T over the known
  * entries of a tall sparse matrix.

@@ -21,6 +21,19 @@ Quasar::warmUp()
     warm_ = true;
 }
 
+void
+Quasar::reset(const QuasarConfig& config)
+{
+    if (!(config.classifier == config_.classifier)) {
+        classifier_ = WorkloadClassifier(config.classifier);
+        warm_ = false;
+    }
+    config_ = config;
+    rng_ = sim::Rng(config.seed);
+    cache_.clear();
+    classifications_ = 0;
+}
+
 Quasar::Signature
 Quasar::signatureOf(const workload::JobSpec& spec)
 {

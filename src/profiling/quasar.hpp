@@ -67,6 +67,18 @@ class Quasar
     /** Bootstrap the classifier library (done lazily otherwise). */
     void warmUp();
 
+    /**
+     * Re-arm for a new run: fresh RNG stream, empty signature cache,
+     * zeroed counters. The bootstrapped classifier is KEPT when the
+     * classifier config is unchanged — bootstrap() is a pure function of
+     * ClassifierConfig (it draws only from the classifier's own seed,
+     * never the run seed), so the retained trained state is bit-identical
+     * to what a fresh bootstrap would produce. This is what makes
+     * engine reuse across sweep runs cheap: the ~2 ms library training
+     * is paid once per engine instead of once per run.
+     */
+    void reset(const QuasarConfig& config);
+
     /** True if this job's application signature is already cached. */
     bool isCached(const workload::JobSpec& spec) const;
 

@@ -1,6 +1,9 @@
 #include "runtime/thread_pool.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "obs/process_metrics.hpp"
@@ -14,14 +17,43 @@ hardwareThreads()
     return n > 0 ? n : 1;
 }
 
+std::optional<std::size_t>
+parseThreadCount(const char* text, ThreadCountError* error)
+{
+    auto reject = [&](const char* reason) -> std::optional<std::size_t> {
+        if (error) {
+            error->value = text ? text : "";
+            error->reason = reason;
+        }
+        return std::nullopt;
+    };
+    if (!text || *text == '\0')
+        return reject("empty value");
+    // strtoul accepts leading whitespace, '+' and even '-' (wrapping);
+    // a worker count is digits only.
+    for (const char* p = text; *p != '\0'; ++p) {
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return reject("not a positive integer");
+    }
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (errno == ERANGE)
+        return reject("out of range");
+    if (v == 0)
+        return reject("must be at least 1");
+    return static_cast<std::size_t>(v);
+}
+
 std::size_t
 defaultThreadCount()
 {
     if (const char* env = std::getenv("HCLOUD_THREADS")) {
-        char* end = nullptr;
-        const unsigned long v = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            return static_cast<std::size_t>(v);
+        ThreadCountError error;
+        if (const auto v = parseThreadCount(env, &error))
+            return *v;
+        throw std::invalid_argument("HCLOUD_THREADS=\"" + error.value +
+                                    "\": " + error.reason);
     }
     return hardwareThreads();
 }
@@ -38,6 +70,9 @@ ThreadPool::ThreadPool(std::size_t threads)
                              "Pool tasks finished without an exception");
     failed_ = &pm.counter("hcloud_pool_tasks_failed_total",
                           "Pool tasks that raised an exception");
+    workers_gauge_ = &pm.gauge("hcloud_pool_workers",
+                               "Worker threads across all live pools "
+                               "(serial pools contribute 0)");
     if (threads == 0)
         threads = defaultThreadCount();
     // One thread means "run on the caller": spawning a single worker would
@@ -47,6 +82,7 @@ ThreadPool::ThreadPool(std::size_t threads)
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    workers_gauge_->add(static_cast<double>(workers_.size()));
 }
 
 ThreadPool::~ThreadPool()
@@ -58,6 +94,7 @@ ThreadPool::~ThreadPool()
     workCv_.notify_all();
     for (std::thread& w : workers_)
         w.join();
+    workers_gauge_->add(-static_cast<double>(workers_.size()));
 }
 
 void

@@ -28,6 +28,8 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -41,11 +43,37 @@ namespace hcloud::runtime {
 /** std::thread::hardware_concurrency(), never less than 1. */
 std::size_t hardwareThreads();
 
+/** Why a thread-count string was rejected (see parseThreadCount). */
+struct ThreadCountError
+{
+    /** The offending value, verbatim. */
+    std::string value;
+    /** Human-readable rejection reason ("not a positive integer", ...). */
+    std::string reason;
+};
+
+/**
+ * Parse a worker-count token as used by HCLOUD_THREADS and --threads:
+ * a positive base-10 integer with no trailing characters.
+ *
+ * @return the count, or std::nullopt with @p error (when non-null)
+ * filled in. Rejections are structured, never silent: "0", "abc", "4x",
+ * "" and negative values all produce an error instead of a fallback.
+ */
+std::optional<std::size_t> parseThreadCount(const char* text,
+                                            ThreadCountError* error);
+
 /**
  * Worker count used when none is requested explicitly: the
- * HCLOUD_THREADS environment variable if set to a positive integer,
- * otherwise hardwareThreads(). HCLOUD_THREADS=1 therefore forces every
- * runtime consumer onto the serial path.
+ * HCLOUD_THREADS environment variable if set, otherwise
+ * hardwareThreads(). HCLOUD_THREADS=1 therefore forces every runtime
+ * consumer onto the serial path.
+ *
+ * @throws std::invalid_argument when HCLOUD_THREADS is set but is not a
+ * positive integer. A malformed knob used to fall back to
+ * hardwareThreads() silently — which on a big host turned "HCLOUD_THREADS=
+ * 4x" into a 64-way fan-out nobody asked for. CLIs validate at the edge
+ * (exp::parseBenchCli) and report the structured reason instead.
  */
 std::size_t defaultThreadCount();
 
@@ -106,6 +134,7 @@ class ThreadPool
     // construction; updates are one atomic op each.
     obs::ProcessGauge* queueDepth_;
     obs::ProcessGauge* inflight_;
+    obs::ProcessGauge* workers_gauge_;
     obs::ProcessCounter* completed_;
     obs::ProcessCounter* failed_;
 };

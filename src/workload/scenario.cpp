@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <queue>
 #include <vector>
 
@@ -188,6 +189,36 @@ memoryPerCore(AppKind kind, sim::Rng& rng)
 }
 
 } // namespace
+
+namespace {
+
+/** FNV-1a over the raw bytes of @p value, continuing from @p h. */
+template <typename T>
+std::uint64_t
+fnv1aMix(std::uint64_t h, const T& value)
+{
+    unsigned char bytes[sizeof(T)];
+    std::memcpy(bytes, &value, sizeof(T));
+    for (unsigned char b : bytes) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+digest(const ScenarioConfig& config)
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+    h = fnv1aMix(h, static_cast<std::uint32_t>(config.kind));
+    h = fnv1aMix(h, config.duration);
+    h = fnv1aMix(h, config.seed);
+    h = fnv1aMix(h, config.sensitiveFraction);
+    h = fnv1aMix(h, config.loadScale);
+    return h;
+}
 
 ArrivalTrace
 generateScenario(const ScenarioConfig& config)

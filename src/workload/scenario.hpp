@@ -70,6 +70,15 @@ double targetBatchLoad(ScenarioKind kind, sim::Time t);
 /** Latency-critical share of the target load at time @p t. */
 double targetLcLoad(ScenarioKind kind, sim::Time t);
 
+/**
+ * Stable 64-bit digest over every generation-relevant field of @p config
+ * (kind, duration, seed, sensitiveFraction, loadScale). Two configs with
+ * equal digests generate byte-identical traces, which is the key of the
+ * shared scenario-trace cache in exp::SweepScheduler: identical traces
+ * are generated once per sweep instead of once per cell x seed.
+ */
+std::uint64_t digest(const ScenarioConfig& config);
+
 /** Generate the arrival trace of a scenario. */
 ArrivalTrace generateScenario(const ScenarioConfig& config);
 

@@ -254,8 +254,22 @@ TEST(ReportSchema, VersionStampedFirstAndKeyPathsMatchGolden)
     Runner runner{opt, base};
     runner.run(workload::ScenarioKind::Static, core::StrategyKind::HM);
 
+    // A one-cell sweep pins the sweeps[] element keys (v4): cell
+    // aggregates with mean/stddev/ci95 plus the telemetry section.
+    SweepCell sweepCell;
+    sweepCell.scenario = workload::ScenarioKind::Static;
+    sweepCell.strategy = core::StrategyKind::HM;
+    workload::ScenarioConfig sweepScenario;
+    sweepScenario.duration = sim::hours(0.1);
+    sweepCell.scenarioOverride = sweepScenario;
+    SweepOptions sweepOpt;
+    sweepOpt.title = "schema-sweep";
+    sweepOpt.seeds = 2;
+    sweepOpt.threads = 1;
+    const SweepResult sweep = runSweep({sweepCell}, sweepOpt);
+
     const std::string path = ::testing::TempDir() + "schema_report.json";
-    ASSERT_TRUE(writeJsonReport(path, "schema-test", runner));
+    ASSERT_TRUE(writeJsonReport(path, "schema-test", runner, {sweep}));
     std::ifstream in(path, std::ios::binary);
     std::stringstream text;
     text << in.rdbuf();

@@ -1,8 +1,10 @@
 /**
  * @file
  * Tests for the runtime thread pool: task completion, ordered parallel
- * maps, exception propagation, graceful shutdown under load and the
- * HCLOUD_THREADS=1 serial fallback.
+ * maps, exception propagation, graceful shutdown under load, the
+ * HCLOUD_THREADS=1 serial fallback, strict HCLOUD_THREADS validation
+ * (parseThreadCount) and the process-metrics instrumentation
+ * (hcloud_pool_* gauges returning to their pre-pool values).
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/process_metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hcloud::runtime {
@@ -195,12 +198,109 @@ TEST(ThreadPool, EnvKnobParsesWorkerCount)
     EXPECT_EQ(pool.size(), 6u);
 }
 
-TEST(ThreadPool, EnvKnobIgnoresGarbage)
+TEST(ThreadPool, ParseThreadCountAcceptsPositiveIntegers)
 {
+    ThreadCountError error;
+    EXPECT_EQ(parseThreadCount("1", &error), 1u);
+    EXPECT_EQ(parseThreadCount("16", &error), 16u);
+    EXPECT_EQ(parseThreadCount("0008", &error), 8u);
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsMalformedWithReason)
+{
+    ThreadCountError error;
+    EXPECT_FALSE(parseThreadCount("", &error));
+    EXPECT_EQ(error.value, "");
+    EXPECT_EQ(error.reason, "empty value");
+
+    EXPECT_FALSE(parseThreadCount("not-a-number", &error));
+    EXPECT_EQ(error.value, "not-a-number");
+    EXPECT_EQ(error.reason, "not a positive integer");
+
+    EXPECT_FALSE(parseThreadCount("4x", &error));
+    EXPECT_EQ(error.reason, "not a positive integer");
+    EXPECT_FALSE(parseThreadCount("-2", &error));
+    EXPECT_EQ(error.reason, "not a positive integer");
+    EXPECT_FALSE(parseThreadCount(" 4", &error));
+    EXPECT_EQ(error.reason, "not a positive integer");
+
+    EXPECT_FALSE(parseThreadCount("0", &error));
+    EXPECT_EQ(error.value, "0");
+    EXPECT_EQ(error.reason, "must be at least 1");
+
+    EXPECT_FALSE(parseThreadCount("99999999999999999999999", &error));
+    EXPECT_EQ(error.reason, "out of range");
+
+    // Null error sink is allowed.
+    EXPECT_FALSE(parseThreadCount("zero", nullptr));
+}
+
+TEST(ThreadPool, EnvKnobRejectsGarbageLoudly)
+{
+    // The historical behavior silently fell back to hardware
+    // concurrency; a malformed knob now surfaces as a structured error
+    // (figure CLIs turn it into a parse error up front).
     ScopedEnv env("HCLOUD_THREADS", "not-a-number");
-    EXPECT_EQ(defaultThreadCount(), hardwareThreads());
+    EXPECT_THROW(defaultThreadCount(), std::invalid_argument);
+    try {
+        (void)defaultThreadCount();
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("not-a-number"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("not a positive integer"),
+                  std::string::npos);
+    }
     ScopedEnv zero("HCLOUD_THREADS", "0");
+    EXPECT_THROW(defaultThreadCount(), std::invalid_argument);
+}
+
+TEST(ThreadPool, EnvKnobUnsetUsesHardwareThreads)
+{
+    ScopedEnv env("HCLOUD_THREADS", nullptr);
     EXPECT_EQ(defaultThreadCount(), hardwareThreads());
+}
+
+TEST(ThreadPool, WorkersGaugeTracksLiveWorkerCount)
+{
+    obs::ProcessGauge& gauge = obs::ProcessMetrics::instance().gauge(
+        "hcloud_pool_workers");
+    const double before = gauge.value();
+    {
+        ThreadPool pool(3);
+        EXPECT_EQ(gauge.value(), before + 3.0);
+        {
+            ThreadPool serial(1); // serial pools contribute 0 workers
+            EXPECT_EQ(gauge.value(), before + 3.0);
+        }
+        ThreadPool second(2);
+        EXPECT_EQ(gauge.value(), before + 5.0);
+    }
+    // Destruction reclaims the gauge contribution, not the series.
+    EXPECT_EQ(gauge.value(), before);
+}
+
+TEST(ThreadPool, TaskMetricsDrainToZeroAfterWait)
+{
+    obs::ProcessMetrics& pm = obs::ProcessMetrics::instance();
+    obs::ProcessGauge& depth = pm.gauge("hcloud_pool_queue_depth");
+    obs::ProcessGauge& inflight = pm.gauge("hcloud_pool_inflight_tasks");
+    obs::ProcessCounter& completed =
+        pm.counter("hcloud_pool_tasks_completed_total");
+    const double depthBefore = depth.value();
+    const double inflightBefore = inflight.value();
+    const double completedBefore = completed.value();
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([] {});
+        pool.wait();
+        // Every completion is counted before wait() can observe
+        // pending == 0, so the counter is exact here, not eventual.
+        EXPECT_EQ(completed.value(), completedBefore + 50.0);
+    }
+    EXPECT_EQ(depth.value(), depthBefore);
+    EXPECT_EQ(inflight.value(), inflightBefore);
 }
 
 TEST(ThreadPool, HardwareThreadsIsPositive)
